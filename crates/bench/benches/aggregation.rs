@@ -1,0 +1,62 @@
+//! Server-side aggregation cost: weighted FedAvg mean over the collected
+//! client updates, plus the FedBalancer-style deadline computation.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedca_core::deadline::compute_deadline;
+use fedca_core::params::{aggregate, ModelLayout, UpdateVec};
+use fedca_nn::model::ParamSpan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn layout(n: usize) -> Arc<ModelLayout> {
+    Arc::new(ModelLayout::from_spans(&[ParamSpan {
+        name: "all".into(),
+        range: 0..n,
+    }]))
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for &(clients, params) in &[(16usize, 60_000usize), (116, 60_000), (16, 500_000)] {
+        let l = layout(params);
+        let mut rng = StdRng::seed_from_u64(2);
+        let updates: Vec<UpdateVec> = (0..clients)
+            .map(|_| {
+                UpdateVec::from_vec(
+                    l.clone(),
+                    (0..params).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{clients}cx{params}p")),
+            &clients,
+            |b, _| {
+                b.iter(|| {
+                    let weighted: Vec<(&UpdateVec, f64)> =
+                        updates.iter().map(|u| (u, 1.0)).collect();
+                    black_box(aggregate(&weighted))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("deadline/128_clients", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let predicted: Vec<f64> = (0..128).map(|_| rng.gen_range(5.0..500.0)).collect();
+        b.iter(|| compute_deadline(black_box(&predicted)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_aggregate
+}
+criterion_main!(benches);

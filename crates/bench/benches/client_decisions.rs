@@ -1,0 +1,57 @@
+//! Per-iteration cost of FedCA's client-side decisions — `TryEarlyStop`
+//! (net-benefit evaluation, Eqs. 2–4) and the `TryEagerTransmit` trigger
+//! scan (Eq. 5) — which run after every local iteration and therefore must
+//! be trivially cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fedca_core::eager::EagerState;
+use fedca_core::early_stop::should_stop;
+
+fn bench_decisions(c: &mut Criterion) {
+    let k = 125;
+    let curve: Vec<f32> = (1..=k)
+        .map(|i| 1.0 - (-(i as f32) / 20.0).exp())
+        .collect();
+
+    c.bench_function("decisions/try_early_stop", |b| {
+        b.iter(|| {
+            should_stop(
+                black_box(&curve),
+                black_box(60),
+                black_box(12.5),
+                black_box(20.0),
+                black_box(0.01),
+            )
+        })
+    });
+
+    // Eager trigger scan across a WRN-like layer count.
+    let n_layers = 60;
+    let layer_curves: Vec<Vec<f32>> = (0..n_layers)
+        .map(|l| {
+            (1..=k)
+                .map(|i| 1.0 - (-(i as f32) / (5.0 + l as f32)).exp())
+                .collect()
+        })
+        .collect();
+    c.bench_function("decisions/try_eager_transmit_scan_60_layers", |b| {
+        let state = EagerState::new(n_layers);
+        b.iter(|| {
+            let fired = (0..n_layers)
+                .filter(|&l| state.should_send(l, black_box(&layer_curves[l]), black_box(40), 0.95))
+                .count();
+            black_box(fired)
+        })
+    });
+
+    // End-of-round retransmission check (Eq. 6) on a 10K-element layer.
+    let final_update: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut state = EagerState::new(1);
+    state.mark_sent(0, 50, final_update.iter().map(|v| v * 0.9).collect());
+    c.bench_function("decisions/try_retransmit_10k_layer", |b| {
+        b.iter(|| state.resolve(0, black_box(&final_update), 0.6))
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Periodical-sampling profiler cost per iteration, vs the naive
+//! full-snapshot alternative the paper rules out (§4.1: 14 GB for WRN-28).
+//!
+//! `record_iteration` gathers only the sampled indices; `full_snapshot`
+//! clones the entire flat parameter vector.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fedca_core::params::ModelLayout;
+use fedca_core::profiler::SampledProfiler;
+use fedca_core::Workload;
+use fedca_core::workload::Scale;
+use std::sync::Arc;
+
+fn bench_profiler(c: &mut Criterion) {
+    for name in ["cnn", "wrn"] {
+        let w = match name {
+            "cnn" => Workload::cnn(Scale::Scaled, 1),
+            _ => Workload::wrn(Scale::Scaled, 1),
+        };
+        let model = (w.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let start = model.flat_params();
+        let current: Vec<f32> = start.iter().map(|v| v + 0.01).collect();
+
+        let mut prof = SampledProfiler::new(layout.clone(), 100, 3);
+        c.bench_function(&format!("profiler/sampled_record/{name}"), |b| {
+            b.iter(|| {
+                prof.begin_anchor(0);
+                prof.record_iteration(black_box(&start), black_box(&current));
+                // Drop the recording without curve computation to measure
+                // the per-iteration gather cost alone.
+                prof.begin_anchor(0);
+            })
+        });
+
+        c.bench_function(&format!("profiler/full_snapshot/{name}"), |b| {
+            b.iter(|| {
+                let snap: Vec<f32> = black_box(&current)
+                    .iter()
+                    .zip(black_box(&start))
+                    .map(|(c, s)| c - s)
+                    .collect();
+                black_box(snap)
+            })
+        });
+
+        let mut prof2 = SampledProfiler::new(layout, 100, 4);
+        c.bench_function(&format!("profiler/curve_build/{name}"), |b| {
+            b.iter(|| {
+                prof2.begin_anchor(0);
+                for i in 0..20 {
+                    let cur: Vec<f32> =
+                        start.iter().map(|v| v + 0.01 * (i + 1) as f32).collect();
+                    prof2.record_iteration(&start, &cur);
+                }
+                black_box(prof2.finish_anchor().model.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_profiler
+}
+criterion_main!(benches);

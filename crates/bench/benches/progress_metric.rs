@@ -1,0 +1,26 @@
+//! Cost of the statistical-progress metric (Eq. 1) at the vector sizes a
+//! client evaluates per iteration: the per-layer sampled sizes (≤ 100) and
+//! whole-model sampled sizes (§5.5: 618 / 905 / 9 974 scalars).
+//!
+//! Backs the paper's claim that FedCA's runtime overhead is negligible.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedca_core::progress::statistical_progress;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_progress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statistical_progress");
+    for &n in &[100usize, 618, 905, 9_974, 100_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| statistical_progress(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_progress);
+criterion_main!(benches);

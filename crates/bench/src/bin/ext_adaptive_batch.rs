@@ -1,0 +1,54 @@
+//! Extension experiment: the §6 future-work *autonomous batch-size*
+//! mechanism. Under heavy dynamicity, a straggling FedCA client normally
+//! truncates its round (early stop); with the extension it first shrinks
+//! its minibatch — trading gradient quality for keeping more iterations.
+//!
+//! Output CSV: `config,virtual_time_s,accuracy`; stderr: mean executed
+//! iterations per client-round and mean round time.
+
+use fedca_bench::{fl_config, note, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::{FedCaOptions, Scheme, Trainer};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 5,
+        ExpScale::Scaled => 30,
+        ExpScale::Paper => 200,
+    };
+    let w = workload_by_name("cnn", scale, seed);
+    let mut fl = fl_config(&w, scale, seed);
+    fl.dynamicity = true;
+    fl.heterogeneity = true;
+
+    let configs: Vec<(&str, Scheme)> = vec![
+        ("FedCA", Scheme::FedCa(FedCaOptions::v3())),
+        (
+            "FedCA+autobatch",
+            Scheme::FedCa(FedCaOptions::v3().with_adaptive_batch(4)),
+        ),
+    ];
+    println!("config,virtual_time_s,accuracy");
+    for (label, scheme) in configs {
+        note(&format!("ext_adaptive_batch: {label} for {rounds} rounds"));
+        let mut t = Trainer::new(fl.clone(), scheme, w.clone());
+        let out = t.run(rounds);
+        for (time, acc) in out.accuracy_series() {
+            println!("{label},{time:.1},{acc:.4}");
+        }
+        let (iters, n): (usize, usize) = out
+            .rounds
+            .iter()
+            .filter(|r| !r.is_anchor)
+            .flat_map(|r| r.iters_done.iter())
+            .fold((0, 0), |(s, c), &i| (s + i, c + 1));
+        note(&format!(
+            "ext_adaptive_batch: {label}: mean iters/client {:.1}/{}, mean round {:.2}s, best acc {:.3}",
+            iters as f64 / n.max(1) as f64,
+            fl.local_iters,
+            out.mean_round_time(),
+            out.best_accuracy()
+        ));
+    }
+}

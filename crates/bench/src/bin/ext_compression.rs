@@ -1,0 +1,61 @@
+//! Extension experiment (beyond the paper's figures): the §2.2
+//! communication-compression baselines vs and *with* FedCA.
+//!
+//! The paper argues quantization/sparsification are orthogonal to FedCA
+//! (§6); this bench demonstrates it. To make communication a visible cost
+//! at CI scale the CNN's wire size is inflated 100× (a mid-size model on
+//! the paper's 13.7 Mbps links), keeping compute identical.
+//!
+//! Configurations: fp32, QSGD 4-bit, QSGD 2-bit, top-10 % sparsification
+//! (all on FedAvg), plus FedCA-v1 + QSGD 4-bit (composition; eager
+//! transmission is mutually exclusive with compressed finals).
+//!
+//! Output CSV: `config,virtual_time_s,accuracy`, stderr: per-config mean
+//! round time and upload bytes.
+
+use fedca_bench::{fl_config, note, seed_from_env, workload_by_name, ExpScale};
+use fedca_compress::Compression;
+use fedca_core::{FedCaOptions, Scheme, Trainer};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 5,
+        ExpScale::Scaled => 25,
+        ExpScale::Paper => 200,
+    };
+    let mut w = workload_by_name("cnn", scale, seed);
+    w.wire_model_bytes *= 100.0; // comm-bound variant (see module docs)
+    let base_fl = fl_config(&w, scale, seed);
+
+    let configs: Vec<(&str, Scheme, Compression)> = vec![
+        ("FedAvg-fp32", Scheme::FedAvg, Compression::None),
+        ("FedAvg-q4", Scheme::FedAvg, Compression::Quantize { bits: 4 }),
+        ("FedAvg-q2", Scheme::FedAvg, Compression::Quantize { bits: 2 }),
+        ("FedAvg-top10", Scheme::FedAvg, Compression::TopK { keep: 0.1 }),
+        (
+            "FedCA-v1+q4",
+            Scheme::FedCa(FedCaOptions::v1()),
+            Compression::Quantize { bits: 4 },
+        ),
+    ];
+    println!("config,virtual_time_s,accuracy");
+    for (label, scheme, compression) in configs {
+        let mut fl = base_fl.clone();
+        fl.compression = compression;
+        note(&format!("ext_compression: {label} for {rounds} rounds"));
+        let mut t = Trainer::new(fl, scheme, w.clone());
+        let out = t.run(rounds);
+        for (time, acc) in out.accuracy_series() {
+            println!("{label},{time:.1},{acc:.4}");
+        }
+        let bytes: f64 = out.rounds.iter().map(|r| r.bytes_uploaded).sum();
+        note(&format!(
+            "ext_compression: {label}: mean round {:.2}s, best acc {:.3}, {:.1} MB uploaded",
+            out.mean_round_time(),
+            out.best_accuracy(),
+            bytes / 1e6
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 10: hyperparameter sensitivity on the CNN workload.
+//!
+//! (a) marginal-cost ratio β ∈ {0.1, 0.01, 0.001} (+ FedAvg reference);
+//! (b) eager/retransmission thresholds (T_e, T_r) ∈
+//!     {(0.95, 0.6), (0.95, 0.8), (0.85, 0.6)}.
+//!
+//! Output CSV: `panel,config,virtual_time_s,accuracy`.
+
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::{FedCaConfig, FedCaOptions, Scheme};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 6,
+        ExpScale::Scaled => 30,
+        ExpScale::Paper => 200,
+    };
+    let w = workload_by_name("cnn", scale, seed);
+    let fl = fl_config(&w, scale, seed);
+    println!("panel,config,virtual_time_s,accuracy");
+
+    // Reference FedAvg curve appears in both panels.
+    note("fig10: FedAvg reference");
+    let reference = run_rounds(Scheme::FedAvg, &w, &fl, rounds, 1);
+    for (t, a) in reference.accuracy_series() {
+        println!("beta,FedAvg,{t:.1},{a:.4}");
+        println!("thresholds,FedAvg,{t:.1},{a:.4}");
+    }
+
+    // Panel (a): β sweep.
+    for beta in [0.1, 0.01, 0.001] {
+        let cfg = FedCaConfig {
+            beta,
+            ..FedCaConfig::default()
+        };
+        note(&format!("fig10a: beta={beta}"));
+        let out = run_rounds(
+            Scheme::FedCa(FedCaOptions::full_with(cfg)),
+            &w,
+            &fl,
+            rounds,
+            1,
+        );
+        for (t, a) in out.accuracy_series() {
+            println!("beta,beta={beta},{t:.1},{a:.4}");
+        }
+    }
+
+    // Panel (b): (T_e, T_r) sweep.
+    for (te, tr) in [(0.95, 0.6), (0.95, 0.8), (0.85, 0.6)] {
+        let cfg = FedCaConfig {
+            eager_threshold: te,
+            retransmit_threshold: tr,
+            ..FedCaConfig::default()
+        };
+        note(&format!("fig10b: Te={te} Tr={tr}"));
+        let out = run_rounds(
+            Scheme::FedCa(FedCaOptions::full_with(cfg)),
+            &w,
+            &fl,
+            rounds,
+            1,
+        );
+        for (t, a) in out.accuracy_series() {
+            println!("thresholds,Te={te}/Tr={tr},{t:.1},{a:.4}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 2: whole-model statistical-progress curves for two clients, per
+//! model, at an early and a late training stage.
+//!
+//! Paper setup: 4-client testbed, K = 250, curves at rounds 10 and 200 for
+//! Client-0 and Client-1 (CNN / LSTM / WRN). Scaled setup: K = 40, rounds
+//! 3 and 24. Output CSV: `model,round,client,iteration,progress`.
+
+use fedca_bench::study::{print_curve, progress_study};
+use fedca_bench::{note, seed_from_env, workload_by_name, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let (rounds, k): (Vec<usize>, usize) = match scale {
+        ExpScale::Smoke => (vec![1, 4], 12),
+        ExpScale::Scaled => (vec![3, 24], 40),
+        ExpScale::Paper => (vec![10, 200], 250),
+    };
+    println!("model,round,client,iteration,progress");
+    for name in ["cnn", "lstm", "wrn"] {
+        note(&format!("fig2: studying {name} at rounds {rounds:?} (K={k})"));
+        let w = workload_by_name(name, scale, seed);
+        let curves = progress_study(&w, &rounds, &[0, 1], k, seed);
+        for ((round, client), rec) in &curves {
+            print_curve(&format!("{name},{round},{client}"), &rec.model);
+        }
+    }
+}

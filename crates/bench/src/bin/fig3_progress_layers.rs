@@ -1,0 +1,70 @@
+//! Fig. 3: per-layer statistical-progress curves at an early and a late
+//! training stage, two contrasting layers per model.
+//!
+//! Paper layers: CNN `fc2.weight` vs `conv2.weight`; LSTM
+//! `rnn.weight_hh_l0` vs `rnn.bias_ih_l1`; WRN `conv3.0.residual.0.bias`
+//! vs `conv4.2.residual.6.weight` (at scaled depth the closest existing
+//! conv4 block is used). Output CSV:
+//! `model,round,layer,iteration,progress`.
+
+use fedca_bench::study::{print_curve, progress_study};
+use fedca_bench::{note, seed_from_env, workload_by_name, ExpScale};
+
+/// Picks the first layer whose name matches any of `preferred`, falling
+/// back to a prefix match.
+fn pick<'a>(names: &[&'a str], preferred: &[&str]) -> &'a str {
+    for p in preferred {
+        if let Some(n) = names.iter().find(|n| *n == p) {
+            return n;
+        }
+    }
+    for p in preferred {
+        let prefix = p.split('.').next().unwrap_or(p);
+        if let Some(n) = names.iter().find(|n| n.starts_with(prefix)) {
+            return n;
+        }
+    }
+    names[0]
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let (rounds, k): (Vec<usize>, usize) = match scale {
+        ExpScale::Smoke => (vec![1, 4], 12),
+        ExpScale::Scaled => (vec![3, 24], 40),
+        ExpScale::Paper => (vec![10, 200], 250),
+    };
+    let wanted: &[(&str, &[&str])] = &[
+        ("cnn", &["fc2.weight", "conv2.weight"]),
+        ("lstm", &["rnn.weight_hh_l0", "rnn.bias_ih_l1"]),
+        (
+            "wrn",
+            &[
+                "conv3.0.residual.0.bias",
+                "conv4.2.residual.6.weight",
+                "conv4.1.residual.3.weight",
+            ],
+        ),
+    ];
+    println!("model,round,layer,iteration,progress");
+    for (name, prefs) in wanted {
+        note(&format!("fig3: studying {name} layers {prefs:?}"));
+        let w = workload_by_name(name, scale, seed);
+        let curves = progress_study(&w, &rounds, &[0], k, seed);
+        for ((round, _client), rec) in &curves {
+            let names: Vec<&str> = rec.layers.iter().map(|(n, _)| n.as_str()).collect();
+            // Two contrasting layers per model, as in the paper's figure.
+            let first = pick(&names, &prefs[..1]);
+            let second = pick(&names, &prefs[1..]);
+            for layer_name in [first, second] {
+                let (_, curve) = rec
+                    .layers
+                    .iter()
+                    .find(|(n, _)| n == layer_name)
+                    .expect("picked layer exists");
+                print_curve(&format!("{name},{round},{layer_name}"), curve);
+            }
+        }
+    }
+}

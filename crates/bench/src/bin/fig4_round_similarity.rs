@@ -1,0 +1,47 @@
+//! Fig. 4: statistical-progress curves across five *consecutive* rounds,
+//! at an early and a late stage — the similarity that justifies periodical
+//! profiling (§4.1).
+//!
+//! Paper: rounds 10–14 and 196–200. Scaled: rounds 3–7 and 20–24. Output
+//! CSV: `model,round,iteration,progress`, plus a stderr summary of the
+//! max pointwise gap between consecutive-round curves.
+
+use fedca_bench::study::{print_curve, progress_study};
+use fedca_bench::{note, seed_from_env, workload_by_name, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let (early, late, k): (Vec<usize>, Vec<usize>, usize) = match scale {
+        ExpScale::Smoke => (vec![1, 2], vec![4, 5], 12),
+        ExpScale::Scaled => ((3..8).collect(), (20..25).collect(), 40),
+        ExpScale::Paper => ((10..15).collect(), (196..201).collect(), 250),
+    };
+    let mut rounds = early.clone();
+    rounds.extend(&late);
+    println!("model,round,iteration,progress");
+    for name in ["cnn", "lstm", "wrn"] {
+        note(&format!("fig4: {name} rounds {rounds:?}"));
+        let w = workload_by_name(name, scale, seed);
+        let curves = progress_study(&w, &rounds, &[0], k, seed);
+        let mut prev: Option<(usize, Vec<f32>)> = None;
+        let mut max_gap_consecutive = 0.0f32;
+        for ((round, _), rec) in &curves {
+            print_curve(&format!("{name},{round}"), &rec.model);
+            if let Some((prev_round, prev_curve)) = &prev {
+                if round == &(prev_round + 1) {
+                    let gap = prev_curve
+                        .iter()
+                        .zip(&rec.model)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f32, f32::max);
+                    max_gap_consecutive = max_gap_consecutive.max(gap);
+                }
+            }
+            prev = Some((*round, rec.model.clone()));
+        }
+        note(&format!(
+            "fig4: {name} max pointwise gap between consecutive-round curves: {max_gap_consecutive:.3}"
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 7: time-to-accuracy curves for FedAvg / FedProx / FedAda / FedCA
+//! on the CNN, LSTM, and WRN workloads under heterogeneous + dynamic
+//! devices.
+//!
+//! Output CSV: `model,scheme,virtual_time_s,accuracy`.
+
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::Scheme;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds_for = |name: &str| match (scale, name) {
+        (ExpScale::Smoke, _) => 5,
+        (ExpScale::Scaled, "wrn") => 18,
+        (ExpScale::Scaled, _) => 35,
+        (ExpScale::Paper, "wrn") => 100,
+        (ExpScale::Paper, _) => 500,
+    };
+    println!("model,scheme,virtual_time_s,accuracy");
+    for name in ["cnn", "lstm", "wrn"] {
+        let w = workload_by_name(name, scale, seed);
+        let fl = fl_config(&w, scale, seed);
+        let rounds = rounds_for(name);
+        for scheme in [
+            Scheme::FedAvg,
+            Scheme::fedprox_default(),
+            Scheme::fedada_default(),
+            Scheme::fedca_default(),
+        ] {
+            let sname = scheme.name();
+            note(&format!("fig7: {name} / {sname} for {rounds} rounds"));
+            let out = run_rounds(scheme, &w, &fl, rounds, 1);
+            for (t, a) in out.accuracy_series() {
+                println!("{name},{sname},{t:.1},{a:.4}");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 8: CDFs of FedCA's runtime behaviour on the CNN workload.
+//!
+//! (a) iteration at which local computation stops, FedCA vs FedAda (for
+//!     clients that run to completion, the planned count is recorded);
+//! (b) iteration at which eager transmission fires, with and without
+//!     retransmission (a retransmitted layer counts at the final
+//!     iteration, the paper's convention).
+//!
+//! Output CSV: `panel,series,value,cdf`.
+
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::metrics::empirical_cdf;
+use fedca_core::{FedCaOptions, Scheme};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 6,
+        ExpScale::Scaled => 30,
+        ExpScale::Paper => 200,
+    };
+    let w = workload_by_name("cnn", scale, seed);
+    let fl = fl_config(&w, scale, seed);
+    let k = fl.local_iters;
+
+    println!("panel,series,value,cdf");
+
+    // Panel (a): early-stop iteration, FedCA vs FedAda.
+    note(&format!("fig8a: FedCA on cnn, {rounds} rounds"));
+    let fedca_out = run_rounds(Scheme::fedca_default(), &w, &fl, rounds, 0);
+    for (v, c) in empirical_cdf(&fedca_out.stop_iterations()) {
+        println!("early_stop,FedCA,{v},{c:.4}");
+    }
+    note(&format!("fig8a: FedAda on cnn, {rounds} rounds"));
+    let fedada_out = run_rounds(Scheme::fedada_default(), &w, &fl, rounds, 0);
+    // FedAda's "stop" iteration is the server-planned count.
+    let fedada_iters: Vec<f64> = fedada_out
+        .rounds
+        .iter()
+        .flat_map(|r| r.iters_planned.iter().map(|&i| i as f64))
+        .collect();
+    for (v, c) in empirical_cdf(&fedada_iters) {
+        println!("early_stop,FedAda,{v},{c:.4}");
+    }
+
+    // Panel (b): eager-transmission iteration with/without retransmission.
+    // The with-retransmission series comes from the FedCA (v3) run above;
+    // the without series from a v2 run.
+    for (label, out) in [("FedCA w Retrans.", &fedca_out)] {
+        for (v, c) in empirical_cdf(&out.eager_iterations(true, k)) {
+            println!("eager,{label},{v},{c:.4}");
+        }
+    }
+    note(&format!("fig8b: FedCA-v2 on cnn, {rounds} rounds"));
+    let v2_out = run_rounds(Scheme::FedCa(FedCaOptions::v2()), &w, &fl, rounds, 0);
+    for (v, c) in empirical_cdf(&v2_out.eager_iterations(false, k)) {
+        println!("eager,FedCA w/o Retrans.,{v},{c:.4}");
+    }
+
+    // Stderr summary.
+    let med = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+        s.get(s.len() / 2).copied().unwrap_or(f64::NAN)
+    };
+    note(&format!(
+        "median stop iteration: FedCA {:.0}, FedAda {:.0} (K={k})",
+        med(&fedca_out.stop_iterations()),
+        med(&fedada_iters)
+    ));
+    note(&format!(
+        "median eager-transmit iteration: w retrans {:.0}, w/o retrans {:.0}",
+        med(&fedca_out.eager_iterations(true, k)),
+        med(&v2_out.eager_iterations(false, k))
+    ));
+}

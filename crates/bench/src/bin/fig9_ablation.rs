@@ -1,0 +1,83 @@
+//! Fig. 9: ablation study — FedAvg vs FedCA-v1 (early stop only) vs
+//! FedCA-v2 (+ eager transmission, no retransmission) vs FedCA-v3 (full),
+//! on CNN and LSTM.
+//!
+//! Output CSV: `model,variant,virtual_time_s,accuracy`, plus a stderr
+//! summary of the v1→v3 speedup at the paper's late-stage targets.
+
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::{FedCaOptions, Scheme, TrainerOutput};
+
+fn time_to(out: &TrainerOutput, target: f32) -> Option<f64> {
+    out.time_to_accuracy(target).map(|(t, _)| t)
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 6,
+        ExpScale::Scaled => 35,
+        ExpScale::Paper => 300,
+    };
+    // Late-stage targets (paper: 0.54 CNN, 0.86 LSTM; scaled-task
+    // equivalents chosen near each task's late plateau).
+    let late_target = |name: &str| match (scale, name) {
+        (ExpScale::Paper, "cnn") => 0.54,
+        (ExpScale::Paper, _) => 0.86,
+        (_, "cnn") => 0.92,
+        (_, _) => 0.88,
+    };
+    println!("model,variant,virtual_time_s,accuracy");
+    for name in ["cnn", "lstm"] {
+        let w = workload_by_name(name, scale, seed);
+        let fl = fl_config(&w, scale, seed);
+        let variants: Vec<(&str, Scheme)> = vec![
+            ("FedAvg", Scheme::FedAvg),
+            ("FedCA-v1", Scheme::FedCa(FedCaOptions::v1())),
+            ("FedCA-v2", Scheme::FedCa(FedCaOptions::v2())),
+            ("FedCA-v3", Scheme::FedCa(FedCaOptions::v3())),
+        ];
+        let mut outs = Vec::new();
+        for (label, scheme) in variants {
+            note(&format!("fig9: {name} / {label} for {rounds} rounds"));
+            let out = run_rounds(scheme, &w, &fl, rounds, 1);
+            for (t, a) in out.accuracy_series() {
+                println!("{name},{label},{t:.1},{a:.4}");
+            }
+            outs.push((label, out));
+        }
+        let target = late_target(name);
+        let t1 = outs
+            .iter()
+            .find(|(l, _)| *l == "FedCA-v1")
+            .and_then(|(_, o)| time_to(o, target));
+        let t3 = outs
+            .iter()
+            .find(|(l, _)| *l == "FedCA-v3")
+            .and_then(|(_, o)| time_to(o, target));
+        match (t1, t3) {
+            (Some(t1), Some(t3)) => note(&format!(
+                "fig9: {name} @ {target}: v1 {t1:.0}s vs v3 {t3:.0}s -> v3 speedup {:.1}%",
+                (t1 - t3) / t1 * 100.0
+            )),
+            _ => note(&format!(
+                "fig9: {name}: late target {target} not reached by v1 and/or v3 in {rounds} rounds"
+            )),
+        }
+        // v2's accuracy ceiling vs v3 (retransmission matters).
+        let best = |l: &str| {
+            outs.iter()
+                .find(|(label, _)| *label == l)
+                .map(|(_, o)| o.best_accuracy())
+                .unwrap_or(0.0)
+        };
+        note(&format!(
+            "fig9: {name} best accuracy: FedAvg {:.3}, v1 {:.3}, v2 {:.3}, v3 {:.3}",
+            best("FedAvg"),
+            best("FedCA-v1"),
+            best("FedCA-v2"),
+            best("FedCA-v3")
+        ));
+    }
+}

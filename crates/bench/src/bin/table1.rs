@@ -1,0 +1,69 @@
+//! Table 1: per-round time, number of rounds, and total time to reach a
+//! near-optimal accuracy target, per scheme and model.
+//!
+//! Paper targets: 0.55 (CNN/CIFAR-10), 0.85 (LSTM/KWS), 0.55
+//! (WRN/CIFAR-100). Scaled targets are task-relative (the synthetic
+//! stand-ins are easier): 0.90 / 0.85 / 0.70 — see EXPERIMENTS.md.
+//!
+//! Output: an aligned text table mirroring the paper's, plus CSV rows
+//! `model,scheme,target,per_round_s,rounds,total_time_h,reached`.
+
+use fedca_bench::{fl_config, note, run_to_target, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::Scheme;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let max_rounds = |name: &str| match (scale, name) {
+        (ExpScale::Smoke, _) => 6,
+        (ExpScale::Scaled, "wrn") => 25,
+        (ExpScale::Scaled, _) => 60,
+        (ExpScale::Paper, "wrn") => 150,
+        (ExpScale::Paper, _) => 600,
+    };
+    println!("model,scheme,target,per_round_s,rounds,total_time_h,reached");
+    let mut table = String::new();
+    table.push_str(&format!(
+        "{:<6} {:<9} {:>12} {:>8} {:>12}\n",
+        "Model", "Scheme", "Per-round(s)", "Rounds", "Total(h)"
+    ));
+    for name in ["cnn", "lstm", "wrn"] {
+        let w = workload_by_name(name, scale, seed);
+        let fl = fl_config(&w, scale, seed);
+        let target = w.target_accuracy;
+        for scheme in [
+            Scheme::FedAvg,
+            Scheme::fedprox_default(),
+            Scheme::fedada_default(),
+            Scheme::fedca_default(),
+        ] {
+            let sname = scheme.name();
+            note(&format!("table1: {name} / {sname} to accuracy {target}"));
+            let out = run_to_target(scheme, &w, &fl, target, max_rounds(name));
+            let (total, rounds, reached) = match out.time_to_accuracy(target) {
+                Some((t, r)) => (t, r + 1, true),
+                None => (
+                    out.rounds.last().map(|r| r.end).unwrap_or(0.0),
+                    out.rounds.len(),
+                    false,
+                ),
+            };
+            let per_round = total / rounds.max(1) as f64;
+            println!(
+                "{name},{sname},{target},{per_round:.1},{rounds},{:.4},{reached}",
+                total / 3600.0
+            );
+            table.push_str(&format!(
+                "{:<6} {:<9} {:>12.1} {:>8} {:>12.4}{}\n",
+                name,
+                sname,
+                per_round,
+                rounds,
+                total / 3600.0,
+                if reached { "" } else { "  (target not reached)" }
+            ));
+        }
+        table.push('\n');
+    }
+    eprintln!("\n{table}");
+}

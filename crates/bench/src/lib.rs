@@ -1,0 +1,160 @@
+//! Shared harness plumbing for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the FedCA
+//! paper and prints CSV to stdout (progress notes go to stderr). The
+//! experiment *scale* is selected with the `FEDCA_SCALE` environment
+//! variable:
+//!
+//! * `smoke`  — seconds-long sanity runs (CI);
+//! * `scaled` — the default; minutes-long runs whose shapes are recorded in
+//!   EXPERIMENTS.md;
+//! * `paper`  — paper-faithful workload shapes (hours; for completeness).
+
+pub mod study;
+
+use fedca_core::workload::Scale;
+use fedca_core::{FlConfig, Scheme, Trainer, TrainerOutput, Workload};
+
+/// Experiment scale tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpScale {
+    /// Seconds-long CI runs.
+    Smoke,
+    /// Default minutes-long runs.
+    Scaled,
+    /// Paper-faithful shapes.
+    Paper,
+}
+
+impl ExpScale {
+    /// Reads `FEDCA_SCALE` (default `scaled`).
+    ///
+    /// # Panics
+    /// Panics on an unknown value, listing the accepted ones.
+    pub fn from_env() -> Self {
+        match std::env::var("FEDCA_SCALE").as_deref() {
+            Ok("smoke") => ExpScale::Smoke,
+            Ok("paper") => ExpScale::Paper,
+            Ok("scaled") | Err(_) => ExpScale::Scaled,
+            Ok(other) => panic!("FEDCA_SCALE={other}: expected smoke|scaled|paper"),
+        }
+    }
+
+    /// The workload scale preset for this tier.
+    pub fn workload_scale(self) -> Scale {
+        match self {
+            ExpScale::Paper => Scale::Paper,
+            _ => Scale::Scaled,
+        }
+    }
+}
+
+/// Master seed used by all experiments (override with `FEDCA_SEED`).
+pub fn seed_from_env() -> u64 {
+    std::env::var("FEDCA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Builds the federation config for a workload at a scale tier, taking the
+/// workload's recommended learning rate / weight decay.
+pub fn fl_config(workload: &Workload, scale: ExpScale, seed: u64) -> FlConfig {
+    let base = match scale {
+        ExpScale::Smoke => FlConfig {
+            n_clients: 16,
+            clients_per_round: 5,
+            local_iters: 15,
+            batch_size: 8,
+            ..FlConfig::default()
+        },
+        ExpScale::Scaled => FlConfig {
+            n_clients: 32,
+            clients_per_round: 8,
+            local_iters: 40,
+            batch_size: 16,
+            ..FlConfig::default()
+        },
+        ExpScale::Paper => FlConfig::default(),
+    };
+    FlConfig {
+        lr: workload.lr,
+        weight_decay: workload.weight_decay,
+        seed,
+        ..base
+    }
+}
+
+/// Builds the named workload (`cnn`, `lstm`, `wrn`, `tiny_mlp`).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn workload_by_name(name: &str, scale: ExpScale, seed: u64) -> Workload {
+    match name {
+        "cnn" => Workload::cnn(scale.workload_scale(), seed),
+        "lstm" => Workload::lstm(scale.workload_scale(), seed),
+        "wrn" => Workload::wrn(scale.workload_scale(), seed),
+        "tiny_mlp" => Workload::tiny_mlp(seed),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Runs a scheme on a workload for a fixed number of rounds.
+pub fn run_rounds(
+    scheme: Scheme,
+    workload: &Workload,
+    fl: &FlConfig,
+    rounds: usize,
+    eval_every: usize,
+) -> TrainerOutput {
+    let mut t = Trainer::new(fl.clone(), scheme, workload.clone());
+    t.eval_every = eval_every;
+    t.run(rounds)
+}
+
+/// Runs a scheme until the target accuracy (or `max_rounds`).
+pub fn run_to_target(
+    scheme: Scheme,
+    workload: &Workload,
+    fl: &FlConfig,
+    target: f32,
+    max_rounds: usize,
+) -> TrainerOutput {
+    let mut t = Trainer::new(fl.clone(), scheme, workload.clone());
+    t.run_until_accuracy(target, max_rounds)
+}
+
+/// Prints a CSV header + rows to stdout.
+pub fn print_csv(header: &str, rows: impl IntoIterator<Item = String>) {
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+/// Stderr progress note.
+pub fn note(msg: &str) {
+    eprintln!("[fedca-bench] {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_mapping() {
+        assert_eq!(ExpScale::Scaled.workload_scale(), Scale::Scaled);
+        assert_eq!(ExpScale::Paper.workload_scale(), Scale::Paper);
+        assert_eq!(ExpScale::Smoke.workload_scale(), Scale::Scaled);
+    }
+
+    #[test]
+    fn fl_config_adopts_workload_hypers() {
+        let w = Workload::tiny_mlp(1);
+        let fl = fl_config(&w, ExpScale::Smoke, 9);
+        assert_eq!(fl.lr, w.lr);
+        assert_eq!(fl.weight_decay, w.weight_decay);
+        assert_eq!(fl.seed, 9);
+        assert_eq!(fl.n_clients, 16);
+    }
+}

@@ -1,0 +1,376 @@
+//! Binary wire codec for model updates.
+//!
+//! The virtual network in `fedca-sim` charges transmissions by byte count;
+//! this codec defines those bytes precisely. A message carries one or more
+//! layer payloads, each dense (f32), quantized (bit-packed levels + scale),
+//! or sparse (index/value pairs). Round-trip tests guarantee the decoder
+//! reconstructs exactly what the encoder consumed.
+
+use crate::quantize::QuantizedVec;
+use crate::sparsify::SparseVec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Message magic ("FC").
+const MAGIC: u16 = 0x4643;
+/// Codec version.
+const VERSION: u8 = 1;
+
+/// One layer's payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Full-precision values.
+    Dense(Vec<f32>),
+    /// QSGD-quantized values.
+    Quantized(QuantizedVec),
+    /// Top-k sparsified values.
+    Sparse(SparseVec),
+}
+
+impl Payload {
+    /// Dense length of the decoded vector.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Dense(v) => v.len(),
+            Payload::Quantized(q) => q.levels.len(),
+            Payload::Sparse(s) => s.len,
+        }
+    }
+
+    /// Whether the payload decodes to an empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs the dense values.
+    pub fn to_dense(&self) -> Vec<f32> {
+        match self {
+            Payload::Dense(v) => v.clone(),
+            Payload::Quantized(q) => crate::quantize::dequantize(q),
+            Payload::Sparse(s) => crate::sparsify::densify(s),
+        }
+    }
+}
+
+/// An update message: `(layer id, payload)` entries from one client round.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct UpdateMessage {
+    /// Round the update belongs to.
+    pub round: u32,
+    /// Sender client id.
+    pub client: u32,
+    /// Layer payloads.
+    pub layers: Vec<(u32, Payload)>,
+}
+
+/// Codec error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended prematurely.
+    Truncated,
+    /// Bad magic/version/tag.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_payload(buf: &mut BytesMut, p: &Payload) {
+    match p {
+        Payload::Dense(v) => {
+            buf.put_u8(0);
+            buf.put_u32_le(v.len() as u32);
+            for &x in v {
+                buf.put_f32_le(x);
+            }
+        }
+        Payload::Quantized(q) => {
+            buf.put_u8(1);
+            buf.put_u8(q.bits);
+            buf.put_u8(q.num_levels);
+            buf.put_f32_le(q.scale);
+            buf.put_u32_le(q.levels.len() as u32);
+            // Bit-pack signed levels as offset-binary (level + num_levels)
+            // in `bits + 1` bits (sign needs one extra bit vs magnitude).
+            let width = (q.bits + 1).min(8) as u32;
+            let mut acc: u32 = 0;
+            let mut nbits: u32 = 0;
+            for &lev in &q.levels {
+                let u = (lev as i16 + q.num_levels as i16) as u32;
+                acc |= u << nbits;
+                nbits += width;
+                while nbits >= 8 {
+                    buf.put_u8((acc & 0xFF) as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                buf.put_u8((acc & 0xFF) as u8);
+            }
+        }
+        Payload::Sparse(s) => {
+            buf.put_u8(2);
+            buf.put_u32_le(s.len as u32);
+            buf.put_u32_le(s.indices.len() as u32);
+            for &i in &s.indices {
+                buf.put_u32_le(i);
+            }
+            for &v in &s.values {
+                buf.put_f32_le(v);
+            }
+        }
+    }
+}
+
+fn get_payload(buf: &mut Bytes) -> Result<Payload, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * n {
+                return Err(WireError::Truncated);
+            }
+            let v = (0..n).map(|_| buf.get_f32_le()).collect();
+            Ok(Payload::Dense(v))
+        }
+        1 => {
+            if buf.remaining() < 2 + 4 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let bits = buf.get_u8();
+            if !(1..=8).contains(&bits) {
+                return Err(WireError::Malformed("quantization bits"));
+            }
+            let num_levels = buf.get_u8();
+            let scale = buf.get_f32_le();
+            let n = buf.get_u32_le() as usize;
+            let width = (bits + 1).min(8) as u32;
+            let packed_len = ((n as u64 * width as u64).div_ceil(8)) as usize;
+            if buf.remaining() < packed_len {
+                return Err(WireError::Truncated);
+            }
+            let mut levels = Vec::with_capacity(n);
+            let mut acc: u32 = 0;
+            let mut nbits: u32 = 0;
+            let mask: u32 = (1 << width) - 1;
+            for _ in 0..n {
+                while nbits < width {
+                    acc |= (buf.get_u8() as u32) << nbits;
+                    nbits += 8;
+                }
+                let u = acc & mask;
+                acc >>= width;
+                nbits -= width;
+                // Offset-binary: stored value = level + num_levels.
+                levels.push((u as i16 - num_levels as i16) as i8);
+            }
+            Ok(Payload::Quantized(QuantizedVec {
+                bits,
+                scale,
+                levels,
+                num_levels,
+            }))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(WireError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            let k = buf.get_u32_le() as usize;
+            if buf.remaining() < 8 * k {
+                return Err(WireError::Truncated);
+            }
+            let indices: Vec<u32> = (0..k).map(|_| buf.get_u32_le()).collect();
+            let values: Vec<f32> = (0..k).map(|_| buf.get_f32_le()).collect();
+            if indices.iter().any(|&i| i as usize >= len) {
+                return Err(WireError::Malformed("sparse index out of range"));
+            }
+            Ok(Payload::Sparse(SparseVec {
+                len,
+                indices,
+                values,
+            }))
+        }
+        _ => Err(WireError::Malformed("payload tag")),
+    }
+}
+
+/// Encodes a message to bytes.
+pub fn encode(msg: &UpdateMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(msg.round);
+    buf.put_u32_le(msg.client);
+    buf.put_u32_le(msg.layers.len() as u32);
+    for (id, payload) in &msg.layers {
+        buf.put_u32_le(*id);
+        put_payload(&mut buf, payload);
+    }
+    buf.freeze()
+}
+
+/// Decodes a message from bytes.
+pub fn decode(bytes: &Bytes) -> Result<UpdateMessage, WireError> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 2 + 1 + 4 + 4 + 4 {
+        return Err(WireError::Truncated);
+    }
+    if buf.get_u16_le() != MAGIC {
+        return Err(WireError::Malformed("magic"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(WireError::Malformed("version"));
+    }
+    let round = buf.get_u32_le();
+    let client = buf.get_u32_le();
+    let n_layers = buf.get_u32_le() as usize;
+    let mut layers = Vec::with_capacity(n_layers.min(4096));
+    for _ in 0..n_layers {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let id = buf.get_u32_le();
+        layers.push((id, get_payload(&mut buf)?));
+    }
+    Ok(UpdateMessage {
+        round,
+        client,
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::quantize;
+    use crate::sparsify::top_k;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let msg = UpdateMessage {
+            round: 7,
+            client: 42,
+            layers: vec![(0, Payload::Dense(sample_vec(33, 1)))],
+        };
+        let bytes = encode(&msg);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn quantized_round_trip_exact_levels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [1u8, 2, 4, 7, 8] {
+            let q = quantize(&sample_vec(57, bits as u64), bits, &mut rng);
+            let msg = UpdateMessage {
+                round: 1,
+                client: 2,
+                layers: vec![(3, Payload::Quantized(q.clone()))],
+            };
+            let back = decode(&encode(&msg)).expect("decodes");
+            match &back.layers[0].1 {
+                Payload::Quantized(qb) => {
+                    assert_eq!(qb.levels, q.levels, "bits={bits}");
+                    assert_eq!(qb.scale, q.scale);
+                    assert_eq!(qb.num_levels, q.num_levels);
+                }
+                other => panic!("wrong payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let s = top_k(&sample_vec(101, 3), 0.13);
+        let msg = UpdateMessage {
+            round: 0,
+            client: 0,
+            layers: vec![(9, Payload::Sparse(s.clone()))],
+        };
+        let back = decode(&encode(&msg)).expect("decodes");
+        assert_eq!(back.layers[0].1.to_dense(), crate::sparsify::densify(&s));
+    }
+
+    #[test]
+    fn multi_layer_message() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let msg = UpdateMessage {
+            round: 3,
+            client: 1,
+            layers: vec![
+                (0, Payload::Dense(sample_vec(8, 5))),
+                (1, Payload::Quantized(quantize(&sample_vec(20, 6), 4, &mut rng))),
+                (2, Payload::Sparse(top_k(&sample_vec(30, 7), 0.2))),
+            ],
+        };
+        let back = decode(&encode(&msg)).expect("decodes");
+        assert_eq!(back.layers.len(), 3);
+        for ((ida, pa), (idb, pb)) in msg.layers.iter().zip(&back.layers) {
+            assert_eq!(ida, idb);
+            assert_eq!(pa.to_dense(), pb.to_dense());
+        }
+    }
+
+    #[test]
+    fn quantized_encoding_is_actually_smaller() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = sample_vec(10_000, 9);
+        let dense = encode(&UpdateMessage {
+            round: 0,
+            client: 0,
+            layers: vec![(0, Payload::Dense(v.clone()))],
+        });
+        let quant = encode(&UpdateMessage {
+            round: 0,
+            client: 0,
+            layers: vec![(0, Payload::Quantized(quantize(&v, 3, &mut rng)))],
+        });
+        // 3-bit quantization packs in 4 bits/elem vs 32: ~8x smaller.
+        assert!(
+            (quant.len() as f64) < dense.len() as f64 / 6.0,
+            "quantized {} vs dense {}",
+            quant.len(),
+            dense.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert_eq!(decode(&Bytes::from_static(b"xx")), Err(WireError::Truncated));
+        let msg = UpdateMessage {
+            round: 1,
+            client: 1,
+            layers: vec![(0, Payload::Dense(sample_vec(16, 10)))],
+        };
+        let good = encode(&msg);
+        let truncated = good.slice(0..good.len() - 3);
+        assert_eq!(decode(&truncated), Err(WireError::Truncated));
+        let mut corrupted = good.to_vec();
+        corrupted[0] ^= 0xFF; // break magic
+        assert!(matches!(
+            decode(&Bytes::from(corrupted)),
+            Err(WireError::Malformed("magic"))
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! Scheme selection: FedAvg, FedProx, FedAda, and FedCA (with ablation
+//! toggles matching the paper's FedCA-v1/v2/v3).
+
+use crate::config::{FedCaConfig, FEDADA_THETA, FEDPROX_MU};
+use serde::{Deserialize, Serialize};
+
+/// FedCA mechanism toggles. The paper's ablation (§5.4):
+/// * v1 — early stop only;
+/// * v2 — early stop + eager transmission, **no** retransmission;
+/// * v3 — everything (the standard FedCA).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FedCaOptions {
+    /// Utility-guided early stopping (§4.2).
+    pub early_stop: bool,
+    /// Layerwise eager transmission (§4.3).
+    pub eager: bool,
+    /// Error-feedback retransmission (§4.3).
+    pub retransmit: bool,
+    /// §6 future-work extension — autonomous intra-round *batch-size*
+    /// adaptation: when the projected round finish overruns the deadline,
+    /// the client halves its minibatch (never below this floor) to cut
+    /// per-iteration cost instead of dropping iterations outright.
+    /// `None` disables the extension (the paper's standard FedCA).
+    #[serde(default)]
+    pub adaptive_batch_min: Option<usize>,
+    /// Hyperparameters (profiling period, β, T_e, T_r).
+    pub config: FedCaConfig,
+}
+
+impl FedCaOptions {
+    /// FedCA-v1: early stop only.
+    pub fn v1() -> Self {
+        FedCaOptions {
+            early_stop: true,
+            eager: false,
+            retransmit: false,
+            adaptive_batch_min: None,
+            config: FedCaConfig::default(),
+        }
+    }
+
+    /// Enables the autonomous batch-size extension with the given floor.
+    pub fn with_adaptive_batch(mut self, min_batch: usize) -> Self {
+        assert!(min_batch >= 1, "batch floor must be at least 1");
+        self.adaptive_batch_min = Some(min_batch);
+        self
+    }
+
+    /// FedCA-v2: early stop + eager transmission without retransmission.
+    pub fn v2() -> Self {
+        FedCaOptions {
+            eager: true,
+            ..Self::v1()
+        }
+    }
+
+    /// FedCA-v3: the full mechanism (paper's standard FedCA).
+    pub fn v3() -> Self {
+        FedCaOptions {
+            retransmit: true,
+            ..Self::v2()
+        }
+    }
+
+    /// Full mechanism with custom hyperparameters.
+    pub fn full_with(config: FedCaConfig) -> Self {
+        FedCaOptions {
+            config,
+            ..Self::v3()
+        }
+    }
+}
+
+/// The training scheme under evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Vanilla FedAvg with partial aggregation (McMahan et al.).
+    FedAvg,
+    /// FedAvg + proximal term μ/2‖w − w_g‖² (Li et al., MLSys '20).
+    FedProx {
+        /// Proximal coefficient.
+        mu: f32,
+    },
+    /// Server-side adaptive workload tuning assuming uniform per-iteration
+    /// contribution (Zhang et al., WWW '22 — reimplemented from its
+    /// description, see DESIGN.md substitution 7).
+    FedAda {
+        /// Cost/benefit trade-off factor θ.
+        theta: f64,
+    },
+    /// Client-autonomous intra-round optimization (this paper).
+    FedCa(FedCaOptions),
+}
+
+impl Scheme {
+    /// FedProx with the paper's recommended μ = 0.01.
+    pub fn fedprox_default() -> Self {
+        Scheme::FedProx { mu: FEDPROX_MU }
+    }
+
+    /// FedAda with the paper's recommended θ = 0.5.
+    pub fn fedada_default() -> Self {
+        Scheme::FedAda {
+            theta: FEDADA_THETA,
+        }
+    }
+
+    /// Standard FedCA (v3 with default hyperparameters).
+    pub fn fedca_default() -> Self {
+        Scheme::FedCa(FedCaOptions::v3())
+    }
+
+    /// Display name used in experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::FedAvg => "FedAvg".into(),
+            Scheme::FedProx { .. } => "FedProx".into(),
+            Scheme::FedAda { .. } => "FedAda".into(),
+            Scheme::FedCa(o) => match (o.early_stop, o.eager, o.retransmit) {
+                (true, false, false) => "FedCA-v1".into(),
+                (true, true, false) => "FedCA-v2".into(),
+                (true, true, true) => "FedCA".into(),
+                _ => "FedCA-custom".into(),
+            },
+        }
+    }
+}
+
+/// FedAda's server-side iteration assignment for one client.
+///
+/// FedAda assumes every iteration contributes `1/K` of the statistical value
+/// and trades that against system cost with factor θ: for a client whose
+/// predicted full-round duration `d` exceeds the target pace `t_target`
+/// (the median across selected clients), the feasible count is
+/// `K · t_target/d`, and the assignment blends it with the full count:
+/// `K_i = ⌈θ·K + (1−θ)·K_feasible⌉`, clamped to `[1, K]`.
+pub fn fedada_iterations(k: usize, predicted: f64, target: f64, theta: f64) -> usize {
+    assert!(k >= 1, "need at least one iteration");
+    assert!(predicted > 0.0 && target > 0.0, "durations must be positive");
+    if predicted <= target {
+        return k;
+    }
+    let feasible = k as f64 * target / predicted;
+    let blended = theta * k as f64 + (1.0 - theta) * feasible;
+    (blended.ceil() as usize).clamp(1, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_toggles_match_paper_versions() {
+        let v1 = FedCaOptions::v1();
+        assert!(v1.early_stop && !v1.eager && !v1.retransmit);
+        let v2 = FedCaOptions::v2();
+        assert!(v2.early_stop && v2.eager && !v2.retransmit);
+        let v3 = FedCaOptions::v3();
+        assert!(v3.early_stop && v3.eager && v3.retransmit);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::FedAvg.name(), "FedAvg");
+        assert_eq!(Scheme::fedprox_default().name(), "FedProx");
+        assert_eq!(Scheme::fedada_default().name(), "FedAda");
+        assert_eq!(Scheme::fedca_default().name(), "FedCA");
+        assert_eq!(Scheme::FedCa(FedCaOptions::v1()).name(), "FedCA-v1");
+        assert_eq!(Scheme::FedCa(FedCaOptions::v2()).name(), "FedCA-v2");
+    }
+
+    #[test]
+    fn fedada_keeps_fast_clients_at_full_k() {
+        assert_eq!(fedada_iterations(125, 10.0, 20.0, 0.5), 125);
+        assert_eq!(fedada_iterations(125, 20.0, 20.0, 0.5), 125);
+    }
+
+    #[test]
+    fn fedada_cuts_stragglers_proportionally() {
+        // 2× slower than target, θ=0.5: feasible 62.5, blended 93.75 -> 94.
+        assert_eq!(fedada_iterations(125, 40.0, 20.0, 0.5), 94);
+        // θ=0 is purely system-driven.
+        assert_eq!(fedada_iterations(125, 40.0, 20.0, 0.0), 63);
+        // θ=1 never cuts.
+        assert_eq!(fedada_iterations(125, 40.0, 20.0, 1.0), 125);
+    }
+
+    #[test]
+    fn fedada_never_below_one() {
+        assert_eq!(fedada_iterations(10, 1e9, 1.0, 0.0), 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! The FL client: local training loop with FedCA's intra-round hooks.
+//!
+//! Mirrors the paper's implementation (§5.1): after each local iteration
+//! the client calls `TryEarlyStop()` and `TryEagerTransmit()`; after the
+//! round it calls `TryRetransmit()`. All timing flows through the client's
+//! virtual device/links; all learning is real SGD on the client's shard.
+
+use crate::algorithms::FedCaOptions;
+use crate::config::FlConfig;
+use crate::eager::{EagerState, LayerOutcome};
+use crate::params::{ModelLayout, UpdateVec};
+use crate::profiler::SampledProfiler;
+use crate::workload::Workload;
+use fedca_compress::{Compression, ErrorFeedback};
+use fedca_data::{BatchSampler, InMemoryDataset};
+use fedca_nn::{softmax_cross_entropy, Model, Sgd};
+use fedca_sim::device::DeviceSpeed;
+use fedca_sim::network::Link;
+use fedca_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Per-client persistent state (survives across rounds).
+pub struct ClientState {
+    /// Client id within the federation.
+    pub id: usize,
+    /// Indices into the global training pool owned by this client.
+    pub shard: Vec<usize>,
+    /// Local batch scheduler.
+    pub sampler: BatchSampler,
+    /// Device speed process (heterogeneous + dynamic).
+    pub device: DeviceSpeed,
+    /// Uplink to the server (13.7 Mbps in the paper).
+    pub uplink: Link,
+    /// Downlink from the server.
+    pub downlink: Link,
+    /// Periodical-sampling profiler (FedCA only; inert otherwise).
+    pub profiler: SampledProfiler,
+    /// Base seed for per-round RNG derivation.
+    pub seed: u64,
+    /// Rounds this client has participated in (drives its personal anchor
+    /// cadence: profiling happens on its 1st, (F+1)th, … participations).
+    pub participations: usize,
+    /// Residual accumulator for lossy update compression (inert when
+    /// `FlConfig::compression` is `None`).
+    pub error_feedback: ErrorFeedback,
+}
+
+/// What the server hands a selected client at round start.
+#[derive(Clone, Debug)]
+pub struct RoundPlan {
+    /// Round index.
+    pub round: usize,
+    /// Virtual time of round start.
+    pub start: SimTime,
+    /// Round deadline `T_R` as a duration from round start (Eq. 3's input,
+    /// offloaded by the server with the latest parameters — §5.1).
+    pub deadline: SimTime,
+    /// Local iterations to run (may be < K under FedAda).
+    pub planned_iters: usize,
+    /// Whether FedCA profiles this round (anchor rounds run unoptimized).
+    pub is_anchor: bool,
+}
+
+/// Client-side training options derived from the scheme.
+#[derive(Clone, Debug, Default)]
+pub struct ClientOptions {
+    /// FedProx proximal coefficient (0 disables).
+    pub prox_mu: f32,
+    /// FedCA mechanisms (None for the baselines).
+    pub fedca: Option<FedCaOptions>,
+}
+
+/// What a client reports back after a round.
+#[derive(Clone, Debug)]
+pub struct ClientRoundReport {
+    /// Client id.
+    pub client_id: usize,
+    /// Aggregation weight (local shard size).
+    pub weight: f64,
+    /// The update the server ends up holding for this client (eager
+    /// snapshots where accepted, final values elsewhere).
+    pub update: UpdateVec,
+    /// Iterations actually executed.
+    pub iters_done: usize,
+    /// Whether the client stopped before its planned iterations.
+    pub early_stopped: bool,
+    /// Virtual time the model download finished.
+    pub download_done: SimTime,
+    /// Virtual time local compute finished.
+    pub compute_done: SimTime,
+    /// Virtual time the last byte of this client's upload left the uplink.
+    pub upload_done: SimTime,
+    /// Per-layer eager outcomes (empty when eager transmission is off).
+    pub eager_outcomes: Vec<LayerOutcome>,
+    /// Total bytes this client uploaded this round.
+    pub bytes_uploaded: f64,
+    /// Mean training loss over executed iterations.
+    pub train_loss: f32,
+    /// Whether the client dropped out mid-round (availability churn).
+    pub dropped: bool,
+}
+
+/// Runs one client round: download → K local iterations (with FedCA hooks)
+/// → upload, all in virtual time.
+///
+/// `model` is a freshly-built layer graph for this client (its weights are
+/// overwritten by the global parameters). Returns the round report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_client_round(
+    state: &mut ClientState,
+    model: &mut Model,
+    layout: &Arc<ModelLayout>,
+    global: &[f32],
+    data: &InMemoryDataset,
+    workload: &Workload,
+    fl: &FlConfig,
+    opts: &ClientOptions,
+    plan: &RoundPlan,
+) -> ClientRoundReport {
+    let total_params = layout.total_params();
+    assert_eq!(global.len(), total_params, "global parameter length mismatch");
+    let mut rng = StdRng::seed_from_u64(
+        state
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(plan.round as u64),
+    );
+
+    // --- Download the latest global model over the client's downlink.
+    let download_done = state
+        .downlink
+        .transmit(plan.start, workload.wire_model_bytes);
+    let mut now = download_done;
+
+    model.set_flat_params(global);
+    let fedca = opts.fedca.as_ref();
+    let is_anchor = plan.is_anchor && fedca.is_some();
+
+    // Clone the profiled curves up front (cheap: (layers+1)·K floats) so the
+    // profiler can record the anchor round without borrow conflicts.
+    let curves = fedca.and_then(|_| state.profiler.curves().cloned());
+    if is_anchor {
+        state.profiler.begin_anchor(plan.round);
+    }
+
+    let use_early_stop = fedca.is_some_and(|o| o.early_stop) && !is_anchor && curves.is_some();
+    let use_eager = fedca.is_some_and(|o| o.eager) && !is_anchor && curves.is_some();
+    let (beta, t_e) = fedca
+        .map(|o| (o.config.beta, o.config.eager_threshold))
+        .unwrap_or((0.01, 2.0));
+
+    let opt = Sgd::new(fl.lr, fl.weight_decay).with_prox(opts.prox_mu);
+    let anchor_weights = if opts.prox_mu > 0.0 { Some(global) } else { None };
+
+    let mut eager_state = EagerState::new(layout.num_layers());
+    let mut loss_sum = 0.0f64;
+    let mut iters_done = 0usize;
+    let mut early_stopped = false;
+    let mut last_iter_wall = workload.iter_work_seconds; // optimistic prior
+    let mut bytes_uploaded = 0.0f64;
+
+    // --- §3.1 availability churn: the client may drop out mid-round.
+    let drop_time: Option<SimTime> = if fl.dropout_prob > 0.0
+        && rng.gen_range(0.0..1.0) < fl.dropout_prob
+    {
+        Some(plan.start + rng.gen_range(0.0..1.0) * plan.deadline.min(1e9))
+    } else {
+        None
+    };
+    let mut dropped = false;
+
+    // --- §6 extension: autonomous intra-round batch-size adaptation.
+    // Per-iteration compute scales with the configured batch size.
+    let adaptive_batch_min = fedca.and_then(|o| o.adaptive_batch_min);
+    let mut batch_size = fl.batch_size;
+    state.sampler.set_batch_size(batch_size);
+
+    for tau in 1..=plan.planned_iters {
+        // --- Availability: gone is gone (its upload never arrives).
+        if let Some(t_drop) = drop_time {
+            if now >= t_drop {
+                dropped = true;
+                break;
+            }
+        }
+        // --- TryEarlyStop (checked *before* spending iteration tau; at
+        // least one iteration always runs so the client reports something).
+        if use_early_stop && tau >= 2 {
+            let curve = &curves.as_ref().expect("checked").model;
+            let tau_clamped = tau.min(curve.len());
+            let t_pred = (now - plan.start) + last_iter_wall;
+            if crate::early_stop::should_stop(curve, tau_clamped, t_pred, plan.deadline, beta) {
+                early_stopped = true;
+                break;
+            }
+        }
+
+        // --- One real SGD iteration.
+        let batch_idx = state.sampler.next_batch(&mut rng);
+        let (x, y) = data.batch(&batch_idx);
+        let logits = model.forward(&x);
+        let (loss, grad) = softmax_cross_entropy(&logits, &y);
+        model.zero_grad();
+        model.backward(&grad);
+        model.step(&opt, anchor_weights);
+        loss_sum += loss as f64;
+        iters_done = tau;
+
+        // --- Advance virtual time by the device's pace for this iteration
+        // (compute scales with the configured batch size).
+        let iter_work =
+            workload.iter_work_seconds * batch_size as f64 / fl.batch_size as f64;
+        let before = now;
+        now = state.device.execute(now, iter_work);
+        last_iter_wall = now - before;
+
+        // --- §6 extension: if the projected finish overruns the deadline,
+        // halve the batch (per-iteration cost drops proportionally) instead
+        // of waiting for early stop to truncate the round.
+        if let Some(min_batch) = adaptive_batch_min {
+            if !is_anchor && tau < plan.planned_iters && batch_size > min_batch {
+                let remaining = (plan.planned_iters - tau) as f64;
+                let projected = (now - plan.start) + remaining * last_iter_wall;
+                if projected > plan.deadline {
+                    batch_size = (batch_size / 2).max(min_batch);
+                    state.sampler.set_batch_size(batch_size);
+                }
+            }
+        }
+
+        // --- Profiling (anchor rounds) or eager transmission (others).
+        if is_anchor {
+            let current = model.flat_params();
+            state.profiler.record_iteration(global, &current);
+        } else if use_eager {
+            let layer_curves = &curves.as_ref().expect("checked").layers;
+            // Only materialize the flat params if some layer may fire.
+            let pending: Vec<usize> = (0..layout.num_layers())
+                .filter(|&l| eager_state.should_send(l, &layer_curves[l], tau, t_e))
+                .collect();
+            if !pending.is_empty() {
+                let current = model.flat_params();
+                for l in pending {
+                    let r = layout.range(l);
+                    let snapshot: Vec<f32> = current[r.clone()]
+                        .iter()
+                        .zip(&global[r.clone()])
+                        .map(|(c, g)| c - g)
+                        .collect();
+                    let bytes = workload.wire_bytes_for(r.len(), total_params);
+                    state.uplink.transmit(now, bytes);
+                    bytes_uploaded += bytes;
+                    eager_state.mark_sent(l, tau, snapshot);
+                }
+            }
+        }
+    }
+    let compute_done = now;
+
+    // --- Final accumulated update.
+    let current = model.flat_params();
+    let mut final_update = UpdateVec::zeros(layout.clone());
+    {
+        let fu = final_update.as_mut_slice();
+        for i in 0..total_params {
+            fu[i] = current[i] - global[i];
+        }
+    }
+
+    if is_anchor {
+        state.profiler.finish_anchor();
+    }
+
+    // --- TryRetransmit + final upload.
+    let retransmit_enabled = fedca.is_some_and(|o| o.retransmit);
+    let t_r = fedca.map(|o| o.config.retransmit_threshold).unwrap_or(0.6);
+    let mut eager_outcomes = Vec::with_capacity(layout.num_layers());
+    let mut reported = final_update.clone();
+    let mut final_payload_bytes = 0.0f64;
+    for l in 0..layout.num_layers() {
+        let outcome = if retransmit_enabled {
+            eager_state.resolve(l, final_update.layer(l), t_r)
+        } else if eager_state.is_sent(l) {
+            // Without error feedback the eager value is final, however stale.
+            let iter = match eager_state.resolve(l, final_update.layer(l), -2.0) {
+                LayerOutcome::Eager { iter } => iter,
+                _ => unreachable!("threshold -2 accepts everything"),
+            };
+            LayerOutcome::Eager { iter }
+        } else {
+            LayerOutcome::Regular
+        };
+        match &outcome {
+            LayerOutcome::Eager { .. } => {
+                // Server keeps the snapshot it already received.
+                let snap = eager_state.snapshot(l).expect("sent layer has snapshot");
+                reported.layer_mut(l).copy_from_slice(snap);
+            }
+            LayerOutcome::Regular | LayerOutcome::Retransmitted { .. } => {
+                final_payload_bytes +=
+                    workload.wire_bytes_for(layout.layer_len(l), total_params);
+            }
+        }
+        eager_outcomes.push(outcome);
+    }
+    // --- §2.2 baseline compression of the final upload (quantization or
+    // top-k with error feedback). Composes with early stopping; the Trainer
+    // rejects combining it with eager transmission, so every layer below is
+    // part of the final payload and may be transformed.
+    if fl.compression != Compression::None && !dropped {
+        let total = reported.as_slice().len();
+        let mut compensated = reported.as_slice().to_vec();
+        state.error_feedback.apply(&mut compensated);
+        let transmitted: Vec<f32> = match fl.compression {
+            Compression::None => unreachable!("guarded above"),
+            Compression::Quantize { bits } => {
+                // One scale per layer, as QSGD does per tensor.
+                let mut out = vec![0.0f32; total];
+                for l in 0..layout.num_layers() {
+                    let r = layout.range(l);
+                    let q = fedca_compress::quantize(&compensated[r.clone()], bits, &mut rng);
+                    out[r].copy_from_slice(&fedca_compress::dequantize(&q));
+                }
+                out
+            }
+            Compression::TopK { keep } => {
+                fedca_compress::densify(&fedca_compress::top_k(&compensated, keep))
+            }
+        };
+        state.error_feedback.absorb(&compensated, &transmitted);
+        reported.as_mut_slice().copy_from_slice(&transmitted);
+        // Re-price the payload at the compressed byte count (the wire model
+        // scales with the workload's nominal model size).
+        let ratio = fl.compression.wire_bytes(total) / (4.0 * total as f64);
+        final_payload_bytes *= ratio;
+    }
+
+    let upload_done = if dropped {
+        // The client vanished: nothing else reaches the server this round.
+        f64::INFINITY
+    } else {
+        bytes_uploaded += final_payload_bytes;
+        state.uplink.transmit(compute_done, final_payload_bytes)
+    };
+
+    debug_assert!(
+        reported.as_slice().iter().all(|v| v.is_finite()),
+        "client {} produced a non-finite update",
+        state.id
+    );
+
+    ClientRoundReport {
+        client_id: state.id,
+        weight: state.shard.len() as f64,
+        update: reported,
+        iters_done,
+        early_stopped,
+        download_done,
+        compute_done,
+        upload_done,
+        eager_outcomes,
+        bytes_uploaded,
+        train_loss: if iters_done > 0 {
+            (loss_sum / iters_done as f64) as f32
+        } else {
+            f32::NAN
+        },
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use fedca_sim::device::DynamicsConfig;
+
+    fn make_client(workload: &Workload, id: usize) -> ClientState {
+        let shard: Vec<usize> = (0..workload.train.len()).collect();
+        let model = (workload.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        ClientState {
+            id,
+            shard: shard.clone(),
+            sampler: BatchSampler::new(shard, 8),
+            device: DeviceSpeed::new(1.0, DynamicsConfig::static_device(), 42 + id as u64),
+            uplink: Link::new(1.0e6),
+            downlink: Link::new(1.0e6),
+            profiler: SampledProfiler::new(layout, 100, 7 + id as u64),
+            seed: 99 + id as u64,
+            participations: 0,
+            error_feedback: ErrorFeedback::new(),
+        }
+    }
+
+    fn base_plan(k: usize) -> RoundPlan {
+        RoundPlan {
+            round: 0,
+            start: 0.0,
+            deadline: 1e9,
+            planned_iters: k,
+            is_anchor: false,
+        }
+    }
+
+    #[test]
+    fn fedavg_round_runs_all_iterations_and_moves_weights() {
+        let w = Workload::tiny_mlp(1);
+        let mut client = make_client(&w, 0);
+        let mut model = (w.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let global = model.flat_params();
+        let fl = FlConfig {
+            lr: w.lr,
+            weight_decay: w.weight_decay,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let report = run_client_round(
+            &mut client,
+            &mut model,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &ClientOptions::default(),
+            &base_plan(10),
+        );
+        assert_eq!(report.iters_done, 10);
+        assert!(!report.early_stopped);
+        assert!(report.update.l2_norm() > 0.0, "no learning happened");
+        assert!(report.train_loss.is_finite());
+        // Timing: download then compute then upload, in order.
+        assert!(report.download_done > 0.0);
+        assert!(report.compute_done > report.download_done);
+        assert!(report.upload_done >= report.compute_done);
+        // 10 iterations × 0.05 s at unit speed.
+        assert!((report.compute_done - report.download_done - 0.5).abs() < 1e-9);
+        assert!(report.eager_outcomes.iter().all(|o| *o == LayerOutcome::Regular));
+    }
+
+    #[test]
+    fn update_equals_local_minus_global() {
+        let w = Workload::tiny_mlp(2);
+        let mut client = make_client(&w, 1);
+        let mut model = (w.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let global = model.flat_params();
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let report = run_client_round(
+            &mut client,
+            &mut model,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &ClientOptions::default(),
+            &base_plan(5),
+        );
+        let local = model.flat_params();
+        for i in 0..local.len() {
+            assert!(
+                (report.update.as_slice()[i] - (local[i] - global[i])).abs() < 1e-6,
+                "update[{i}] inconsistent"
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_round_profiles_and_disables_optimizations() {
+        let w = Workload::tiny_mlp(3);
+        let mut client = make_client(&w, 2);
+        let mut model = (w.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let global = model.flat_params();
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let opts = ClientOptions {
+            prox_mu: 0.0,
+            fedca: Some(FedCaOptions::v3()),
+        };
+        let mut plan = base_plan(8);
+        plan.is_anchor = true;
+        plan.deadline = 0.01; // would trigger early stop if it were active
+        let report = run_client_round(
+            &mut client,
+            &mut model,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &opts,
+            &plan,
+        );
+        assert_eq!(report.iters_done, 8, "anchor rounds must run unoptimized");
+        assert!(!report.early_stopped);
+        let curves = client.profiler.curves().expect("anchor produced curves");
+        assert_eq!(curves.k, 8);
+        assert!((curves.model.last().unwrap() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn early_stop_fires_past_deadline() {
+        let w = Workload::tiny_mlp(4);
+        let mut client = make_client(&w, 3);
+        let mut model = (w.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let global = model.flat_params();
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let opts = ClientOptions {
+            prox_mu: 0.0,
+            fedca: Some(FedCaOptions::v1()),
+        };
+        // First run an anchor round to obtain curves.
+        let mut plan = base_plan(20);
+        plan.is_anchor = true;
+        let _ = run_client_round(
+            &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts, &plan,
+        );
+        // Now a tight deadline: the client should stop early.
+        let mut plan = base_plan(20);
+        plan.round = 1;
+        plan.deadline = 0.2; // 4 iterations' worth of time
+        let report = run_client_round(
+            &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts, &plan,
+        );
+        assert!(report.early_stopped, "tight deadline must trigger early stop");
+        assert!(report.iters_done < 20);
+        assert!(report.iters_done >= 1);
+    }
+
+    #[test]
+    fn fedprox_shrinks_drift_relative_to_fedavg() {
+        let w = Workload::tiny_mlp(5);
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let norm_for = |mu: f32| {
+            let mut client = make_client(&w, 4);
+            let mut model = (w.model_factory)();
+            let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+            let global = model.flat_params();
+            let opts = ClientOptions {
+                prox_mu: mu,
+                fedca: None,
+            };
+            run_client_round(
+                &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts,
+                &base_plan(30),
+            )
+            .update
+            .l2_norm()
+        };
+        let plain = norm_for(0.0);
+        let prox = norm_for(1.0); // heavy μ to make the effect unambiguous
+        assert!(
+            prox < plain,
+            "proximal term must shrink local drift: {prox} vs {plain}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment configuration, mirroring the paper's §5.1 hyperparameters.
+
+use fedca_compress::Compression;
+use serde::{Deserialize, Serialize};
+
+/// Federation-level configuration shared by all schemes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Total clients in the population (paper: 128).
+    pub n_clients: usize,
+    /// Clients selected per round.
+    pub clients_per_round: usize,
+    /// Local iterations per round `K` (paper: 125).
+    pub local_iters: usize,
+    /// Minibatch size (paper: 50).
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Fraction of earliest uploads the server waits for (paper: 0.9).
+    pub aggregation_fraction: f64,
+    /// Dirichlet concentration for the non-IID partition (paper: 0.1).
+    pub dirichlet_alpha: f64,
+    /// Master seed for everything (partition, init, device timelines).
+    pub seed: u64,
+    /// Enable device heterogeneity (FedScale-like base speeds).
+    pub heterogeneity: bool,
+    /// Enable device dynamicity (fast/slow gamma toggling).
+    pub dynamicity: bool,
+    /// Per-round probability that a selected client drops out mid-round
+    /// (§3.1's availability churn; its upload never arrives). Default 0.
+    #[serde(default)]
+    pub dropout_prob: f64,
+    /// Update compression on the final upload (§2.2 baselines: QSGD-style
+    /// quantization / top-k sparsification with error feedback). Eager
+    /// transmissions remain full-precision. Default: none (fp32, as in the
+    /// paper).
+    #[serde(default)]
+    pub compression: Compression,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            n_clients: 128,
+            clients_per_round: 16,
+            local_iters: 125,
+            batch_size: 50,
+            lr: 0.01,
+            weight_decay: 0.01,
+            aggregation_fraction: 0.9,
+            dirichlet_alpha: 0.1,
+            seed: 1,
+            heterogeneity: true,
+            dynamicity: true,
+            dropout_prob: 0.0,
+            compression: Compression::None,
+        }
+    }
+}
+
+impl FlConfig {
+    /// A reduced-scale configuration for fast experiments and CI: fewer
+    /// clients and iterations; every mechanism still exercises the same
+    /// code paths.
+    pub fn scaled() -> Self {
+        FlConfig {
+            n_clients: 32,
+            clients_per_round: 8,
+            local_iters: 40,
+            batch_size: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// FedCA-specific knobs (paper defaults from §5.1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FedCaConfig {
+    /// Profile once every this many rounds (paper: 10). Round 0 is always
+    /// an anchor.
+    pub profile_period: usize,
+    /// Max sampled scalars per layer; the actual sample is
+    /// `min(ceil(len/2), max_samples_per_layer)` (paper: min(50%, 100)).
+    pub max_samples_per_layer: usize,
+    /// Marginal-cost ratio β applied before the deadline (paper: 0.01).
+    pub beta: f64,
+    /// Eager-transmission progress threshold `T_e` (paper: 0.95).
+    pub eager_threshold: f32,
+    /// Retransmission cosine threshold `T_r` (paper: 0.6).
+    pub retransmit_threshold: f32,
+}
+
+impl Default for FedCaConfig {
+    fn default() -> Self {
+        FedCaConfig {
+            profile_period: 10,
+            max_samples_per_layer: 100,
+            beta: 0.01,
+            eager_threshold: 0.95,
+            retransmit_threshold: 0.6,
+        }
+    }
+}
+
+/// FedProx's proximal weight (paper: recommended 0.01).
+pub const FEDPROX_MU: f32 = 0.01;
+
+/// FedAda's cost/benefit trade-off factor (paper: recommended 0.5).
+pub const FEDADA_THETA: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_5_1() {
+        let c = FlConfig::default();
+        assert_eq!(c.n_clients, 128);
+        assert_eq!(c.local_iters, 125);
+        assert_eq!(c.batch_size, 50);
+        assert!((c.aggregation_fraction - 0.9).abs() < 1e-12);
+        assert!((c.dirichlet_alpha - 0.1).abs() < 1e-12);
+        let f = FedCaConfig::default();
+        assert_eq!(f.profile_period, 10);
+        assert_eq!(f.max_samples_per_layer, 100);
+        assert!((f.beta - 0.01).abs() < 1e-12);
+        assert!((f.eager_threshold - 0.95).abs() < 1e-7);
+        assert!((f.retransmit_threshold - 0.6).abs() < 1e-7);
+    }
+
+    #[test]
+    fn configs_serialize_round_trip() {
+        let c = FlConfig::scaled();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_clients, c.n_clients);
+        assert_eq!(back.seed, c.seed);
+    }
+}

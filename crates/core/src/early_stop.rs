@@ -1,0 +1,164 @@
+//! Utility-guided early stopping (§4.2, Eqs. 2–4).
+//!
+//! Before running iteration `τ` of round `R`, the client weighs:
+//!
+//! * **marginal benefit** `b_{R,τ}` — the extra statistical progress the
+//!   iteration is expected to deliver, read off the most recent anchor
+//!   round's curve, floored by the average remaining progress per remaining
+//!   iteration to smooth curve irregularities (Eq. 2);
+//! * **marginal cost** `c_{R,τ} = f_{R,τ} · t_{R,τ}/T_R` — time spent this
+//!   round relative to the server's deadline, discounted by `β ≪ 1` before
+//!   the deadline and at full weight after it (Eq. 3).
+//!
+//! The client stops as soon as the *net benefit* `n_{R,τ} = b − c` turns
+//! negative (Eq. 4).
+
+use fedca_sim::SimTime;
+
+/// Marginal benefit of iteration `tau` (1-based) from a profiled curve of
+/// length `k` (Eq. 2): `max(P_τ − P_{τ−1}, (1−P_τ)/(K−τ))`.
+///
+/// For `tau == k` the lower-bound term is undefined (no remaining
+/// iterations) and the curve difference alone is used.
+///
+/// # Panics
+/// Panics if `tau` is 0 or exceeds the curve length.
+pub fn marginal_benefit(curve: &[f32], tau: usize) -> f32 {
+    assert!(tau >= 1 && tau <= curve.len(), "iteration {tau} out of curve range");
+    let k = curve.len();
+    let p_tau = curve[tau - 1];
+    let p_prev = if tau >= 2 { curve[tau - 2] } else { 0.0 };
+    let diff = p_tau - p_prev;
+    if tau == k {
+        diff
+    } else {
+        let floor = (1.0 - p_tau) / (k - tau) as f32;
+        diff.max(floor)
+    }
+}
+
+/// Marginal cost of having spent `t` seconds of round `R` whose deadline is
+/// `deadline` (Eq. 3): `f · t/T_R` with `f = β` while `t ≤ T_R`, else 1.
+///
+/// # Panics
+/// Panics if `deadline <= 0`.
+pub fn marginal_cost(t: SimTime, deadline: SimTime, beta: f64) -> f64 {
+    assert!(deadline > 0.0, "deadline must be positive");
+    let f = if t <= deadline { beta } else { 1.0 };
+    f * t / deadline
+}
+
+/// Net benefit (Eq. 4): `b − c`.
+pub fn net_benefit(benefit: f32, cost: f64) -> f64 {
+    benefit as f64 - cost
+}
+
+/// The early-stop decision for iteration `tau`: stop iff the net benefit of
+/// running it is negative. `t_pred` is the predicted time-in-round after
+/// the iteration completes (current elapsed + one iteration estimate), so a
+/// sudden device slowdown immediately raises the cost side.
+pub fn should_stop(
+    curve: &[f32],
+    tau: usize,
+    t_pred: SimTime,
+    deadline: SimTime,
+    beta: f64,
+) -> bool {
+    let b = marginal_benefit(curve, tau);
+    let c = marginal_cost(t_pred, deadline, beta);
+    net_benefit(b, c) < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A typical saturating curve: fast progress early, flat late.
+    fn saturating_curve(k: usize) -> Vec<f32> {
+        (1..=k)
+            .map(|i| 1.0 - (-(i as f32) / (k as f32 / 6.0)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn benefit_is_high_early_low_late() {
+        let curve = saturating_curve(100);
+        let early = marginal_benefit(&curve, 2);
+        let late = marginal_benefit(&curve, 95);
+        assert!(early > 10.0 * late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn benefit_floor_handles_flat_or_decreasing_curves() {
+        // Non-concave curve with a dip: the raw difference is negative at
+        // the dip, but the floor keeps the benefit positive (Eq. 2's guard).
+        let curve = vec![0.5, 0.45, 0.6, 0.9, 1.0];
+        let b = marginal_benefit(&curve, 2);
+        assert!(b > 0.0, "floored benefit should stay positive, got {b}");
+        assert!((b - (1.0 - 0.45) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn benefit_at_last_iteration_uses_raw_difference() {
+        let curve = vec![0.5, 0.9, 1.0];
+        assert!((marginal_benefit(&curve, 3) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_jumps_at_the_deadline() {
+        let before = marginal_cost(9.9, 10.0, 0.01);
+        let after = marginal_cost(10.1, 10.0, 0.01);
+        assert!(before < 0.0101, "pre-deadline cost {before}");
+        assert!(after > 1.0, "post-deadline cost {after}");
+        assert!(after / before > 50.0);
+    }
+
+    #[test]
+    fn typical_client_stops_after_deadline_not_before() {
+        let curve = saturating_curve(100);
+        let deadline = 50.0;
+        // Early in the round, before the deadline: the benefit (~0.035/iter)
+        // dwarfs the β-discounted cost — keep going.
+        assert!(!should_stop(&curve, 10, 5.0, deadline, 0.01));
+        // Past the deadline with marginal benefit nearly zero: stop.
+        assert!(should_stop(&curve, 95, 55.0, deadline, 0.01));
+        // And once the curve has flattened (P ≈ 0.95 at iteration 50), even
+        // the small pre-deadline cost wins — FedCA stops clients well before
+        // the deadline on saturated curves (the Fig. 8a iteration-70 stops).
+        assert!(should_stop(&curve, 55, 27.0, deadline, 0.01));
+    }
+
+    #[test]
+    fn sudden_slowdown_triggers_stop() {
+        let curve = saturating_curve(100);
+        let deadline = 50.0;
+        // At iteration 30 the device stalls: predicted time blows past the
+        // deadline, cost jumps to t/T > 1 while benefit is ~0.01 — stop.
+        assert!(should_stop(&curve, 30, 80.0, deadline, 0.01));
+        // Same iteration at nominal pace: continue.
+        assert!(!should_stop(&curve, 30, 15.0, deadline, 0.01));
+    }
+
+    #[test]
+    fn large_beta_discourages_pre_deadline_work() {
+        // β = 1 makes pre-deadline cost as expensive as post-deadline,
+        // stopping clients very early (the Fig. 10a β=0.1 slowdown, amplified).
+        let curve = saturating_curve(100);
+        let stop_iter_beta_small = (1..=100)
+            .find(|&tau| should_stop(&curve, tau, tau as f64 * 0.5, 50.0, 0.01))
+            .unwrap_or(101);
+        let stop_iter_beta_big = (1..=100)
+            .find(|&tau| should_stop(&curve, tau, tau as f64 * 0.5, 50.0, 1.0))
+            .unwrap_or(101);
+        assert!(
+            stop_iter_beta_big < stop_iter_beta_small,
+            "β=1 stops at {stop_iter_beta_big}, β=0.01 at {stop_iter_beta_small}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of curve range")]
+    fn rejects_tau_zero() {
+        let _ = marginal_benefit(&[0.5, 1.0], 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The statistical-progress metric (paper Eq. 1).
+//!
+//! `P_i = Sim_cos(G_i, G_K) · min(‖G_i‖, ‖G_K‖) / max(‖G_i‖, ‖G_K‖)`
+//!
+//! where `G_i` is the update accumulated after `i` local iterations and
+//! `G_K` the full-round update. `P_i ≤ 1`, with `P_K = 1` exactly; the
+//! *statistical contribution* of iteration `i` is `P_i − P_{i−1}` (§3.2.1).
+
+use fedca_tensor::{cosine_similarity, magnitude_similarity};
+
+/// Computes `P_i` for a partial accumulation `g_i` against the full-round
+/// accumulation `g_k` (both flattened over the same parameter set).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn statistical_progress(g_i: &[f32], g_k: &[f32]) -> f32 {
+    cosine_similarity(g_i, g_k) * magnitude_similarity(g_i, g_k)
+}
+
+/// Builds the full progress curve `P_1 … P_K` from per-iteration
+/// accumulated-update snapshots (`snapshots[i]` = `G_{i+1}`).
+///
+/// # Panics
+/// Panics if `snapshots` is empty or rows differ in length.
+pub fn progress_curve(snapshots: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!snapshots.is_empty(), "no snapshots");
+    let g_k = snapshots.last().expect("non-empty");
+    snapshots
+        .iter()
+        .map(|g_i| statistical_progress(g_i, g_k))
+        .collect()
+}
+
+/// Statistical contribution of each iteration: `P_i − P_{i−1}` with
+/// `P_0 = 0` (§3.2.1).
+pub fn contributions(curve: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(curve.len());
+    let mut prev = 0.0f32;
+    for &p in curve {
+        out.push(p - prev);
+        prev = p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_round_progress_is_one() {
+        let g = vec![1.0f32, -2.0, 3.0];
+        assert!((statistical_progress(&g, &g) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn progress_bounded_by_one() {
+        // Collinear but half the magnitude: cos = 1, mag = 0.5.
+        let gk = vec![2.0f32, 2.0];
+        let gi = vec![1.0f32, 1.0];
+        let p = statistical_progress(&gi, &gk);
+        assert!((p - 0.5).abs() < 1e-6);
+        // Overshooting magnitude also penalizes symmetrically (Eq. 1 uses
+        // min/max, not a ratio to G_K).
+        let gi2 = vec![4.0f32, 4.0];
+        assert!((statistical_progress(&gi2, &gk) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_update_has_zero_progress() {
+        let p = statistical_progress(&[1.0, 0.0], &[0.0, 1.0]);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn opposite_direction_is_negative() {
+        let p = statistical_progress(&[-1.0, 0.0], &[1.0, 0.0]);
+        assert!((p + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_partial_update_gives_zero() {
+        assert_eq!(statistical_progress(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn curve_ends_at_one_and_contributions_sum_to_one() {
+        // Simulated diminishing-return accumulation along a fixed direction.
+        let dir = [3.0f32, 1.0, -2.0];
+        let mags = [0.5f32, 0.8, 0.95, 1.0];
+        let snaps: Vec<Vec<f32>> = mags
+            .iter()
+            .map(|&m| dir.iter().map(|d| d * m).collect())
+            .collect();
+        let curve = progress_curve(&snaps);
+        assert!((curve.last().unwrap() - 1.0).abs() < 1e-6);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "curve not monotone: {curve:?}");
+        }
+        let contrib = contributions(&curve);
+        let total: f32 = contrib.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn noisy_early_iterations_yield_lower_progress() {
+        // G_K dominated by a late large component: early partial updates
+        // pointing elsewhere score low.
+        let snaps = vec![
+            vec![1.0f32, 0.0, 0.0],
+            vec![1.0f32, 0.5, 0.0],
+            vec![1.0f32, 10.0, 0.0],
+        ];
+        let curve = progress_curve(&snaps);
+        assert!(curve[0] < 0.2, "{curve:?}");
+        assert!(curve[1] < curve[2]);
+    }
+}

@@ -1,0 +1,455 @@
+//! The experiment driver: multi-round FL with concurrent clients on real
+//! threads and deterministic virtual time.
+//!
+//! Each round: the server selects clients, offloads the latest parameters
+//! plus the round deadline (§5.1), the selected clients train concurrently
+//! (crossbeam scoped threads — every client owns its state, so the run is
+//! data-race free by construction and bit-identical regardless of thread
+//! interleaving), and the server aggregates the earliest 90% of uploads.
+
+use crate::algorithms::Scheme;
+use crate::client::{run_client_round, ClientOptions, ClientRoundReport, ClientState, RoundPlan};
+use crate::config::FlConfig;
+use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
+use crate::params::ModelLayout;
+use crate::profiler::SampledProfiler;
+use crate::server::Server;
+use crate::workload::Workload;
+use fedca_data::{dirichlet_partition, BatchSampler};
+use fedca_nn::loss::accuracy;
+use fedca_nn::Model;
+use fedca_sim::device::{DeviceSpeed, DynamicsConfig};
+use fedca_sim::network::Link;
+use fedca_sim::trace::fedscale_like;
+use fedca_sim::SimTime;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+pub use crate::metrics::TrainerOutput as Output;
+
+/// Drives one `(scheme, workload)` experiment.
+pub struct Trainer {
+    fl: FlConfig,
+    scheme: Scheme,
+    workload: Workload,
+    layout: Arc<ModelLayout>,
+    server: Server,
+    clients: Vec<ClientState>,
+    eval_model: Model,
+    clock: SimTime,
+    rng: StdRng,
+    records: Vec<RoundRecord>,
+    /// Evaluate the global model every this many rounds (default 1).
+    pub eval_every: usize,
+    /// Test samples per evaluation (subsampled from the test set).
+    pub eval_samples: usize,
+}
+
+impl Trainer {
+    /// Builds the federation: partitions the data non-IID, assigns device
+    /// speeds/dynamics, and initializes the global model.
+    pub fn new(fl: FlConfig, scheme: Scheme, workload: Workload) -> Self {
+        if let Scheme::FedCa(o) = &scheme {
+            assert!(
+                !(o.eager && fl.compression != fedca_compress::Compression::None),
+                "update compression composes with early stopping but not with \
+                 eager transmission (eager payloads are full-precision); \
+                 disable one of the two"
+            );
+        }
+        let model = (workload.model_factory)();
+        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
+        let initial = model.flat_params();
+
+        let mut rng = StdRng::seed_from_u64(fl.seed);
+        let shards = dirichlet_partition(
+            workload.train.labels(),
+            fl.n_clients,
+            fl.dirichlet_alpha,
+            &mut rng,
+        );
+        let speeds = if fl.heterogeneity {
+            fedscale_like(fl.n_clients, &mut rng)
+        } else {
+            vec![1.0; fl.n_clients]
+        };
+        let dynamics = if fl.dynamicity {
+            DynamicsConfig::paper()
+        } else {
+            DynamicsConfig::static_device()
+        };
+        let max_samples = match &scheme {
+            Scheme::FedCa(o) => o.config.max_samples_per_layer,
+            _ => 100,
+        };
+        let clients: Vec<ClientState> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let sampler = BatchSampler::new(shard.clone(), fl.batch_size);
+                ClientState {
+                    id,
+                    shard,
+                    sampler,
+                    device: DeviceSpeed::new(
+                        speeds[id],
+                        dynamics.clone(),
+                        fl.seed ^ (0xDE71 + id as u64 * 7919),
+                    ),
+                    uplink: Link::paper_client(),
+                    downlink: Link::paper_client(),
+                    profiler: SampledProfiler::new(
+                        layout.clone(),
+                        max_samples,
+                        fl.seed ^ (0x5A4D + id as u64 * 104729),
+                    ),
+                    seed: fl.seed ^ (id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    participations: 0,
+                    error_feedback: fedca_compress::ErrorFeedback::new(),
+                }
+            })
+            .collect();
+
+        // Optimistic default duration: nominal compute + both transfers.
+        let link = Link::paper_client();
+        let default_duration = workload.iter_work_seconds * fl.local_iters as f64
+            + 2.0 * link.serialize_time(workload.wire_model_bytes);
+        let server = Server::new(
+            layout.clone(),
+            initial,
+            fl.n_clients,
+            fl.aggregation_fraction,
+            default_duration,
+        );
+
+        Trainer {
+            rng: StdRng::seed_from_u64(fl.seed.wrapping_add(0xA11CE)),
+            eval_model: model,
+            fl,
+            scheme,
+            workload,
+            layout,
+            server,
+            clients,
+            clock: 0.0,
+            records: Vec::new(),
+            eval_every: 1,
+            eval_samples: 512,
+        }
+    }
+
+    /// The virtual clock (end of the last completed round).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The model layout shared by the federation.
+    pub fn layout(&self) -> &Arc<ModelLayout> {
+        &self.layout
+    }
+
+    /// Completed round records.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Read access to a client (tests, examples).
+    pub fn client(&self, id: usize) -> &ClientState {
+        &self.clients[id]
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        self.server.global().as_slice()
+    }
+
+    fn client_options(&self) -> ClientOptions {
+        match &self.scheme {
+            Scheme::FedAvg | Scheme::FedAda { .. } => ClientOptions::default(),
+            Scheme::FedProx { mu } => ClientOptions {
+                prox_mu: *mu,
+                fedca: None,
+            },
+            Scheme::FedCa(o) => ClientOptions {
+                prox_mu: 0.0,
+                fedca: Some(o.clone()),
+            },
+        }
+    }
+
+    /// Runs one communication round; returns its record.
+    pub fn run_round(&mut self) -> &RoundRecord {
+        let round = self.records.len();
+        let selected = self
+            .server
+            .select_clients(self.fl.n_clients, self.fl.clients_per_round, &mut self.rng);
+        let deadline = self.server.round_deadline(&selected);
+        let plans = self
+            .server
+            .plan_iterations(&self.scheme, &selected, self.fl.local_iters);
+        let opts = self.client_options();
+        let profile_period = match &self.scheme {
+            Scheme::FedCa(o) => o.config.profile_period,
+            _ => 0,
+        };
+
+        // Per-client round plans (anchor cadence is per participation).
+        let round_start = self.clock;
+        let mut plan_for: Vec<RoundPlan> = Vec::with_capacity(selected.len());
+        for (ord, &cid) in selected.iter().enumerate() {
+            let is_anchor = matches!(self.scheme, Scheme::FedCa(_))
+                && profile_period != 0
+                && self.clients[cid].participations.is_multiple_of(profile_period);
+            plan_for.push(RoundPlan {
+                round,
+                start: round_start,
+                deadline,
+                planned_iters: plans[ord],
+                is_anchor,
+            });
+            self.clients[cid].participations += 1;
+        }
+        let any_anchor = plan_for.iter().any(|p| p.is_anchor);
+
+        // Pull disjoint &mut references to the selected clients.
+        let mut slots: Vec<Option<&mut ClientState>> =
+            self.clients.iter_mut().map(Some).collect();
+        let mut work: Vec<(usize, &mut ClientState, RoundPlan)> = selected
+            .iter()
+            .enumerate()
+            .map(|(ord, &cid)| {
+                let client = slots[cid].take().expect("client selected twice");
+                (ord, client, plan_for[ord].clone())
+            })
+            .collect();
+
+        let global: Arc<Vec<f32>> = Arc::new(self.server.global().as_slice().to_vec());
+        let results: Mutex<Vec<Option<ClientRoundReport>>> =
+            Mutex::new((0..selected.len()).map(|_| None).collect());
+        {
+            let layout = &self.layout;
+            let workload = &self.workload;
+            let fl = &self.fl;
+            let opts = &opts;
+            let global = &global;
+            let results = &results;
+            crossbeam::scope(|s| {
+                for (ord, client, plan) in work.iter_mut() {
+                    let ord = *ord;
+                    s.spawn(move |_| {
+                        let mut model = (workload.model_factory)();
+                        let report = run_client_round(
+                            client,
+                            &mut model,
+                            layout,
+                            global,
+                            &workload.train,
+                            workload,
+                            fl,
+                            opts,
+                            &plan.clone(),
+                        );
+                        results.lock()[ord] = Some(report);
+                    });
+                }
+            })
+            .expect("client thread panicked");
+        }
+        let reports: Vec<ClientRoundReport> = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("missing client report"))
+            .collect();
+
+        let agg = self.server.aggregate_round(round_start, &reports);
+        self.clock = agg.completion;
+
+        let accuracy = if self.eval_every != 0 && round.is_multiple_of(self.eval_every) {
+            Some(self.evaluate())
+        } else {
+            None
+        };
+
+        let mean_train_loss = {
+            let collected = &agg.collected;
+            let sum: f64 = collected
+                .iter()
+                .map(|&i| reports[i].train_loss as f64)
+                .sum();
+            (sum / collected.len().max(1) as f64) as f32
+        };
+        let mut eager_events = Vec::new();
+        for r in &reports {
+            eager_events.extend(outcomes_to_events(r.client_id, &r.eager_outcomes));
+        }
+        self.records.push(RoundRecord {
+            round,
+            start: round_start,
+            end: agg.completion,
+            accuracy,
+            mean_train_loss,
+            n_selected: selected.len(),
+            n_aggregated: agg.collected.len(),
+            n_dropped: reports.iter().filter(|r| r.dropped).count(),
+            iters_done: reports.iter().map(|r| r.iters_done).collect(),
+            iters_planned: plans,
+            early_stops: reports.iter().map(|r| r.early_stopped).collect(),
+            eager_events,
+            bytes_uploaded: reports.iter().map(|r| r.bytes_uploaded).sum(),
+            is_anchor: any_anchor,
+        });
+        self.records.last().expect("just pushed")
+    }
+
+    /// Evaluates the global model's test accuracy.
+    ///
+    /// Batch-norm note: only trainable parameters are federated (running
+    /// statistics never leave clients, as in the paper's PyTorch setup), so
+    /// evaluation keeps training-mode normalization and uses batch
+    /// statistics over each 64-sample eval batch — the standard workaround
+    /// for BN in FedAvg-style systems.
+    pub fn evaluate(&mut self) -> f32 {
+        let global = self.server.global().as_slice().to_vec();
+        self.eval_model.set_flat_params(&global);
+        self.eval_model.set_training(true);
+        let test = &self.workload.test;
+        let n = test.len().min(self.eval_samples);
+        let mut correct = 0.0f64;
+        let mut seen = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + 64).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let (x, y) = test.batch(&idx);
+            let logits = self.eval_model.forward(&x);
+            correct += accuracy(&logits, &y) as f64 * idx.len() as f64;
+            seen += idx.len();
+            start = end;
+        }
+        (correct / seen.max(1) as f64) as f32
+    }
+
+    /// Runs `rounds` rounds, returning the full output.
+    pub fn run(&mut self, rounds: usize) -> TrainerOutput {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+        self.output()
+    }
+
+    /// Runs until test accuracy reaches `target` (or `max_rounds`).
+    pub fn run_until_accuracy(&mut self, target: f32, max_rounds: usize) -> TrainerOutput {
+        for _ in 0..max_rounds {
+            let rec = self.run_round();
+            if rec.accuracy.is_some_and(|a| a >= target) {
+                break;
+            }
+        }
+        self.output()
+    }
+
+    /// Snapshot of the results so far.
+    pub fn output(&self) -> TrainerOutput {
+        TrainerOutput {
+            scheme: self.scheme.name(),
+            workload: self.workload.name.clone(),
+            rounds: self.records.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FedCaOptions;
+    use crate::workload::Workload;
+
+    fn tiny_fl() -> FlConfig {
+        FlConfig {
+            n_clients: 8,
+            clients_per_round: 4,
+            local_iters: 6,
+            batch_size: 8,
+            lr: 0.05,
+            weight_decay: 0.0,
+            aggregation_fraction: 0.9,
+            dirichlet_alpha: 0.5,
+            seed: 11,
+            heterogeneity: true,
+            dynamicity: false,
+            dropout_prob: 0.0,
+            compression: Default::default(),
+        }
+    }
+
+    #[test]
+    fn fedavg_round_advances_clock_and_records() {
+        let mut t = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(1));
+        let out = t.run(3);
+        assert_eq!(out.rounds.len(), 3);
+        assert!(out.rounds[0].end > 0.0);
+        assert!(out.rounds[2].end > out.rounds[1].end);
+        assert_eq!(out.rounds[0].n_selected, 4);
+        assert!(out.rounds[0].n_aggregated >= 3);
+        assert!(out.rounds[0].accuracy.is_some());
+        assert!(out.rounds.iter().all(|r| r.iters_done.iter().all(|&i| i == 6)));
+    }
+
+    #[test]
+    fn training_improves_accuracy_on_tiny_task() {
+        let mut t = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(2));
+        let first = t.evaluate();
+        let out = t.run(15);
+        let best = out.best_accuracy();
+        assert!(
+            best > first + 0.2,
+            "no learning: initial {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut t = Trainer::new(tiny_fl(), Scheme::fedca_default(), Workload::tiny_mlp(3));
+            t.run(5)
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.end, rb.end, "round {} time diverged", ra.round);
+            assert_eq!(ra.accuracy, rb.accuracy, "round {} accuracy diverged", ra.round);
+            assert_eq!(ra.iters_done, rb.iters_done);
+        }
+    }
+
+    #[test]
+    fn fedca_first_participation_is_anchor() {
+        let mut t = Trainer::new(tiny_fl(), Scheme::fedca_default(), Workload::tiny_mlp(4));
+        let rec = t.run_round();
+        assert!(rec.is_anchor, "first participations must profile");
+        // All selected clients ran the full workload on their anchor round.
+        assert!(rec.iters_done.iter().all(|&i| i == 6));
+    }
+
+    #[test]
+    fn fedca_with_all_mechanisms_off_matches_fedavg_updates() {
+        // FedCA with early_stop/eager disabled must be behaviourally
+        // identical to FedAvg except for anchor-round profiling.
+        let opts = FedCaOptions {
+            early_stop: false,
+            eager: false,
+            retransmit: false,
+            adaptive_batch_min: None,
+            config: Default::default(),
+        };
+        let mut a = Trainer::new(tiny_fl(), Scheme::FedCa(opts), Workload::tiny_mlp(5));
+        let mut b = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(5));
+        let oa = a.run(4);
+        let ob = b.run(4);
+        for (ra, rb) in oa.rounds.iter().zip(&ob.rounds) {
+            assert_eq!(ra.accuracy, rb.accuracy, "round {}", ra.round);
+        }
+    }
+}

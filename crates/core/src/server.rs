@@ -1,0 +1,235 @@
+//! The FL server: client selection, deadline offload, partial aggregation.
+
+use crate::algorithms::{fedada_iterations, Scheme};
+use crate::client::ClientRoundReport;
+use crate::deadline::{compute_deadline, DurationEstimator};
+use crate::params::{aggregate, ModelLayout, UpdateVec};
+use fedca_sim::engine::{aggregated_clients, round_completion_time};
+use fedca_sim::SimTime;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Server state: the global model (as a flat vector) plus the per-client
+/// duration estimates that drive deadlines and FedAda's workload tuning.
+pub struct Server {
+    global: UpdateVec,
+    estimator: DurationEstimator,
+    aggregation_fraction: f64,
+}
+
+/// Result of one aggregation step.
+#[derive(Debug)]
+pub struct AggregationResult {
+    /// Virtual time at which the round completed.
+    pub completion: SimTime,
+    /// Indices (into the round's report list) of the collected clients.
+    pub collected: Vec<usize>,
+}
+
+impl Server {
+    /// Creates a server with initial global parameters.
+    pub fn new(
+        layout: Arc<ModelLayout>,
+        initial: Vec<f32>,
+        n_clients: usize,
+        aggregation_fraction: f64,
+        default_round_duration: SimTime,
+    ) -> Self {
+        Server {
+            global: UpdateVec::from_vec(layout, initial),
+            estimator: DurationEstimator::new(n_clients, 0.3, default_round_duration),
+            aggregation_fraction,
+        }
+    }
+
+    /// The current global parameters.
+    pub fn global(&self) -> &UpdateVec {
+        &self.global
+    }
+
+    /// Uniform-random client selection without replacement.
+    pub fn select_clients(
+        &self,
+        n_total: usize,
+        n_select: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        assert!(n_select <= n_total, "cannot select {n_select} of {n_total}");
+        // Partial Fisher-Yates.
+        let mut pool: Vec<usize> = (0..n_total).collect();
+        for i in 0..n_select {
+            let j = rng.gen_range(i..n_total);
+            pool.swap(i, j);
+        }
+        pool.truncate(n_select);
+        pool
+    }
+
+    /// The round deadline `T_R` the server offloads to the selected clients
+    /// (FedBalancer-style, from predicted full-round durations).
+    pub fn round_deadline(&self, selected: &[usize]) -> SimTime {
+        let predicted: Vec<SimTime> = selected
+            .iter()
+            .map(|&c| self.estimator.predict(c))
+            .collect();
+        compute_deadline(&predicted)
+    }
+
+    /// Per-client planned iteration counts for this round. FedAda shrinks
+    /// stragglers' workloads server-side; every other scheme plans `k`.
+    pub fn plan_iterations(&self, scheme: &Scheme, selected: &[usize], k: usize) -> Vec<usize> {
+        match scheme {
+            Scheme::FedAda { theta } => {
+                let predicted: Vec<f64> = selected
+                    .iter()
+                    .map(|&c| self.estimator.predict(c))
+                    .collect();
+                let mut sorted = predicted.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+                let target = sorted[sorted.len() / 2]; // median pace
+                predicted
+                    .iter()
+                    .map(|&d| fedada_iterations(k, d, target, *theta))
+                    .collect()
+            }
+            _ => vec![k; selected.len()],
+        }
+    }
+
+    /// Collects the earliest `aggregation_fraction` of uploads, applies the
+    /// weighted-mean update to the global model, and updates the duration
+    /// estimates of the collected clients.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    pub fn aggregate_round(
+        &mut self,
+        round_start: SimTime,
+        reports: &[ClientRoundReport],
+    ) -> AggregationResult {
+        assert!(!reports.is_empty(), "no client reports");
+        let arrivals: Vec<SimTime> = reports.iter().map(|r| r.upload_done).collect();
+        let completion = round_completion_time(&arrivals, self.aggregation_fraction);
+        let collected = aggregated_clients(&arrivals, self.aggregation_fraction);
+        let weighted: Vec<(&UpdateVec, f64)> = collected
+            .iter()
+            .map(|&i| (&reports[i].update, reports[i].weight))
+            .collect();
+        let delta = aggregate(&weighted);
+        self.global.axpy(1.0, &delta);
+        for &i in &collected {
+            let r = &reports[i];
+            self.estimator
+                .observe(r.client_id, r.upload_done - round_start);
+        }
+        AggregationResult {
+            completion,
+            collected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eager::LayerOutcome;
+    use fedca_nn::model::ParamSpan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> Arc<ModelLayout> {
+        Arc::new(ModelLayout::from_spans(&[ParamSpan {
+            name: "w".into(),
+            range: 0..2,
+        }]))
+    }
+
+    fn report(client_id: usize, upload_done: f64, update: Vec<f32>, weight: f64) -> ClientRoundReport {
+        ClientRoundReport {
+            client_id,
+            weight,
+            update: UpdateVec::from_vec(layout(), update),
+            iters_done: 5,
+            early_stopped: false,
+            download_done: 0.1,
+            compute_done: upload_done - 0.1,
+            upload_done,
+            eager_outcomes: vec![LayerOutcome::Regular],
+            bytes_uploaded: 8.0,
+            train_loss: 1.0,
+            dropped: false,
+        }
+    }
+
+    fn server() -> Server {
+        Server::new(layout(), vec![10.0, 20.0], 8, 0.9, 5.0)
+    }
+
+    #[test]
+    fn selection_is_distinct_and_seeded() {
+        let s = server();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = s.select_clients(8, 5, &mut rng);
+        assert_eq!(sel.len(), 5);
+        let mut d = sel.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5, "selection must be without replacement");
+        assert!(sel.iter().all(|&c| c < 8));
+        let sel2 = s.select_clients(8, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(sel, sel2);
+    }
+
+    #[test]
+    fn aggregation_moves_global_by_weighted_mean() {
+        let mut s = server();
+        let reports = vec![
+            report(0, 1.0, vec![1.0, 0.0], 1.0),
+            report(1, 2.0, vec![3.0, 0.0], 3.0),
+        ];
+        let res = s.aggregate_round(0.0, &reports);
+        assert_eq!(res.collected, vec![0, 1]);
+        // Weighted mean: (1·1 + 3·3)/4 = 2.5 on the first coordinate.
+        assert!((s.global().as_slice()[0] - 12.5).abs() < 1e-5);
+        assert!((s.global().as_slice()[1] - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn straggler_update_is_dropped_at_90_percent() {
+        let mut s = Server::new(layout(), vec![0.0, 0.0], 16, 0.9, 5.0);
+        // 10 clients; the slowest (id 9) misses the cut. Its update is huge —
+        // the global must not move by anything like it.
+        let mut reports: Vec<_> = (0..9).map(|i| report(i, 1.0 + i as f64 * 0.01, vec![0.1, 0.0], 1.0)).collect();
+        reports.push(report(9, 100.0, vec![1000.0, 0.0], 1.0));
+        let res = s.aggregate_round(0.0, &reports);
+        assert_eq!(res.collected.len(), 9);
+        assert!(!res.collected.contains(&9));
+        assert!((s.global().as_slice()[0] - 0.1).abs() < 1e-5);
+        assert!((res.completion - 1.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_uses_duration_estimates() {
+        let mut s = server();
+        // Observe very different paces for clients 0 and 1.
+        s.estimator.observe(0, 10.0);
+        s.estimator.observe(1, 1000.0);
+        let d = s.round_deadline(&[0, 1]);
+        assert_eq!(d, 10.0, "deadline should exclude the extreme straggler");
+    }
+
+    #[test]
+    fn fedada_plans_fewer_iterations_for_stragglers() {
+        let mut s = server();
+        s.estimator.observe(0, 10.0);
+        s.estimator.observe(1, 10.0);
+        s.estimator.observe(2, 80.0);
+        let plans = s.plan_iterations(&Scheme::fedada_default(), &[0, 1, 2], 100);
+        assert_eq!(plans[0], 100);
+        assert_eq!(plans[1], 100);
+        assert!(plans[2] < 100, "straggler not throttled: {plans:?}");
+        // FedAvg plans full K for everyone.
+        let plans = s.plan_iterations(&Scheme::FedAvg, &[0, 1, 2], 100);
+        assert_eq!(plans, vec![100, 100, 100]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for FedCA's core invariants.
+
+use fedca_core::deadline::compute_deadline;
+use fedca_core::early_stop::{marginal_benefit, marginal_cost, net_benefit};
+use fedca_core::metrics::empirical_cdf;
+use fedca_core::params::{aggregate, ModelLayout, UpdateVec};
+use fedca_core::progress::{contributions, progress_curve, statistical_progress};
+use fedca_nn::model::ParamSpan;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn layout(n: usize) -> Arc<ModelLayout> {
+    Arc::new(ModelLayout::from_spans(&[ParamSpan {
+        name: "w".into(),
+        range: 0..n,
+    }]))
+}
+
+proptest! {
+    #[test]
+    fn progress_is_at_most_one(
+        (a, b) in (1usize..64).prop_flat_map(|n| (
+            prop::collection::vec(-50.0f32..50.0, n),
+            prop::collection::vec(-50.0f32..50.0, n),
+        ))
+    ) {
+        let p = statistical_progress(&a, &b);
+        prop_assert!(p <= 1.0 + 1e-6, "P = {p}");
+        prop_assert!(p >= -1.0 - 1e-6);
+    }
+
+    #[test]
+    fn progress_of_full_round_is_exactly_one(
+        g in prop::collection::vec(-50.0f32..50.0, 1..64)
+    ) {
+        prop_assume!(g.iter().any(|&x| x.abs() > 1e-3));
+        prop_assert!((statistical_progress(&g, &g) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn curve_ends_at_one_and_contributions_telescope(
+        dirs in prop::collection::vec(-5.0f32..5.0, 4..32),
+        steps in prop::collection::vec(0.01f32..1.0, 2..20),
+    ) {
+        // Build snapshots by accumulating positive multiples of a direction.
+        prop_assume!(dirs.iter().any(|&d| d.abs() > 0.1));
+        let mut acc = vec![0.0f32; dirs.len()];
+        let mut snaps = Vec::new();
+        for s in &steps {
+            for (a, d) in acc.iter_mut().zip(&dirs) {
+                *a += s * d;
+            }
+            snaps.push(acc.clone());
+        }
+        let curve = progress_curve(&snaps);
+        prop_assert!((curve.last().unwrap() - 1.0).abs() < 1e-5);
+        let contrib = contributions(&curve);
+        let total: f32 = contrib.iter().sum();
+        prop_assert!((total - curve.last().unwrap()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn marginal_benefit_respects_floor(
+        curve in prop::collection::vec(0.0f32..1.0, 2..40),
+        tau_frac in 0.0f64..1.0,
+    ) {
+        let k = curve.len();
+        let tau = ((tau_frac * (k - 1) as f64) as usize + 1).clamp(1, k);
+        let b = marginal_benefit(&curve, tau);
+        let p_tau = curve[tau - 1];
+        let p_prev = if tau >= 2 { curve[tau - 2] } else { 0.0 };
+        prop_assert!(b >= p_tau - p_prev - 1e-7);
+        if tau < k {
+            prop_assert!(b >= (1.0 - p_tau) / (k - tau) as f32 - 1e-7);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_time_and_jumps_at_deadline(
+        t in 0.0f64..100.0,
+        deadline in 1.0f64..100.0,
+        beta in 0.001f64..0.5,
+    ) {
+        let c1 = marginal_cost(t, deadline, beta);
+        let c2 = marginal_cost(t + 1.0, deadline, beta);
+        prop_assert!(c1 >= 0.0);
+        prop_assert!(c2 >= c1 - 1e-12, "cost not monotone: {c1} vs {c2}");
+        // Post-deadline cost always exceeds any pre-deadline cost (β < 1).
+        if t <= deadline {
+            prop_assert!(marginal_cost(deadline + 1e-9, deadline, beta) >= c1);
+        }
+        let n = net_benefit(0.5, c1);
+        prop_assert!(n <= 0.5);
+    }
+
+    #[test]
+    fn deadline_is_a_candidate_and_at_most_the_max(
+        predicted in prop::collection::vec(0.1f64..1e4, 1..64)
+    ) {
+        let d = compute_deadline(&predicted);
+        prop_assert!(predicted.contains(&d));
+        let maxp = predicted.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(d <= maxp);
+    }
+
+    #[test]
+    fn aggregation_is_convex(
+        u1 in prop::collection::vec(-10.0f32..10.0, 8),
+        u2 in prop::collection::vec(-10.0f32..10.0, 8),
+        w1 in 0.1f64..10.0,
+        w2 in 0.1f64..10.0,
+    ) {
+        let l = layout(8);
+        let a = UpdateVec::from_vec(l.clone(), u1.clone());
+        let b = UpdateVec::from_vec(l, u2.clone());
+        let agg = aggregate(&[(&a, w1), (&b, w2)]);
+        for i in 0..8 {
+            let lo = u1[i].min(u2[i]);
+            let hi = u1[i].max(u2[i]);
+            let v = agg.as_slice()[i];
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4,
+                "aggregate escaped the convex hull: {v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn aggregation_weight_scaling_is_invariant(
+        u1 in prop::collection::vec(-10.0f32..10.0, 6),
+        u2 in prop::collection::vec(-10.0f32..10.0, 6),
+        scale in 0.1f64..100.0,
+    ) {
+        let l = layout(6);
+        let a = UpdateVec::from_vec(l.clone(), u1);
+        let b = UpdateVec::from_vec(l, u2);
+        let x = aggregate(&[(&a, 1.0), (&b, 3.0)]);
+        let y = aggregate(&[(&a, scale), (&b, 3.0 * scale)]);
+        for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cdf_properties(values in prop::collection::vec(-1e3f64..1e3, 0..64)) {
+        let cdf = empirical_cdf(&values);
+        prop_assert_eq!(cdf.len(), values.len());
+        if let Some(last) = cdf.last() {
+            prop_assert!((last.1 - 1.0).abs() < 1e-12);
+        }
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

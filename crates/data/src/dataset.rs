@@ -1,0 +1,134 @@
+//! In-memory labelled dataset with batch gathering.
+
+use fedca_tensor::Tensor;
+
+/// A dataset of `n` samples stored as one contiguous tensor whose first
+/// dimension is the sample index, plus one class label per sample.
+#[derive(Clone, Debug)]
+pub struct InMemoryDataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    sample_dims: Vec<usize>,
+    classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Wraps inputs `[N, ...]` and labels of length `N`.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or a label is `>= classes`.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert!(inputs.shape().rank() >= 1, "inputs need a batch dimension");
+        assert_eq!(inputs.dims()[0], labels.len(), "inputs/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        let sample_dims = inputs.dims()[1..].to_vec();
+        InMemoryDataset {
+            inputs,
+            labels,
+            sample_dims,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-sample shape (without the batch dimension).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.sample_dims
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gathers the samples at `indices` into a `[B, ...]` batch.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let stride: usize = self.sample_dims.iter().product();
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.sample_dims);
+        let mut out = Tensor::zeros(dims);
+        let src = self.inputs.as_slice();
+        let dst = out.as_mut_slice();
+        let mut labels = Vec::with_capacity(indices.len());
+        for (bi, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.len(), "sample index {idx} out of range");
+            dst[bi * stride..(bi + 1) * stride]
+                .copy_from_slice(&src[idx * stride..(idx + 1) * stride]);
+            labels.push(self.labels[idx]);
+        }
+        (out, labels)
+    }
+
+    /// Class histogram (length = `classes`).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> InMemoryDataset {
+        let inputs = Tensor::from_vec([4, 2], vec![0., 1., 10., 11., 20., 21., 30., 31.]);
+        InMemoryDataset::new(inputs, vec![0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let ds = make();
+        let (x, y) = ds.batch(&[2, 0]);
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(x.as_slice(), &[20., 21., 0., 1.]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        assert_eq!(make().class_histogram(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_rejects_bad_index() {
+        let _ = make().batch(&[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn new_rejects_mismatched_labels() {
+        let _ = InMemoryDataset::new(Tensor::zeros([3, 2]), vec![0, 1], 2);
+    }
+
+    #[test]
+    fn preserves_sample_dims_for_4d() {
+        let ds = InMemoryDataset::new(Tensor::zeros([2, 3, 4, 4]), vec![0, 1], 2);
+        assert_eq!(ds.sample_dims(), &[3, 4, 4]);
+        let (x, _) = ds.batch(&[1]);
+        assert_eq!(x.dims(), &[1, 3, 4, 4]);
+    }
+}

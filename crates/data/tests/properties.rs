@@ -1,0 +1,64 @@
+//! Property-based tests for partitioning and sampling invariants.
+
+use fedca_data::partition::{dirichlet_partition, sample_dirichlet};
+use fedca_data::BatchSampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn dirichlet_is_a_distribution(n in 1usize..32, alpha in 0.05f64..20.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = sample_dirichlet(n, alpha, &mut rng);
+        prop_assert_eq!(v.len(), n);
+        let s: f64 = v.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn partition_is_exact_cover(
+        n_samples in 1usize..400,
+        classes in 1usize..12,
+        n_clients in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let labels: Vec<usize> = (0..n_samples).map(|i| i % classes).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = dirichlet_partition(&labels, n_clients, 0.1, &mut rng);
+        prop_assert_eq!(shards.len(), n_clients);
+        let mut seen = vec![false; n_samples];
+        for shard in &shards {
+            for &i in shard {
+                prop_assert!(i < n_samples);
+                prop_assert!(!seen[i], "sample {} assigned twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some sample unassigned");
+        if n_samples >= n_clients {
+            prop_assert!(shards.iter().all(|s| !s.is_empty()), "empty client shard");
+        }
+    }
+
+    #[test]
+    fn sampler_epoch_is_a_permutation(
+        shard_len in 1usize..50,
+        batch in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut s = BatchSampler::new((0..shard_len).collect(), batch);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = Vec::new();
+        // Pull exactly one epoch's worth of batches.
+        let batches = shard_len.div_ceil(batch);
+        for _ in 0..batches {
+            let b = s.next_batch(&mut rng);
+            prop_assert!(b.len() <= batch);
+            seen.extend(b);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..shard_len).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,53 @@
+//! The `Layer` trait: explicit forward/backward with named parameters.
+
+use crate::param::Parameter;
+use fedca_tensor::Tensor;
+
+/// A differentiable module.
+///
+/// Contract:
+/// * `forward` must be called before `backward`; the layer caches whatever
+///   activations its backward pass needs (a fresh `forward` invalidates the
+///   previous cache).
+/// * `backward` **accumulates** into each parameter's `grad` (callers zero
+///   gradients between optimizer steps via [`Layer::zero_grad`]) and returns
+///   the gradient with respect to the layer's input.
+/// * Parameter traversal order is deterministic and identical between
+///   `params` and `params_mut`; the whole workspace relies on that order to
+///   map models onto flat update vectors.
+pub trait Layer: Send {
+    /// Forward pass on a batch. `x` layout is layer-specific but always
+    /// batch-major (`[N, ...]`).
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Backward pass: consumes `d loss / d output`, accumulates parameter
+    /// gradients, returns `d loss / d input`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameters, in deterministic order.
+    fn params(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    /// Mutable views of the layer's parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    /// Switches train/eval behaviour (batch-norm statistics, etc.).
+    /// Stateless layers ignore this.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

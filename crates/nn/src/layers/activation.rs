@@ -1,0 +1,173 @@
+//! Elementwise activations: ReLU, Tanh, Sigmoid.
+//!
+//! Each caches exactly what its backward needs (the forward *output* for
+//! tanh/sigmoid — their derivatives are cheapest in terms of the output —
+//! and the input sign pattern for ReLU).
+
+use crate::layer::Layer;
+use fedca_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    // 1.0 where input > 0, else 0.0 — the backward mask.
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut mask = Tensor::zeros(x.shape().clone());
+        let mut y = x.clone();
+        for (m, v) in mask.as_mut_slice().iter_mut().zip(y.as_mut_slice().iter_mut()) {
+            if *v > 0.0 {
+                *m = 1.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), grad_out.len(), "grad shape mismatch");
+        let mut g = grad_out.clone();
+        for (gi, mi) in g.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *gi *= mi;
+        }
+        g
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x.map(|v| v.tanh());
+        self.output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Tanh::backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *gi *= 1.0 - yi * yi;
+        }
+        g
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Numerically-stable scalar sigmoid, shared with the LSTM cell.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x.map(sigmoid_scalar);
+        self.output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Sigmoid::backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *gi *= yi * (1.0 - yi);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_mask() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::full([4], 1.0));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_derivative() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec([3], vec![-0.5, 0.0, 1.2]);
+        let _y = t.forward(&x);
+        let g = t.backward(&Tensor::full([3], 1.0));
+        for (i, &xi) in x.as_slice().iter().enumerate() {
+            let expected = 1.0 - xi.tanh().powi(2);
+            assert!((g.as_slice()[i] - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid_scalar(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_scalar(-100.0).abs() < 1e-6);
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid_scalar(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_derivative() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec([3], vec![-2.0, 0.0, 2.0]);
+        let _ = s.forward(&x);
+        let g = s.backward(&Tensor::full([3], 2.0));
+        for (i, &xi) in x.as_slice().iter().enumerate() {
+            let y = sigmoid_scalar(xi);
+            assert!((g.as_slice()[i] - 2.0 * y * (1.0 - y)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(Relu::new().num_params(), 0);
+        assert_eq!(Tanh::new().num_params(), 0);
+        assert_eq!(Sigmoid::new().num_params(), 0);
+    }
+}

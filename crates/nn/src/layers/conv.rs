@@ -1,0 +1,322 @@
+//! 2-D convolution via im2col + matmul.
+//!
+//! The weight layout is PyTorch's `[out_c, in_c, kh, kw]` flattened to
+//! `[out_c, in_c·kh·kw]` so both forward and backward reduce to the three
+//! matmul kernels in `fedca-tensor`. im2col buffers are reused across the
+//! batch (workhorse-buffer pattern from the perf guide) — the training loop
+//! calls forward/backward thousands of times per round.
+
+use crate::init::kaiming_normal;
+use crate::layer::Layer;
+use crate::param::Parameter;
+use fedca_tensor::{ops, Tensor};
+
+/// 2-D convolution with square kernel, configurable stride and zero padding.
+pub struct Conv2d {
+    weight: Parameter, // [out_c, in_c*k*k]
+    bias: Parameter,   // [out_c]
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+    // Reused scratch: im2col buffer for one sample.
+    col: Tensor,
+    col_dims_ready: bool,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// Parameters are named `<name>.weight` / `<name>.bias`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn new(
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_c * k * k;
+        let weight = kaiming_normal(&[out_c, fan_in], fan_in, rng);
+        Conv2d {
+            weight: Parameter::new(format!("{name}.weight"), weight),
+            bias: Parameter::new(format!("{name}.bias"), Tensor::zeros([out_c])),
+            in_c,
+            out_c,
+            k,
+            stride,
+            padding,
+            cached_input: None,
+            col: Tensor::zeros([1]),
+            col_dims_ready: false,
+        }
+    }
+
+    /// Output spatial size for an input of `h`×`w`.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let he = h + 2 * self.padding;
+        let we = w + 2 * self.padding;
+        assert!(
+            he >= self.k && we >= self.k,
+            "conv kernel {} larger than padded input {}x{}",
+            self.k,
+            he,
+            we
+        );
+        ((he - self.k) / self.stride + 1, (we - self.k) / self.stride + 1)
+    }
+
+    /// Unrolls one sample `x[n]` into `self.col` with layout
+    /// `[in_c·k·k, oh·ow]`.
+    fn im2col(&mut self, x: &[f32], h: usize, w: usize, oh: usize, ow: usize) {
+        let (k, s, p) = (self.k, self.stride, self.padding);
+        let col = self.col.as_mut_slice();
+        let mut row = 0usize;
+        for c in 0..self.in_c {
+            let plane = &x[c * h * w..(c + 1) * h * w];
+            for di in 0..k {
+                for dj in 0..k {
+                    let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                    for i in 0..oh {
+                        let src_i = (i * s + di) as isize - p as isize;
+                        let dst_row = &mut dst[i * ow..(i + 1) * ow];
+                        if src_i < 0 || src_i >= h as isize {
+                            dst_row.fill(0.0);
+                            continue;
+                        }
+                        let src_base = src_i as usize * w;
+                        for (j, cell) in dst_row.iter_mut().enumerate() {
+                            let src_j = (j * s + dj) as isize - p as isize;
+                            *cell = if src_j < 0 || src_j >= w as isize {
+                                0.0
+                            } else {
+                                plane[src_base + src_j as usize]
+                            };
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    /// Scatters a `[in_c·k·k, oh·ow]` gradient back onto one input sample.
+    fn col2im_acc(&self, dcol: &[f32], gx: &mut [f32], h: usize, w: usize, oh: usize, ow: usize) {
+        let (k, s, p) = (self.k, self.stride, self.padding);
+        let mut row = 0usize;
+        for c in 0..self.in_c {
+            let plane = &mut gx[c * h * w..(c + 1) * h * w];
+            for di in 0..k {
+                for dj in 0..k {
+                    let src = &dcol[row * oh * ow..(row + 1) * oh * ow];
+                    for i in 0..oh {
+                        let dst_i = (i * s + di) as isize - p as isize;
+                        if dst_i < 0 || dst_i >= h as isize {
+                            continue;
+                        }
+                        let base = dst_i as usize * w;
+                        for j in 0..ow {
+                            let dst_j = (j * s + dj) as isize - p as isize;
+                            if dst_j >= 0 && dst_j < w as isize {
+                                plane[base + dst_j as usize] += src[i * ow + j];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "Conv2d expects [N,C,H,W], got {}", x.shape());
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        assert_eq!(c, self.in_c, "Conv2d {}: channel mismatch", self.weight.name());
+        let (oh, ow) = self.out_size(h, w);
+        let ck2 = self.in_c * self.k * self.k;
+        if !self.col_dims_ready || self.col.dims() != [ck2, oh * ow] {
+            self.col = Tensor::zeros([ck2, oh * ow]);
+            self.col_dims_ready = true;
+        }
+        let mut out = Tensor::zeros([n, self.out_c, oh, ow]);
+        let mut y_n = Tensor::zeros([self.out_c, oh * ow]);
+        for s in 0..n {
+            let xs = &x.as_slice()[s * c * h * w..(s + 1) * c * h * w];
+            self.im2col(xs, h, w, oh, ow);
+            ops::matmul_into(&self.weight.value, &self.col, &mut y_n);
+            // add bias per output channel
+            {
+                let b = self.bias.value.as_slice();
+                let yd = y_n.as_mut_slice();
+                for (oc, &bv) in b.iter().enumerate() {
+                    for cell in &mut yd[oc * oh * ow..(oc + 1) * oh * ow] {
+                        *cell += bv;
+                    }
+                }
+            }
+            out.as_mut_slice()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow]
+                .copy_from_slice(y_n.as_slice());
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward before forward");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = self.out_size(h, w);
+        assert_eq!(
+            grad_out.dims(),
+            &[n, self.out_c, oh, ow],
+            "Conv2d::backward grad shape mismatch"
+        );
+        let mut gin = Tensor::zeros([n, c, h, w]);
+        let mut g_n = Tensor::zeros([self.out_c, oh * ow]);
+        for s in 0..n {
+            let gs = &grad_out.as_slice()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow];
+            g_n.as_mut_slice().copy_from_slice(gs);
+            // Rebuild this sample's im2col (cheaper than caching N buffers).
+            let xs = &x.as_slice()[s * c * h * w..(s + 1) * c * h * w];
+            self.im2col(xs, h, w, oh, ow);
+            // dW += g · colᵀ
+            let dw = ops::matmul_transpose_b(&g_n, &self.col);
+            self.weight.grad.add_assign(&dw);
+            // db += row sums of g
+            {
+                let db = self.bias.grad.as_mut_slice();
+                let gd = g_n.as_slice();
+                for (oc, dbv) in db.iter_mut().enumerate() {
+                    *dbv += gd[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+                }
+            }
+            // dcol = Wᵀ · g, then scatter back
+            let dcol = ops::matmul_transpose_a(&self.weight.value, &g_n);
+            let gx = &mut gin.as_mut_slice()[s * c * h * w..(s + 1) * c * h * w];
+            self.col2im_acc(dcol.as_slice(), gx, h, w, oh, ow);
+        }
+        self.cached_input = Some(x);
+        gin
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct (quadruple-loop) convolution used as a reference.
+    fn naive_conv(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+        let (n, in_c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let out_c = w.dims()[0];
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (ww + 2 * pad - k) / stride + 1;
+        let mut out = Tensor::zeros([n, out_c, oh, ow]);
+        for s in 0..n {
+            for oc in 0..out_c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut acc = b.as_slice()[oc];
+                        for c in 0..in_c {
+                            for di in 0..k {
+                                for dj in 0..k {
+                                    let src_i = (i * stride + di) as isize - pad as isize;
+                                    let src_j = (j * stride + dj) as isize - pad as isize;
+                                    if src_i < 0 || src_j < 0 || src_i >= h as isize || src_j >= ww as isize {
+                                        continue;
+                                    }
+                                    let xv = x.at(&[s, c, src_i as usize, src_j as usize]);
+                                    let wv = w.at(&[oc, c * k * k + di * k + dj]);
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        *out.at_mut(&[s, oc, i, j]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_various_configs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(in_c, out_c, k, stride, pad, h, w) in &[
+            (1usize, 1usize, 3usize, 1usize, 0usize, 5usize, 5usize),
+            (2, 3, 3, 1, 1, 6, 6),
+            (3, 4, 5, 1, 0, 8, 8),
+            (2, 2, 3, 2, 1, 7, 7),
+        ] {
+            let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, &mut rng);
+            let x = Tensor::randn([2, in_c, h, w], 1.0, &mut rng);
+            let got = conv.forward(&x);
+            let want = naive_conv(&x, &conv.weight.value, &conv.bias.value, k, stride, pad);
+            assert_eq!(got.dims(), want.dims());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (cfg {in_c},{out_c},{k},{stride},{pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn out_size_math() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng);
+        assert_eq!(conv.out_size(32, 32), (32, 32)); // same-padding
+        let conv = Conv2d::new("c", 1, 1, 5, 1, 0, &mut rng);
+        assert_eq!(conv.out_size(32, 32), (28, 28)); // LeNet conv1
+        let conv = Conv2d::new("c", 1, 1, 3, 2, 1, &mut rng);
+        assert_eq!(conv.out_size(16, 16), (8, 8)); // stride-2 downsample
+    }
+
+    #[test]
+    fn bias_gradient_is_output_grad_sum() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        let g = Tensor::full(y.shape().clone(), 1.0);
+        let _ = conv.backward(&g);
+        // Each output channel has 16 cells with grad 1.0.
+        assert!((conv.bias.grad.as_slice()[0] - 16.0).abs() < 1e-4);
+        assert!((conv.bias.grad.as_slice()[1] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng);
+        // kernel = delta at center
+        conv.weight.value = Tensor::from_vec([1, 9], vec![0., 0., 0., 0., 1., 0., 0., 0., 0.]);
+        conv.bias.value = Tensor::zeros([1]);
+        let x = Tensor::randn([1, 1, 5, 5], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

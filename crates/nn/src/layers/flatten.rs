@@ -1,0 +1,62 @@
+//! Flatten: collapses all non-batch dimensions.
+
+use crate::layer::Layer;
+use fedca_tensor::Tensor;
+
+/// Reshapes `[N, d1, d2, …]` to `[N, d1·d2·…]` in forward and restores the
+/// original shape in backward. Pure bookkeeping, no parameters.
+#[derive(Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert!(x.shape().rank() >= 1, "Flatten needs a batch dimension");
+        let dims = x.dims().to_vec();
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.input_dims = Some(dims);
+        x.clone().reshape([n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("Flatten::backward before forward")
+            .clone();
+        grad_out.clone().reshape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec([2, 3, 4], (0..24).map(|i| i as f32).collect());
+        let y = f.forward(&x);
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 4]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn already_flat_is_identity() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec([3, 5], vec![1.0; 15]);
+        let y = f.forward(&x);
+        assert_eq!(y.dims(), &[3, 5]);
+    }
+}

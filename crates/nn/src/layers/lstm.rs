@@ -1,0 +1,390 @@
+//! Multi-layer LSTM with full backpropagation through time.
+//!
+//! Matches PyTorch's `nn.LSTM` conventions: gate order `i, f, g, o`, weights
+//! `weight_ih_l{k}: [4H, in]`, `weight_hh_l{k}: [4H, H]`, two bias vectors
+//! per layer. The paper's figures reference exactly these names
+//! (`rnn.weight_hh_l0`, `rnn.bias_ih_l1`, `rnn.weight_ih_l1`), and FedCA's
+//! per-layer eager transmission treats each as an independently-converging
+//! unit, so we reproduce the naming faithfully.
+//!
+//! Input is `[N, T, F]`; the public layer returns the final hidden state
+//! `[N, H]` of the top layer (the usual classification head for keyword
+//! spotting).
+
+use crate::layer::Layer;
+use crate::layers::activation::sigmoid_scalar;
+use crate::param::Parameter;
+use fedca_tensor::{ops, Tensor};
+
+/// Per-timestep cache of one LSTM layer.
+struct StepCache {
+    x: Tensor,     // [N, in]  input at t
+    h_prev: Tensor, // [N, H]
+    c_prev: Tensor, // [N, H]
+    i: Tensor,     // [N, H] gate activations
+    f: Tensor,
+    g: Tensor,
+    o: Tensor,
+    tanh_c: Tensor, // [N, H] tanh of the new cell state
+}
+
+/// One LSTM layer (a "core"); the public [`Lstm`] stacks these.
+struct LstmCore {
+    w_ih: Parameter, // [4H, in]
+    w_hh: Parameter, // [4H, H]
+    b_ih: Parameter, // [4H]
+    b_hh: Parameter, // [4H]
+    input_size: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+}
+
+impl LstmCore {
+    fn new(prefix: &str, layer_idx: usize, input_size: usize, hidden: usize, rng: &mut impl rand::Rng) -> Self {
+        let h4 = 4 * hidden;
+        // PyTorch initializes all LSTM weights U(-1/sqrt(H), 1/sqrt(H)).
+        let bound = 1.0 / (hidden as f32).sqrt();
+        LstmCore {
+            w_ih: Parameter::new(
+                format!("{prefix}.weight_ih_l{layer_idx}"),
+                Tensor::rand_uniform([h4, input_size], -bound, bound, rng),
+            ),
+            w_hh: Parameter::new(
+                format!("{prefix}.weight_hh_l{layer_idx}"),
+                Tensor::rand_uniform([h4, hidden], -bound, bound, rng),
+            ),
+            b_ih: Parameter::new(
+                format!("{prefix}.bias_ih_l{layer_idx}"),
+                Tensor::rand_uniform([h4], -bound, bound, rng),
+            ),
+            b_hh: Parameter::new(
+                format!("{prefix}.bias_hh_l{layer_idx}"),
+                Tensor::rand_uniform([h4], -bound, bound, rng),
+            ),
+            input_size,
+            hidden,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Runs the layer over a sequence `[N, T, in]`, returning all hidden
+    /// states `[N, T, H]` and caching activations for BPTT.
+    fn forward_seq(&mut self, xs: &Tensor) -> Tensor {
+        let (n, t, fin) = (xs.dims()[0], xs.dims()[1], xs.dims()[2]);
+        assert_eq!(fin, self.input_size, "LSTM {}: input width mismatch", self.w_ih.name());
+        let hdim = self.hidden;
+        self.cache.clear();
+        self.cache.reserve(t);
+        let mut h = Tensor::zeros([n, hdim]);
+        let mut c = Tensor::zeros([n, hdim]);
+        let mut out = Tensor::zeros([n, t, hdim]);
+        for step in 0..t {
+            // Slice x_t out of the [N, T, F] tensor.
+            let mut x_t = Tensor::zeros([n, fin]);
+            for s in 0..n {
+                let src = &xs.as_slice()[(s * t + step) * fin..(s * t + step + 1) * fin];
+                x_t.as_mut_slice()[s * fin..(s + 1) * fin].copy_from_slice(src);
+            }
+            // z = x_t·W_ihᵀ + h·W_hhᵀ + b_ih + b_hh : [N, 4H]
+            let mut z = ops::matmul_transpose_b(&x_t, &self.w_ih.value);
+            z.add_assign(&ops::matmul_transpose_b(&h, &self.w_hh.value));
+            {
+                let zb = z.as_mut_slice();
+                let bi = self.b_ih.value.as_slice();
+                let bh = self.b_hh.value.as_slice();
+                for s in 0..n {
+                    let row = &mut zb[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    for k in 0..4 * hdim {
+                        row[k] += bi[k] + bh[k];
+                    }
+                }
+            }
+            let mut ig = Tensor::zeros([n, hdim]);
+            let mut fg = Tensor::zeros([n, hdim]);
+            let mut gg = Tensor::zeros([n, hdim]);
+            let mut og = Tensor::zeros([n, hdim]);
+            {
+                let zd = z.as_slice();
+                for s in 0..n {
+                    let row = &zd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    for k in 0..hdim {
+                        ig.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[k]);
+                        fg.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[hdim + k]);
+                        gg.as_mut_slice()[s * hdim + k] = row[2 * hdim + k].tanh();
+                        og.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[3 * hdim + k]);
+                    }
+                }
+            }
+            let c_prev = c.clone();
+            let h_prev = h.clone();
+            // c = f*c_prev + i*g ; h = o*tanh(c)
+            let mut c_new = Tensor::zeros([n, hdim]);
+            let mut tanh_c = Tensor::zeros([n, hdim]);
+            let mut h_new = Tensor::zeros([n, hdim]);
+            for idx in 0..n * hdim {
+                let cv = fg.as_slice()[idx] * c_prev.as_slice()[idx]
+                    + ig.as_slice()[idx] * gg.as_slice()[idx];
+                c_new.as_mut_slice()[idx] = cv;
+                let tc = cv.tanh();
+                tanh_c.as_mut_slice()[idx] = tc;
+                h_new.as_mut_slice()[idx] = og.as_slice()[idx] * tc;
+            }
+            for s in 0..n {
+                let dst = &mut out.as_mut_slice()[(s * t + step) * hdim..(s * t + step + 1) * hdim];
+                dst.copy_from_slice(&h_new.as_slice()[s * hdim..(s + 1) * hdim]);
+            }
+            self.cache.push(StepCache {
+                x: x_t,
+                h_prev,
+                c_prev,
+                i: ig,
+                f: fg,
+                g: gg,
+                o: og,
+                tanh_c,
+            });
+            h = h_new;
+            c = c_new;
+        }
+        out
+    }
+
+    /// BPTT over the cached sequence. `dh_out` is `[N, T, H]` (gradient on
+    /// every hidden state emitted). Returns `dx` as `[N, T, in]`.
+    fn backward_seq(&mut self, dh_out: &Tensor) -> Tensor {
+        let t = self.cache.len();
+        assert!(t > 0, "LstmCore::backward_seq before forward_seq");
+        let n = self.cache[0].x.dims()[0];
+        let hdim = self.hidden;
+        let fin = self.input_size;
+        assert_eq!(dh_out.dims(), &[n, t, hdim], "dh_out shape mismatch");
+
+        let mut dx = Tensor::zeros([n, t, fin]);
+        let mut dh = Tensor::zeros([n, hdim]); // carried recurrent gradient
+        let mut dc = Tensor::zeros([n, hdim]);
+        for step in (0..t).rev() {
+            let cache = &self.cache[step];
+            // dh += gradient flowing directly into h_t from the output.
+            for s in 0..n {
+                let src = &dh_out.as_slice()[(s * t + step) * hdim..(s * t + step + 1) * hdim];
+                fedca_tensor::axpy(1.0, src, &mut dh.as_mut_slice()[s * hdim..(s + 1) * hdim]);
+            }
+            let mut dz = Tensor::zeros([n, 4 * hdim]);
+            {
+                let dhd = dh.as_slice();
+                let dcd = dc.as_mut_slice();
+                let dzd = dz.as_mut_slice();
+                for idx in 0..n * hdim {
+                    let o = cache.o.as_slice()[idx];
+                    let tc = cache.tanh_c.as_slice()[idx];
+                    let do_ = dhd[idx] * tc;
+                    let dct = dcd[idx] + dhd[idx] * o * (1.0 - tc * tc);
+                    let i = cache.i.as_slice()[idx];
+                    let f = cache.f.as_slice()[idx];
+                    let g = cache.g.as_slice()[idx];
+                    let di = dct * g;
+                    let dg = dct * i;
+                    let df = dct * cache.c_prev.as_slice()[idx];
+                    dcd[idx] = dct * f; // becomes dc_{t-1}
+                    let (s, k) = (idx / hdim, idx % hdim);
+                    let row = &mut dzd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    row[k] = di * i * (1.0 - i);
+                    row[hdim + k] = df * f * (1.0 - f);
+                    row[2 * hdim + k] = dg * (1.0 - g * g);
+                    row[3 * hdim + k] = do_ * o * (1.0 - o);
+                }
+            }
+            // Parameter gradients.
+            ops::matmul_transpose_a_acc(&dz, &cache.x, &mut self.w_ih.grad);
+            ops::matmul_transpose_a_acc(&dz, &cache.h_prev, &mut self.w_hh.grad);
+            {
+                let dzd = dz.as_slice();
+                let dbi = self.b_ih.grad.as_mut_slice();
+                let dbh = self.b_hh.grad.as_mut_slice();
+                for s in 0..n {
+                    let row = &dzd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    fedca_tensor::axpy(1.0, row, dbi);
+                    fedca_tensor::axpy(1.0, row, dbh);
+                }
+            }
+            // Input and recurrent gradients.
+            let dx_t = ops::matmul(&dz, &self.w_ih.value); // [N, in]
+            for s in 0..n {
+                let dst = &mut dx.as_mut_slice()[(s * t + step) * fin..(s * t + step + 1) * fin];
+                dst.copy_from_slice(&dx_t.as_slice()[s * fin..(s + 1) * fin]);
+            }
+            dh = ops::matmul(&dz, &self.w_hh.value); // dh_{t-1}
+        }
+        dx
+    }
+}
+
+/// Stacked LSTM returning the final hidden state of the top layer.
+pub struct Lstm {
+    layers: Vec<LstmCore>,
+    hidden: usize,
+    seq_len: Option<usize>,
+}
+
+impl Lstm {
+    /// Creates a stacked LSTM named `prefix` (parameters
+    /// `<prefix>.weight_ih_l0`, …).
+    ///
+    /// # Panics
+    /// Panics if `num_layers == 0`.
+    pub fn new(
+        prefix: &str,
+        input_size: usize,
+        hidden: usize,
+        num_layers: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        assert!(num_layers > 0, "LSTM needs at least one layer");
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let in_size = if l == 0 { input_size } else { hidden };
+            layers.push(LstmCore::new(prefix, l, in_size, hidden, rng));
+        }
+        Lstm {
+            layers,
+            hidden,
+            seq_len: None,
+        }
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "Lstm expects [N,T,F], got {}", x.shape());
+        let (n, t) = (x.dims()[0], x.dims()[1]);
+        self.seq_len = Some(t);
+        let mut seq = x.clone();
+        for core in &mut self.layers {
+            seq = core.forward_seq(&seq);
+        }
+        // Return last timestep of the top layer: [N, H].
+        let hdim = self.hidden;
+        let mut out = Tensor::zeros([n, hdim]);
+        for s in 0..n {
+            let src = &seq.as_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
+            out.as_mut_slice()[s * hdim..(s + 1) * hdim].copy_from_slice(src);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let t = self.seq_len.expect("Lstm::backward before forward");
+        let n = grad_out.dims()[0];
+        let hdim = self.hidden;
+        assert_eq!(grad_out.dims(), &[n, hdim], "Lstm grad_out must be [N,H]");
+        // Only the last timestep of the top layer receives output gradient.
+        let mut dh_seq = Tensor::zeros([n, t, hdim]);
+        for s in 0..n {
+            let dst =
+                &mut dh_seq.as_mut_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
+            dst.copy_from_slice(&grad_out.as_slice()[s * hdim..(s + 1) * hdim]);
+        }
+        let mut grad = dh_seq;
+        for core in self.layers.iter_mut().rev() {
+            grad = core.backward_seq(&grad);
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        self.layers
+            .iter()
+            .flat_map(|c| vec![&c.w_ih, &c.w_hh, &c.b_ih, &c.b_hh])
+            .collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers
+            .iter_mut()
+            .flat_map(|c| {
+                vec![&mut c.w_ih, &mut c.w_hh, &mut c.b_ih, &mut c.b_hh]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_names_match_pytorch_convention() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let lstm = Lstm::new("rnn", 10, 8, 2, &mut rng);
+        let names: Vec<_> = lstm.params().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "rnn.weight_ih_l0",
+                "rnn.weight_hh_l0",
+                "rnn.bias_ih_l0",
+                "rnn.bias_hh_l0",
+                "rnn.weight_ih_l1",
+                "rnn.weight_hh_l1",
+                "rnn.bias_ih_l1",
+                "rnn.bias_hh_l1",
+            ]
+        );
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut lstm = Lstm::new("rnn", 5, 7, 2, &mut rng);
+        let x = Tensor::randn([3, 6, 5], 1.0, &mut StdRng::seed_from_u64(1));
+        let y1 = lstm.forward(&x);
+        assert_eq!(y1.dims(), &[3, 7]);
+        let y2 = lstm.forward(&x);
+        assert_eq!(y1, y2, "forward must be deterministic");
+        assert!(y1.all_finite());
+    }
+
+    #[test]
+    fn single_step_matches_hand_computation() {
+        // 1 layer, H=1, F=1, T=1, all weights set by hand.
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut lstm = Lstm::new("rnn", 1, 1, 1, &mut rng);
+        {
+            let core = &mut lstm.layers[0];
+            // gates: i, f, g, o rows.
+            core.w_ih.value = Tensor::from_vec([4, 1], vec![0.5, 0.3, 1.0, 0.2]);
+            core.w_hh.value = Tensor::from_vec([4, 1], vec![0.0, 0.0, 0.0, 0.0]);
+            core.b_ih.value = Tensor::zeros([4]);
+            core.b_hh.value = Tensor::zeros([4]);
+        }
+        let x = Tensor::from_vec([1, 1, 1], vec![2.0]);
+        let y = lstm.forward(&x);
+        // h0 = c0 = 0: i = σ(1.0), g = tanh(2.0), o = σ(0.4); c = i*g; h = o*tanh(c)
+        let i = sigmoid_scalar(1.0);
+        let g = 2.0f32.tanh();
+        let o = sigmoid_scalar(0.4);
+        let c = i * g;
+        let expected = o * c.tanh();
+        assert!((y.as_slice()[0] - expected).abs() < 1e-6, "{} vs {expected}", y.as_slice()[0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut lstm = Lstm::new("rnn", 4, 5, 2, &mut rng);
+        let x = Tensor::randn([2, 5, 4], 1.0, &mut rng);
+        let _y = lstm.forward(&x);
+        let g = Tensor::full([2, 5], 1.0);
+        let dx = lstm.backward(&g);
+        assert_eq!(dx.dims(), &[2, 5, 4]);
+        for p in lstm.params() {
+            assert!(
+                p.grad.l2_norm() > 0.0,
+                "parameter {} received no gradient",
+                p.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Spatial pooling over `[N, C, H, W]` feature maps.
+
+use crate::layer::Layer;
+use fedca_tensor::Tensor;
+
+fn check_4d(x: &Tensor, what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(x.shape().rank(), 4, "{what} expects [N,C,H,W], got {}", x.shape());
+    let d = x.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+/// Max pooling with square window `k` and stride `k` (non-overlapping, the
+/// LeNet/WRN configuration). Caches argmax indices for the backward pass.
+pub struct MaxPool2d {
+    k: usize,
+    argmax: Option<Vec<usize>>, // flat input index of each output's max
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a `k`×`k`, stride-`k` max pool.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        MaxPool2d {
+            k,
+            argmax: None,
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = check_4d(x, "MaxPool2d");
+        let k = self.k;
+        assert!(
+            h % k == 0 && w % k == 0,
+            "MaxPool2d({k}) needs H, W divisible by {k}, got {h}x{w}"
+        );
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let xd = x.as_slice();
+        let od = out.as_mut_slice();
+        for nc in 0..n * c {
+            let in_base = nc * h * w;
+            let out_base = nc * oh * ow;
+            for i in 0..oh {
+                for j in 0..ow {
+                    let mut best_idx = in_base + (i * k) * w + j * k;
+                    let mut best = xd[best_idx];
+                    for di in 0..k {
+                        for dj in 0..k {
+                            let idx = in_base + (i * k + di) * w + (j * k + dj);
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    od[out_base + i * ow + j] = best;
+                    argmax[out_base + i * ow + j] = best_idx;
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_dims = Some(x.dims().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward before forward");
+        let dims = self.input_dims.as_ref().unwrap().clone();
+        assert_eq!(grad_out.len(), argmax.len(), "grad shape mismatch");
+        let mut gin = Tensor::zeros(dims);
+        let gd = gin.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+            gd[idx] += g;
+        }
+        gin
+    }
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`. Used as the WRN head.
+#[derive(Default)]
+pub struct AvgPool2d {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = check_4d(x, "AvgPool2d");
+        let area = (h * w) as f32;
+        let mut out = Tensor::zeros([n, c]);
+        let xd = x.as_slice();
+        for (nc, o) in out.as_mut_slice().iter_mut().enumerate() {
+            let base = nc * h * w;
+            *o = xd[base..base + h * w].iter().sum::<f32>() / area;
+        }
+        self.input_dims = Some(x.dims().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("AvgPool2d::backward before forward")
+            .clone();
+        let (h, w) = (dims[2], dims[3]);
+        let area = (h * w) as f32;
+        let mut gin = Tensor::zeros(dims);
+        let gd = gin.as_mut_slice();
+        for (nc, &g) in grad_out.as_slice().iter().enumerate() {
+            let v = g / area;
+            for cell in &mut gd[nc * h * w..(nc + 1) * h * w] {
+                *cell = v;
+            }
+        }
+        gin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut p = MaxPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec([1, 1, 4, 4], vec![
+            1., 2., 5., 6.,
+            3., 4., 7., 8.,
+            9., 10., 13., 14.,
+            11., 12., 15., 16.,
+        ]);
+        let y = p.forward(&x);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![
+            1., 9.,
+            3., 4.,
+        ]);
+        let _ = p.forward(&x);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]));
+        assert_eq!(g.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn maxpool_multichannel_batches() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec([2, 3, 4, 4], (0..96).map(|i| i as f32).collect());
+        let y = p.forward(&x);
+        assert_eq!(y.dims(), &[2, 3, 2, 2]);
+        // In a monotone ramp, each window max is its bottom-right element.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 5.0);
+        assert_eq!(y.at(&[1, 2, 1, 1]), 95.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn maxpool_rejects_indivisible() {
+        let mut p = MaxPool2d::new(2);
+        let _ = p.forward(&Tensor::zeros([1, 1, 3, 4]));
+    }
+
+    #[test]
+    fn avgpool_averages_and_spreads_gradient() {
+        let mut p = AvgPool2d::new();
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = p.forward(&x);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+        let g = p.backward(&Tensor::from_vec([1, 2], vec![4.0, 8.0]));
+        assert_eq!(g.as_slice(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+}

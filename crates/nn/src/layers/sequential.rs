@@ -1,0 +1,116 @@
+//! Sequential container: chains layers, preserving parameter order.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use fedca_tensor::Tensor;
+
+/// A feed-forward chain of layers.
+///
+/// Parameter traversal order is the layer order, which is what maps a model
+/// onto the flat update vectors exchanged in FL rounds.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut net = Sequential::new()
+            .push(Linear::new("fc1", 3, 4, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("fc2", 4, 2, &mut rng));
+        let x = Tensor::randn([5, 3], 1.0, &mut rng);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[5, 2]);
+        let dx = net.backward(&Tensor::full([5, 2], 1.0));
+        assert_eq!(dx.dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_order_is_layer_order() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let net = Sequential::new()
+            .push(Linear::new("fc1", 2, 2, &mut rng))
+            .push(Linear::new("fc2", 2, 2, &mut rng));
+        let names: Vec<_> = net.params().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::from_vec([2], vec![1.0, 2.0]);
+        assert_eq!(net.forward(&x), x);
+        assert_eq!(net.backward(&x), x);
+    }
+}

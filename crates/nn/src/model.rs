@@ -1,0 +1,196 @@
+//! The `Model` wrapper: a layer graph plus the flat-vector plumbing FL needs.
+//!
+//! FL exchanges *flat update vectors* annotated with per-parameter spans.
+//! `Model` owns the canonical mapping between the layer graph's named
+//! parameters and those flat vectors; everything in `fedca-core` (progress
+//! metrics, aggregation, eager transmission) operates on the flat form.
+
+use crate::layer::Layer;
+use fedca_tensor::Tensor;
+use std::ops::Range;
+
+/// Description of one named parameter's slice within the flat vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamSpan {
+    /// Fully-qualified parameter name (e.g. `conv2.weight`).
+    pub name: String,
+    /// Element range within the flat vector.
+    pub range: Range<usize>,
+}
+
+/// A trainable model: a boxed layer graph with flat-parameter accessors.
+pub struct Model {
+    net: Box<dyn Layer>,
+    spans: Vec<ParamSpan>,
+    total: usize,
+}
+
+impl Model {
+    /// Wraps a layer graph, capturing the parameter layout.
+    pub fn new(net: impl Layer + 'static) -> Self {
+        let net: Box<dyn Layer> = Box::new(net);
+        let mut spans = Vec::new();
+        let mut offset = 0usize;
+        for p in net.params() {
+            let len = p.len();
+            spans.push(ParamSpan {
+                name: p.name().to_string(),
+                range: offset..offset + len,
+            });
+            offset += len;
+        }
+        Model {
+            net,
+            spans,
+            total: offset,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.net.forward(x)
+    }
+
+    /// Backward pass (gradients accumulate into the parameters).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.net.zero_grad();
+    }
+
+    /// Switches train/eval mode (affects batch-norm statistics).
+    pub fn set_training(&mut self, training: bool) {
+        self.net.set_training(training);
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.total
+    }
+
+    /// The parameter layout: name and flat range per parameter, in
+    /// deterministic traversal order.
+    pub fn spans(&self) -> &[ParamSpan] {
+        &self.spans
+    }
+
+    /// Copies all parameters into one flat vector (traversal order).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.total);
+        for p in self.net.params() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != num_params()`.
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.total, "flat parameter length mismatch");
+        let mut offset = 0usize;
+        for p in self.net.params_mut() {
+            let n = p.len();
+            p.value.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Copies all gradients into one flat vector (traversal order).
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.total);
+        for p in self.net.params() {
+            out.extend_from_slice(p.grad.as_slice());
+        }
+        out
+    }
+
+    /// Applies one optimizer step.
+    pub fn step(&mut self, opt: &crate::optim::Sgd, anchor: Option<&[f32]>) {
+        let mut params = self.net.params_mut();
+        opt.step(&mut params, anchor);
+    }
+
+    /// Direct access to the wrapped layer graph.
+    pub fn net_mut(&mut self) -> &mut dyn Layer {
+        self.net.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Model {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Model::new(
+            Sequential::new()
+                .push(Linear::new("fc1", 3, 4, &mut rng))
+                .push(Relu::new())
+                .push(Linear::new("fc2", 4, 2, &mut rng)),
+        )
+    }
+
+    #[test]
+    fn spans_cover_the_flat_vector_exactly() {
+        let m = tiny_model(1);
+        assert_eq!(m.num_params(), 3 * 4 + 4 + 4 * 2 + 2);
+        let mut expected_start = 0;
+        for span in m.spans() {
+            assert_eq!(span.range.start, expected_start, "gap before {}", span.name);
+            expected_start = span.range.end;
+        }
+        assert_eq!(expected_start, m.num_params());
+        let names: Vec<_> = m.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let mut m = tiny_model(2);
+        let orig = m.flat_params();
+        let modified: Vec<f32> = orig.iter().map(|v| v + 1.0).collect();
+        m.set_flat_params(&modified);
+        assert_eq!(m.flat_params(), modified);
+        m.set_flat_params(&orig);
+        assert_eq!(m.flat_params(), orig);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = tiny_model(7);
+        let b = tiny_model(7);
+        assert_eq!(a.flat_params(), b.flat_params());
+        let c = tiny_model(8);
+        assert_ne!(a.flat_params(), c.flat_params());
+    }
+
+    #[test]
+    fn training_updates_move_flat_params() {
+        let mut m = tiny_model(3);
+        let before = m.flat_params();
+        let x = Tensor::randn([4, 3], 1.0, &mut StdRng::seed_from_u64(9));
+        let logits = m.forward(&x);
+        let (_, grad) = crate::loss::softmax_cross_entropy(&logits, &[0, 1, 0, 1]);
+        m.zero_grad();
+        m.backward(&grad);
+        m.step(&crate::optim::Sgd::new(0.1, 0.0), None);
+        let after = m.flat_params();
+        assert_ne!(before, after);
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_params_rejects_bad_length() {
+        let mut m = tiny_model(4);
+        m.set_flat_params(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The paper's three model families, plus a tiny MLP for tests.
+//!
+//! Layer names reproduce the paper's figures: the CNN exposes
+//! `conv1/conv2/fc1/fc2/fc3` (Fig. 3a references `fc2.weight`,
+//! `conv2.weight`), the LSTM exposes `rnn.weight_ih_l0 … rnn.bias_hh_l1`
+//! plus an `fc` head (Fig. 3b references `rnn.weight_hh_l0`,
+//! `rnn.bias_ih_l1`), and the WideResNet exposes
+//! `conv{2,3,4}.<block>.residual.<i>.{weight,bias}` groups (Fig. 3c
+//! references `conv3.0.residual.0.bias`, `conv4.2.residual.6.weight`).
+//!
+//! Each family has a `Config` with two presets: `paper()` matches the
+//! paper's scale where tractable, and `scaled()` is the CI-friendly default
+//! used by the experiment harness (see DESIGN.md §4 for the substitution
+//! argument; the network model compensates for the smaller WRN byte size).
+
+use crate::layers::*;
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// LeNet-5-style CNN configuration (paper: CIFAR-10, ~60K params).
+#[derive(Clone, Debug)]
+pub struct CnnConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial side (square images).
+    pub input_hw: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl CnnConfig {
+    /// Paper scale: 3×32×32, 10 classes (CIFAR-10-like).
+    pub fn paper() -> Self {
+        CnnConfig {
+            in_channels: 3,
+            input_hw: 32,
+            classes: 10,
+        }
+    }
+
+    /// Reduced scale for fast experiments: 3×16×16, 10 classes.
+    pub fn scaled() -> Self {
+        CnnConfig {
+            in_channels: 3,
+            input_hw: 16,
+            classes: 10,
+        }
+    }
+
+    fn flat_after_convs(&self) -> usize {
+        // conv1 (k5): s-4; pool2: /2; conv2 (k5): -4; pool2: /2.
+        let s1 = self.input_hw - 4;
+        assert!(s1.is_multiple_of(2), "CNN input size {} unsupported", self.input_hw);
+        let s2 = s1 / 2;
+        assert!(s2 > 4, "CNN input size {} too small", self.input_hw);
+        let s3 = s2 - 4;
+        assert!(s3.is_multiple_of(2), "CNN input size {} unsupported", self.input_hw);
+        16 * (s3 / 2) * (s3 / 2)
+    }
+}
+
+/// Builds the LeNet-5-style CNN.
+pub fn cnn(cfg: &CnnConfig, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = cfg.flat_after_convs();
+    Model::new(
+        Sequential::new()
+            .push(Conv2d::new("conv1", cfg.in_channels, 6, 5, 1, 0, &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Conv2d::new("conv2", 6, 16, 5, 1, 0, &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Flatten::new())
+            .push(Linear::new("fc1", flat, 120, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("fc2", 120, 84, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("fc3", 84, cfg.classes, &mut rng)),
+    )
+}
+
+/// Two-layer LSTM configuration (paper: KWS keyword spotting, ~50K params).
+#[derive(Clone, Debug)]
+pub struct LstmConfig {
+    /// Per-timestep feature width.
+    pub input_size: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Stacked layers.
+    pub num_layers: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl LstmConfig {
+    /// Paper scale: ~50K params, 12 keyword classes.
+    pub fn paper() -> Self {
+        LstmConfig {
+            input_size: 10,
+            hidden: 64,
+            num_layers: 2,
+            classes: 12,
+        }
+    }
+
+    /// Reduced scale for fast experiments.
+    pub fn scaled() -> Self {
+        LstmConfig {
+            input_size: 8,
+            hidden: 32,
+            num_layers: 2,
+            classes: 12,
+        }
+    }
+}
+
+/// Builds the stacked-LSTM classifier (`rnn.*` + `fc.*`).
+pub fn lstm(cfg: &LstmConfig, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Model::new(
+        Sequential::new()
+            .push(Lstm::new("rnn", cfg.input_size, cfg.hidden, cfg.num_layers, &mut rng))
+            .push(Linear::new("fc", cfg.hidden, cfg.classes, &mut rng)),
+    )
+}
+
+/// WideResNet-style configuration (paper: WRN-28-10, 36M params on
+/// CIFAR-100; here depth and width are configurable).
+#[derive(Clone, Debug)]
+pub struct WrnConfig {
+    /// Base width (group widths are `w`, `2w`, `4w`).
+    pub width: usize,
+    /// Residual blocks per group (WRN-28 has 4).
+    pub blocks_per_group: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial side.
+    pub input_hw: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl WrnConfig {
+    /// Closest-tractable "paper" scale: WRN-28 depth (4 blocks/group) at
+    /// width 16 on 32×32 inputs, 100 classes. (~2.8M params; the full
+    /// WRN-28-10's 36M is emulated at the *network* layer via the byte-size
+    /// multiplier — see `fedca-sim`.)
+    pub fn paper() -> Self {
+        WrnConfig {
+            width: 16,
+            blocks_per_group: 4,
+            in_channels: 3,
+            input_hw: 32,
+            classes: 100,
+        }
+    }
+
+    /// Reduced scale for fast experiments: 2 blocks/group, width 8,
+    /// 16×16 inputs, 20 classes.
+    pub fn scaled() -> Self {
+        WrnConfig {
+            width: 8,
+            blocks_per_group: 2,
+            in_channels: 3,
+            input_hw: 16,
+            classes: 20,
+        }
+    }
+}
+
+/// One WRN group: `blocks` residual blocks named `<group>.<i>.residual.<j>`.
+fn wrn_group(
+    seq: Sequential,
+    group: &str,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    blocks: usize,
+    rng: &mut StdRng,
+) -> Sequential {
+    let mut seq = seq;
+    for b in 0..blocks {
+        let (bin, bstride) = if b == 0 { (in_c, stride) } else { (out_c, 1) };
+        let body = Sequential::new()
+            .push(Conv2d::new(
+                &format!("{group}.{b}.residual.0"),
+                bin,
+                out_c,
+                3,
+                bstride,
+                1,
+                rng,
+            ))
+            .push(BatchNorm2d::new(&format!("{group}.{b}.residual.1"), out_c))
+            .push(Relu::new())
+            .push(Conv2d::new(
+                &format!("{group}.{b}.residual.3"),
+                out_c,
+                out_c,
+                3,
+                1,
+                1,
+                rng,
+            ))
+            .push(BatchNorm2d::new(&format!("{group}.{b}.residual.4"), out_c));
+        let block = if bin != out_c || bstride != 1 {
+            ResidualBlock::projected(
+                body,
+                &format!("{group}.{b}.shortcut"),
+                bin,
+                out_c,
+                bstride,
+                rng,
+            )
+        } else {
+            ResidualBlock::identity(body)
+        };
+        seq = seq.push(block).push(Relu::new());
+    }
+    seq
+}
+
+/// Builds the WideResNet-style residual network.
+///
+/// # Panics
+/// Panics if `input_hw` is not divisible by 4 (two stride-2 groups).
+pub fn wrn(cfg: &WrnConfig, seed: u64) -> Model {
+    assert!(cfg.input_hw.is_multiple_of(4), "WRN input must be divisible by 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = cfg.width;
+    let mut seq = Sequential::new()
+        .push(Conv2d::new("conv1", cfg.in_channels, w, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new("bn1", w))
+        .push(Relu::new());
+    seq = wrn_group(seq, "conv2", w, w, 1, cfg.blocks_per_group, &mut rng);
+    seq = wrn_group(seq, "conv3", w, 2 * w, 2, cfg.blocks_per_group, &mut rng);
+    seq = wrn_group(seq, "conv4", 2 * w, 4 * w, 2, cfg.blocks_per_group, &mut rng);
+    seq = seq
+        .push(AvgPool2d::new())
+        .push(Linear::new("fc", 4 * w, cfg.classes, &mut rng));
+    Model::new(seq)
+}
+
+/// A small MLP (`fc1`/`fc2`) for unit tests and the quickstart example.
+pub fn mlp(in_features: usize, hidden: usize, classes: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Model::new(
+        Sequential::new()
+            .push(Linear::new("fc1", in_features, hidden, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("fc2", hidden, classes, &mut rng)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedca_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cnn_paper_scale_params_near_60k() {
+        let m = cnn(&CnnConfig::paper(), 0);
+        let n = m.num_params();
+        assert!(
+            (50_000..80_000).contains(&n),
+            "CNN params {n} outside LeNet-5 range"
+        );
+        let names: Vec<_> = m.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"conv2.weight"));
+        assert!(names.contains(&"fc2.weight"));
+    }
+
+    #[test]
+    fn cnn_forward_shape() {
+        let mut m = cnn(&CnnConfig::scaled(), 1);
+        let x = Tensor::randn([2, 3, 16, 16], 1.0, &mut StdRng::seed_from_u64(0));
+        let y = m.forward(&x);
+        assert_eq!(y.dims(), &[2, 10]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn lstm_paper_scale_params_near_50k() {
+        let m = lstm(&LstmConfig::paper(), 0);
+        let n = m.num_params();
+        assert!(
+            (40_000..70_000).contains(&n),
+            "LSTM params {n} outside paper range"
+        );
+        let names: Vec<_> = m.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"rnn.weight_hh_l0"));
+        assert!(names.contains(&"rnn.bias_ih_l1"));
+    }
+
+    #[test]
+    fn lstm_forward_shape() {
+        let mut m = lstm(&LstmConfig::scaled(), 1);
+        let x = Tensor::randn([3, 12, 8], 1.0, &mut StdRng::seed_from_u64(0));
+        let y = m.forward(&x);
+        assert_eq!(y.dims(), &[3, 12]);
+    }
+
+    #[test]
+    fn wrn_layer_names_match_paper_figures() {
+        let m = wrn(&WrnConfig::scaled(), 0);
+        let names: Vec<_> = m.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"conv3.0.residual.0.bias"), "{names:?}");
+        assert!(names.contains(&"conv4.1.residual.3.weight"));
+        assert!(names.contains(&"conv1.weight"));
+        assert!(names.contains(&"fc.weight"));
+    }
+
+    #[test]
+    fn wrn_forward_shape_and_depth() {
+        let cfg = WrnConfig::scaled();
+        let mut m = wrn(&cfg, 2);
+        // Many independently-converging parameter tensors is what FedCA's
+        // per-layer machinery needs.
+        assert!(m.spans().len() >= 30, "only {} tensors", m.spans().len());
+        let x = Tensor::randn([2, 3, 16, 16], 0.5, &mut StdRng::seed_from_u64(0));
+        let y = m.forward(&x);
+        assert_eq!(y.dims(), &[2, 20]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn wrn_paper_preset_has_wrn28_depth() {
+        let cfg = WrnConfig::paper();
+        // 3 groups × 4 blocks × 2 convs + conv1 = 25 convolutions ≈ WRN-28's
+        // 25 conv layers + fc.
+        let m = wrn(&cfg, 3);
+        let conv_weights = m
+            .spans()
+            .iter()
+            .filter(|s| s.name.ends_with("residual.0.weight") || s.name.ends_with("residual.3.weight"))
+            .count();
+        assert_eq!(conv_weights, 24);
+    }
+
+    #[test]
+    fn models_train_one_step_without_nan() {
+        let mut m = cnn(&CnnConfig::scaled(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn([4, 3, 16, 16], 1.0, &mut rng);
+        let logits = m.forward(&x);
+        let (_, g) = crate::loss::softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        m.zero_grad();
+        m.backward(&g);
+        m.step(&crate::optim::Sgd::new(0.01, 0.01), None);
+        assert!(m.flat_params().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Bandwidth-limited links with FIFO queuing.
+//!
+//! Each client has an uplink and a downlink throttled to the paper's
+//! 13.7 Mbps (the FedScale average the authors configure with
+//! `wondershaper`); the server's 10 Gbps side is wide enough to never be
+//! the bottleneck for ≤128 clients, matching §5.1. Eager transmissions
+//! enqueue on the client's uplink while compute continues — transfer
+//! completion is what the FL round logic observes.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// 13.7 Mbps in bytes/second (paper's per-client link).
+pub const PAPER_CLIENT_BANDWIDTH_BPS: f64 = 13.7e6 / 8.0;
+
+/// One completed transfer, for logging/asserting overlap behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// When the payload became ready to send.
+    pub ready: SimTime,
+    /// When the link actually started sending (≥ ready, FIFO).
+    pub start: SimTime,
+    /// When the last byte left the link.
+    pub end: SimTime,
+    /// Payload size in bytes.
+    pub bytes: f64,
+}
+
+/// A half-duplex FIFO link with fixed bandwidth.
+#[derive(Clone, Debug)]
+pub struct Link {
+    bandwidth_bytes_per_sec: f64,
+    busy_until: SimTime,
+    log: Vec<Transfer>,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth in **bytes per second**.
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not positive.
+    pub fn new(bandwidth_bytes_per_sec: f64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        Link {
+            bandwidth_bytes_per_sec,
+            busy_until: 0.0,
+            log: Vec::new(),
+        }
+    }
+
+    /// A client link at the paper's 13.7 Mbps.
+    pub fn paper_client() -> Self {
+        Link::new(PAPER_CLIENT_BANDWIDTH_BPS)
+    }
+
+    /// Seconds needed to push `bytes` through an idle link.
+    pub fn serialize_time(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth_bytes_per_sec
+    }
+
+    /// Enqueues a transfer that becomes ready at `ready`; returns the
+    /// completion time. FIFO: a transfer starts at
+    /// `max(ready, previous completion)`.
+    ///
+    /// # Panics
+    /// Panics if `bytes < 0` or `ready < 0`.
+    pub fn transmit(&mut self, ready: SimTime, bytes: f64) -> SimTime {
+        assert!(bytes >= 0.0, "negative payload");
+        assert!(ready >= 0.0, "negative time");
+        let start = ready.max(self.busy_until);
+        let end = start + self.serialize_time(bytes);
+        self.busy_until = end;
+        self.log.push(Transfer {
+            ready,
+            start,
+            end,
+            bytes,
+        });
+        end
+    }
+
+    /// When the link next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// All transfers carried so far, in enqueue order.
+    pub fn log(&self) -> &[Transfer] {
+        &self.log
+    }
+
+    /// Resets the link to idle at time 0 (new experiment), keeping bandwidth.
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_time_is_bytes_over_bandwidth() {
+        let link = Link::new(1000.0);
+        assert!((link.serialize_time(500.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_bandwidth_matches_eval_setup() {
+        // 139.4 MB (the paper's WRN model size) at 13.7 Mbps ≈ 81 s — the
+        // communication bottleneck §2.1 describes.
+        let link = Link::paper_client();
+        let t = link.serialize_time(139.4e6);
+        assert!((75.0..90.0).contains(&t), "WRN upload time {t}");
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_transfers() {
+        let mut link = Link::new(100.0); // 100 B/s
+        let e1 = link.transmit(0.0, 100.0); // 0..1
+        let e2 = link.transmit(0.5, 100.0); // queued: 1..2
+        let e3 = link.transmit(5.0, 100.0); // idle gap: 5..6
+        assert!((e1 - 1.0).abs() < 1e-12);
+        assert!((e2 - 2.0).abs() < 1e-12);
+        assert!((e3 - 6.0).abs() < 1e-12);
+        let log = link.log();
+        assert_eq!(log[1].start, 1.0);
+        assert_eq!(log[2].start, 5.0);
+    }
+
+    #[test]
+    fn zero_bytes_completes_at_queue_head() {
+        let mut link = Link::new(10.0);
+        let _ = link.transmit(0.0, 100.0); // busy until 10
+        let e = link.transmit(2.0, 0.0);
+        assert!((e - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut link = Link::new(10.0);
+        let _ = link.transmit(0.0, 50.0);
+        link.reset();
+        assert_eq!(link.busy_until(), 0.0);
+        assert!(link.log().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Flat-vector linear algebra: dot products, norms, AXPY, and the two
+//! similarity measures combined by FedCA's statistical-progress metric
+//! (paper Eq. 1).
+
+/// Dot product of two equal-length slices.
+///
+/// Accumulates in `f64`: progress curves compare gradient accumulations with
+/// hundreds of thousands of terms, where `f32` accumulation error visibly
+/// distorts cosine similarities near 1.0 — exactly the regime the eager
+/// transmission threshold `T_e = 0.95` lives in.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Four independent accumulators let the compiler vectorize despite the
+    // non-associativity of floating-point addition.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] as f64 * b[j] as f64;
+        acc[1] += a[j + 1] as f64 * b[j + 1] as f64;
+        acc[2] += a[j + 2] as f64 * b[j + 2] as f64;
+        acc[3] += a[j + 3] as f64 * b[j + 3] as f64;
+    }
+    for j in chunks * 4..a.len() {
+        acc[0] += a[j] as f64 * b[j] as f64;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3]
+}
+
+/// L2 norm of a slice (f64 accumulation, f32 result).
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt() as f32
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Cosine similarity between two vectors.
+///
+/// Returns `0.0` when either vector is (numerically) zero — the convention
+/// FedCA needs: a layer that has not moved yet carries no directional
+/// information, and treating it as orthogonal keeps its statistical progress
+/// at zero rather than `NaN`.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    let c = dot(a, b) / (na * nb);
+    // Clamp out the |cos| <= 1 violations produced by rounding.
+    c.clamp(-1.0, 1.0) as f32
+}
+
+/// Magnitude similarity `min(‖a‖,‖b‖)/max(‖a‖,‖b‖)` — the second factor of
+/// FedCA's statistical-progress metric (Eq. 1).
+///
+/// Returns `0.0` if exactly one vector is zero, `1.0` if both are.
+pub fn magnitude_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na <= f64::EPSILON && nb <= f64::EPSILON {
+        return 1.0;
+    }
+    let (lo, hi) = if na < nb { (na, nb) } else { (nb, na) };
+    if hi <= f64::EPSILON {
+        return 1.0;
+    }
+    (lo / hi) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32).collect();
+        let naive: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| *x as f64 * *y as f64)
+            .sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_basics() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 10.0, 10.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 11.0, 11.5]);
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 2.0];
+        assert_eq!(cosine_similarity(&a, &a), 1.0);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        let neg = [-1.0f32, 0.0];
+        assert_eq!(cosine_similarity(&a, &neg), -1.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero_not_nan() {
+        let z = [0.0f32; 4];
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(cosine_similarity(&z, &a), 0.0);
+        assert_eq!(cosine_similarity(&z, &z), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariance() {
+        let a = [0.3f32, -1.2, 2.2, 0.7];
+        let b: Vec<f32> = a.iter().map(|x| x * 37.5).collect();
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_similarity_basics() {
+        let a = [3.0f32, 4.0]; // norm 5
+        let b = [6.0f32, 8.0]; // norm 10
+        assert!((magnitude_similarity(&a, &b) - 0.5).abs() < 1e-6);
+        assert!((magnitude_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        assert_eq!(magnitude_similarity(&a, &[0.0, 0.0]), 0.0);
+        assert_eq!(magnitude_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn magnitude_similarity_is_symmetric() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [9.0f32, -1.0, 0.5];
+        assert_eq!(magnitude_similarity(&a, &b), magnitude_similarity(&b, &a));
+    }
+}

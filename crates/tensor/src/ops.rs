@@ -1,0 +1,263 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything the NN layers need without ever
+//! materializing a transpose:
+//!
+//! * `matmul(a, b)`              — `C = A · B`       (forward pass)
+//! * `matmul_transpose_b(a, b)`  — `C = A · Bᵀ`      (input gradients)
+//! * `matmul_transpose_a(a, b)`  — `C = Aᵀ · B`      (weight gradients)
+//!
+//! The plain kernel is an i-k-j loop (unit-stride inner loop over the output
+//! row, the standard cache-friendly ordering for row-major data) with the
+//! output rows optionally distributed across scoped threads.
+
+use crate::parallel::par_chunks_mut;
+use crate::tensor::Tensor;
+
+/// Below this many multiply-adds the kernels stay single-threaded: thread
+/// spawn latency exceeds the compute for small FL-scale layers.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 20;
+
+fn check_2d(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be 2-D, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// `C = A · B` for row-major 2-D tensors, writing into an existing output
+/// buffer (which must be zeroed or otherwise pre-filled by the caller —
+/// values are *accumulated*).
+///
+/// # Panics
+/// Panics on rank or dimension mismatch.
+pub fn matmul_acc_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = check_2d(a, "matmul lhs");
+    let (k2, n) = check_2d(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let (m2, n2) = check_2d(out, "matmul out");
+    assert_eq!((m, n), (m2, n2), "matmul out shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD { 0 } else { usize::MAX };
+    par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
+        let row0 = start / n;
+        for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue; // ReLU backward produces many exact zeros
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                crate::linalg::axpy(a_ik, b_row, c_row);
+            }
+        }
+    });
+}
+
+/// `C = A · B`, allocating the output.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = check_2d(a, "matmul lhs");
+    let (_, n) = check_2d(b, "matmul rhs");
+    let mut out = Tensor::zeros([m, n]);
+    matmul_acc_into(a, b, &mut out);
+    out
+}
+
+/// `C = A · B` into a caller-provided, pre-zeroed tensor. Alias of
+/// [`matmul_acc_into`] kept for call-site clarity in the layer code.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    out.fill_zero();
+    matmul_acc_into(a, b, out);
+}
+
+/// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, producing `C: [m,n]`.
+///
+/// Both operands are read with unit stride (each output element is a dot of
+/// two contiguous rows), so no transpose copy is needed.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = check_2d(a, "matmul_transpose_b lhs");
+    let (n, k2) = check_2d(b, "matmul_transpose_b rhs");
+    assert_eq!(k, k2, "matmul_transpose_b inner dims differ: {k} vs {k2}");
+    let mut out = Tensor::zeros([m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD { 0 } else { usize::MAX };
+    par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
+        let row0 = start / n;
+        for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (j, c_ij) in c_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                *c_ij = crate::linalg::dot(a_row, b_row) as f32;
+            }
+        }
+    });
+    out
+}
+
+/// `C += Aᵀ · B` where `A: [k,m]`, `B: [k,n]`, producing/accumulating into
+/// `C: [m,n]`. Accumulation (rather than overwrite) matches its use for
+/// gradient accumulation across a batch.
+pub fn matmul_transpose_a_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (k, m) = check_2d(a, "matmul_transpose_a lhs");
+    let (k2, n) = check_2d(b, "matmul_transpose_a rhs");
+    assert_eq!(k, k2, "matmul_transpose_a inner dims differ: {k} vs {k2}");
+    let (m2, n2) = check_2d(out, "matmul_transpose_a out");
+    assert_eq!((m, n), (m2, n2), "matmul_transpose_a out shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    // Loop order kk-i-j: for each sample kk, rank-1 update C += a_kkᵀ b_kk.
+    // The inner j loop is unit-stride over both B's row and C's row.
+    let c = out.as_mut_slice();
+    for kk in 0..k {
+        let a_row = &a_data[kk * m..(kk + 1) * m];
+        let b_row = &b_data[kk * n..(kk + 1) * n];
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            if a_ki == 0.0 {
+                continue;
+            }
+            crate::linalg::axpy(a_ki, b_row, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `C = Aᵀ · B`, allocating the output.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
+    let (_, m) = check_2d(a, "matmul_transpose_a lhs");
+    let (_, n) = check_2d(b, "matmul_transpose_a rhs");
+    let mut out = Tensor::zeros([m, n]);
+    matmul_transpose_a_acc(a, b, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) as f64 * b.at(&[kk, j]) as f64;
+                }
+                *out.at_mut(&[i, j]) = s as f32;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (16, 16, 16), (33, 17, 29)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_close(&matmul(&a, &eye), &a, 1e-6);
+        assert_close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_zero_dims() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 2]);
+        assert_eq!(matmul(&a, &b).dims(), &[0, 2]);
+        let a = Tensor::zeros([2, 0]);
+        let b = Tensor::zeros([0, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.sum(), 0.0);
+    }
+
+    #[test]
+    fn transpose_b_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn([4, 6], 1.0, &mut rng);
+        let b = Tensor::randn([3, 6], 1.0, &mut rng);
+        // Build Bᵀ explicitly and compare.
+        let mut bt = Tensor::zeros([6, 3]);
+        for i in 0..3 {
+            for j in 0..6 {
+                *bt.at_mut(&[j, i]) = b.at(&[i, j]);
+            }
+        }
+        assert_close(&matmul_transpose_b(&a, &b), &matmul(&a, &bt), 1e-5);
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::randn([6, 4], 1.0, &mut rng);
+        let b = Tensor::randn([6, 3], 1.0, &mut rng);
+        let mut at = Tensor::zeros([4, 6]);
+        for i in 0..6 {
+            for j in 0..4 {
+                *at.at_mut(&[j, i]) = a.at(&[i, j]);
+            }
+        }
+        assert_close(&matmul_transpose_a(&a, &b), &matmul(&at, &b), 1e-5);
+    }
+
+    #[test]
+    fn transpose_a_acc_accumulates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn([3, 2], 1.0, &mut rng);
+        let b = Tensor::randn([3, 5], 1.0, &mut rng);
+        let once = matmul_transpose_a(&a, &b);
+        let mut twice = matmul_transpose_a(&a, &b);
+        matmul_transpose_a_acc(&a, &b, &mut twice);
+        let mut expected = once.clone();
+        expected.add_assign(&once);
+        assert_close(&twice, &expected, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_dim_mismatch() {
+        let _ = matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_agrees() {
+        // Big enough to cross PAR_FLOPS_THRESHOLD with >1 thread configured.
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Tensor::randn([128, 96], 1.0, &mut rng);
+        let b = Tensor::randn([96, 112], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-4);
+    }
+}

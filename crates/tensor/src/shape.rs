@@ -1,0 +1,191 @@
+//! Tensor shapes: a thin, validated wrapper over a dimension list.
+//!
+//! Shapes are row-major ("C order") throughout the workspace. A `Shape`
+//! never describes a tensor with more elements than `isize::MAX`, matching
+//! the guarantees Rust slices need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row-major tensor shape.
+///
+/// The empty shape `[]` denotes a scalar with one element, mirroring NumPy
+/// and PyTorch semantics.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from its dimensions.
+    ///
+    /// # Panics
+    /// Panics if the element count overflows `usize`.
+    pub fn new(dims: &[usize]) -> Self {
+        let mut n: usize = 1;
+        for &d in dims {
+            n = n
+                .checked_mul(d)
+                .expect("shape element count overflows usize");
+        }
+        Shape(dims.to_vec())
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements. The scalar shape has one element.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics (debug assertions) if the index rank or any coordinate is out
+    /// of range.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(index[i] < self.0[i], "index out of bounds");
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Whether two shapes have the same element count (reshape-compatible).
+    #[inline]
+    pub fn same_volume(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        let s = Shape::new(&dims);
+        drop(dims);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    fn num_elements_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::new(&[7]).num_elements(), 7);
+        assert_eq!(Shape::new(&[5, 0, 3]).num_elements(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[6]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 1]), 5);
+    }
+
+    #[test]
+    fn offset_enumerates_all_cells_once() {
+        let s = Shape::new(&[3, 5]);
+        let mut seen = [false; 15];
+        for i in 0..3 {
+            for j in 0..5 {
+                let off = s.offset(&[i, j]);
+                assert!(!seen[off], "offset {off} visited twice");
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn same_volume_accepts_reshapes() {
+        assert!(Shape::new(&[2, 6]).same_volume(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[2, 6]).same_volume(&Shape::new(&[5])));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflowing_shape_panics() {
+        let _ = Shape::new(&[usize::MAX, 2]);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [2usize, 3].into();
+        let b = Shape::from(vec![2usize, 3]);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a}"), "[2, 3]");
+    }
+}

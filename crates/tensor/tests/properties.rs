@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor kernels.
+
+use fedca_tensor::{cosine_similarity, dot, l2_norm, magnitude_similarity, ops, Tensor};
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric((a, b) in (1usize..64).prop_flat_map(|n| (vec_f32(n), vec_f32(n)))) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_scale_invariant(
+        a in vec_f32(17),
+        scale in 0.01f32..50.0,
+    ) {
+        let c = cosine_similarity(&a, &a);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        let scaled: Vec<f32> = a.iter().map(|x| x * scale).collect();
+        let cs = cosine_similarity(&a, &scaled);
+        // Either both are (near-)zero vectors, or cosine must be ~1.
+        if l2_norm(&a) > 1e-3 {
+            prop_assert!((cs - 1.0).abs() < 1e-3, "cos {cs}");
+        }
+    }
+
+    #[test]
+    fn magnitude_similarity_in_unit_interval(a in vec_f32(9), b in vec_f32(9)) {
+        let m = magnitude_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&m), "mag {m}");
+        prop_assert!((magnitude_similarity(&b, &a) - m).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b1 = Tensor::randn([k, n], 1.0, &mut rng);
+        let b2 = Tensor::randn([k, n], 1.0, &mut rng);
+        // A·(B1+B2) == A·B1 + A·B2 (up to f32 rounding)
+        let lhs = ops::matmul(&a, &b1.add(&b2));
+        let rhs = ops::matmul(&a, &b1).add(&ops::matmul(&a, &b2));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transposes_are_consistent(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let c = ops::matmul(&a, &b);
+        // (A·B)ᵀ = Bᵀ·Aᵀ: check via the transpose kernels without building
+        // explicit transposes: C[i][j] == row_i(A)·col_j(B).
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) as f64 * b.at(&[kk, j]) as f64;
+                }
+                prop_assert!((c.at(&[i, j]) as f64 - s).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_reference(a in vec_f32(23), b in vec_f32(23), alpha in -5.0f32..5.0) {
+        let mut t = Tensor::from_vec([23], a.clone());
+        let u = Tensor::from_vec([23], b.clone());
+        t.axpy(alpha, &u);
+        for i in 0..23 {
+            let expected = a[i] + alpha * b[i];
+            prop_assert!((t.as_slice()[i] - expected).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_all_elements(n in 1usize..10, m in 1usize..10) {
+        let data: Vec<f32> = (0..n * m).map(|i| i as f32).collect();
+        let t = Tensor::from_vec([n, m], data.clone());
+        let r = t.reshape([m, n]);
+        prop_assert_eq!(r.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn argmax_rows_returns_valid_indices(rows in 1usize..6, cols in 1usize..8, seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn([rows, cols], 1.0, &mut rng);
+        let am = t.argmax_rows();
+        prop_assert_eq!(am.len(), rows);
+        for (i, &j) in am.iter().enumerate() {
+            prop_assert!(j < cols);
+            for jj in 0..cols {
+                prop_assert!(t.at(&[i, j]) >= t.at(&[i, jj]));
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the FedCA paper plus this repository's
+# extension experiments. FEDCA_SCALE=smoke|scaled|paper selects the tier
+# (default scaled; see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+scale="${FEDCA_SCALE:-scaled}"
+out="results/${scale}"
+mkdir -p "$out"
+cargo build --release -p fedca-bench
+bins=(overhead fig8_cdf fig10_sensitivity fig9_ablation table1 fig7_time_to_accuracy
+      fig2_progress_clients fig3_progress_layers fig5_sampling fig4_round_similarity
+      ext_compression ext_adaptive_batch ext_dropout)
+for b in "${bins[@]}"; do
+    echo "== $b ($(date +%H:%M:%S))"
+    FEDCA_SCALE="$scale" "./target/release/$b" > "$out/$b.csv" 2> "$out/$b.log"
+done
+echo "done; CSVs in $out/"

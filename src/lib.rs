@@ -1,0 +1,41 @@
+//! # fedca
+//!
+//! Umbrella crate for the FedCA reproduction ([Lyu et al., ICPP '24],
+//! <https://doi.org/10.1145/3673038.3673049>): re-exports the workspace
+//! crates under one roof and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fedca::core::{FlConfig, Scheme, Trainer, Workload};
+//!
+//! let fl = FlConfig {
+//!     n_clients: 8,
+//!     clients_per_round: 4,
+//!     local_iters: 6,
+//!     batch_size: 8,
+//!     lr: 0.05,
+//!     weight_decay: 0.0,
+//!     seed: 7,
+//!     ..FlConfig::scaled()
+//! };
+//! let mut trainer = Trainer::new(fl, Scheme::fedca_default(), Workload::tiny_mlp(7));
+//! let out = trainer.run(2);
+//! assert_eq!(out.rounds.len(), 2);
+//! assert!(out.rounds[1].end > out.rounds[0].end);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+/// FedCA core: the paper's mechanism, baselines, and experiment driver.
+pub use fedca_core as core;
+/// Federated datasets (synthetic tasks, Dirichlet partitioning).
+pub use fedca_data as data;
+/// Neural-network substrate (layers, models, SGD).
+pub use fedca_nn as nn;
+/// Virtual-time testbed (devices, links, round arithmetic).
+pub use fedca_sim as sim;
+/// Dense tensor substrate.
+pub use fedca_tensor as tensor;
