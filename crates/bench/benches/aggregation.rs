@@ -1,7 +1,6 @@
 //! Server-side aggregation cost: weighted FedAvg mean over the collected
 //! client updates, plus the FedBalancer-style deadline computation.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedca_core::deadline::compute_deadline;
 use fedca_core::params::{aggregate, ModelLayout, UpdateVec};
@@ -9,6 +8,7 @@ use fedca_nn::model::ParamSpan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn layout(n: usize) -> Arc<ModelLayout> {
     Arc::new(ModelLayout::from_spans(&[ParamSpan {

@@ -9,9 +9,7 @@ use fedca_core::early_stop::should_stop;
 
 fn bench_decisions(c: &mut Criterion) {
     let k = 125;
-    let curve: Vec<f32> = (1..=k)
-        .map(|i| 1.0 - (-(i as f32) / 20.0).exp())
-        .collect();
+    let curve: Vec<f32> = (1..=k).map(|i| 1.0 - (-(i as f32) / 20.0).exp()).collect();
 
     c.bench_function("decisions/try_early_stop", |b| {
         b.iter(|| {

@@ -4,13 +4,13 @@
 //! `record_iteration` gathers only the sampled indices; `full_snapshot`
 //! clones the entire flat parameter vector.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fedca_core::params::ModelLayout;
 use fedca_core::profiler::SampledProfiler;
-use fedca_core::Workload;
 use fedca_core::workload::Scale;
+use fedca_core::Workload;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_profiler(c: &mut Criterion) {
     for name in ["cnn", "wrn"] {
@@ -50,8 +50,7 @@ fn bench_profiler(c: &mut Criterion) {
             b.iter(|| {
                 prof2.begin_anchor(0);
                 for i in 0..20 {
-                    let cur: Vec<f32> =
-                        start.iter().map(|v| v + 0.01 * (i + 1) as f32).collect();
+                    let cur: Vec<f32> = start.iter().map(|v| v + 0.01 * (i + 1) as f32).collect();
                     prof2.record_iteration(&start, &cur);
                 }
                 black_box(prof2.finish_anchor().model.len())

@@ -1,0 +1,143 @@
+//! Orchestration overhead: one round of 16 clients driven by the legacy
+//! spawn-per-round shape (fresh OS threads + fresh model per client, results
+//! behind a mutex) versus the persistent worker pool with reusable arenas
+//! and streaming completion events.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedca_compress::ErrorFeedback;
+use fedca_core::client::{
+    run_client_round, ClientOptions, ClientRoundReport, ClientState, RoundPlan,
+};
+use fedca_core::executor::{ClientArena, ClientWork, RoundCtx, RoundExecutor};
+use fedca_core::params::ModelLayout;
+use fedca_core::profiler::SampledProfiler;
+use fedca_core::{FlConfig, Workload};
+use fedca_data::BatchSampler;
+use fedca_sim::device::{DeviceSpeed, DynamicsConfig};
+use fedca_sim::network::Link;
+use std::sync::{Arc, Mutex};
+
+const N_CLIENTS: usize = 16;
+const K: usize = 2; // tiny compute so orchestration overhead dominates
+
+fn make_clients(w: &Workload, layout: &Arc<ModelLayout>) -> Vec<ClientState> {
+    (0..N_CLIENTS)
+        .map(|id| {
+            let shard: Vec<usize> = (0..w.train.len().min(128)).collect();
+            ClientState {
+                id,
+                shard: shard.clone(),
+                sampler: BatchSampler::new(shard, 8),
+                device: DeviceSpeed::new(1.0, DynamicsConfig::static_device(), id as u64),
+                uplink: Link::paper_client(),
+                downlink: Link::paper_client(),
+                profiler: SampledProfiler::new(layout.clone(), 100, id as u64),
+                seed: 1000 + id as u64,
+                participations: 0,
+                error_feedback: ErrorFeedback::new(),
+            }
+        })
+        .collect()
+}
+
+fn plan() -> RoundPlan {
+    RoundPlan {
+        round: 0,
+        start: 0.0,
+        deadline: 1e9,
+        planned_iters: K,
+        is_anchor: false,
+    }
+}
+
+fn bench_round_orchestration(c: &mut Criterion) {
+    let w = Workload::tiny_mlp(7);
+    let seed_model = (w.model_factory)();
+    let layout = Arc::new(ModelLayout::from_spans(seed_model.spans()));
+    let global = seed_model.flat_params();
+    let fl = FlConfig {
+        lr: w.lr,
+        weight_decay: w.weight_decay,
+        batch_size: 8,
+        ..FlConfig::scaled()
+    };
+    let opts = ClientOptions::default();
+
+    let mut group = c.benchmark_group("round_orchestration");
+
+    {
+        // Legacy shape: a thread and a model built per client, per round.
+        let mut clients = make_clients(&w, &layout);
+        let (w, layout, global, fl, opts) = (&w, &layout, &global, &fl, &opts);
+        group.bench_function("spawn_per_round", |b| {
+            b.iter(|| {
+                let results: Mutex<Vec<Option<ClientRoundReport>>> =
+                    Mutex::new((0..N_CLIENTS).map(|_| None).collect());
+                std::thread::scope(|s| {
+                    for (ord, client) in clients.iter_mut().enumerate() {
+                        let results = &results;
+                        s.spawn(move || {
+                            let mut arena = ClientArena::from_model((w.model_factory)());
+                            let report = run_client_round(
+                                client,
+                                &mut arena,
+                                layout,
+                                global,
+                                &w.train,
+                                w,
+                                fl,
+                                opts,
+                                &plan(),
+                            );
+                            results.lock().expect("no poison")[ord] = Some(report);
+                        });
+                    }
+                });
+                results
+                    .into_inner()
+                    .expect("no poison")
+                    .into_iter()
+                    .filter(|r| r.is_some())
+                    .count()
+            })
+        });
+    }
+
+    {
+        // Pool path: persistent workers, arenas reused, streaming recv.
+        let n_workers = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(N_CLIENTS);
+        let pool = RoundExecutor::new(n_workers);
+        let mut clients: Vec<Option<ClientState>> =
+            make_clients(&w, &layout).into_iter().map(Some).collect();
+        let ctx = Arc::new(RoundCtx {
+            layout: layout.clone(),
+            workload: w.clone(),
+            fl: fl.clone(),
+            opts: opts.clone(),
+            global: global.clone(),
+        });
+        group.bench_function("worker_pool", |b| {
+            b.iter(|| {
+                for (ord, slot) in clients.iter_mut().enumerate() {
+                    pool.submit(ClientWork {
+                        ord,
+                        client: slot.take().expect("client checked in"),
+                        plan: plan(),
+                        ctx: Arc::clone(&ctx),
+                    });
+                }
+                for _ in 0..N_CLIENTS {
+                    let done = pool.recv();
+                    clients[done.ord] = Some(done.client);
+                }
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_orchestration);
+criterion_main!(benches);

@@ -31,9 +31,21 @@ fn main() {
 
     let configs: Vec<(&str, Scheme, Compression)> = vec![
         ("FedAvg-fp32", Scheme::FedAvg, Compression::None),
-        ("FedAvg-q4", Scheme::FedAvg, Compression::Quantize { bits: 4 }),
-        ("FedAvg-q2", Scheme::FedAvg, Compression::Quantize { bits: 2 }),
-        ("FedAvg-top10", Scheme::FedAvg, Compression::TopK { keep: 0.1 }),
+        (
+            "FedAvg-q4",
+            Scheme::FedAvg,
+            Compression::Quantize { bits: 4 },
+        ),
+        (
+            "FedAvg-q2",
+            Scheme::FedAvg,
+            Compression::Quantize { bits: 2 },
+        ),
+        (
+            "FedAvg-top10",
+            Scheme::FedAvg,
+            Compression::TopK { keep: 0.1 },
+        ),
         (
             "FedCA-v1+q4",
             Scheme::FedCa(FedCaOptions::v1()),

@@ -18,7 +18,9 @@ fn main() {
     };
     println!("model,round,client,iteration,progress");
     for name in ["cnn", "lstm", "wrn"] {
-        note(&format!("fig2: studying {name} at rounds {rounds:?} (K={k})"));
+        note(&format!(
+            "fig2: studying {name} at rounds {rounds:?} (K={k})"
+        ));
         let w = workload_by_name(name, scale, seed);
         let curves = progress_study(&w, &rounds, &[0, 1], k, seed);
         for ((round, client), rec) in &curves {

@@ -51,7 +51,9 @@ fn main() {
             .next()
             .unwrap_or(0);
         let layer_name = layout.name(l).to_string();
-        note(&format!("fig5: {name} layer {layer_name} rounds {rounds:?}"));
+        note(&format!(
+            "fig5: {name} layer {layer_name} rounds {rounds:?}"
+        ));
         let last = *rounds.iter().max().expect("rounds");
         let mut max_gap = 0.0f32;
         for round in 0..=last {
@@ -59,7 +61,13 @@ fn main() {
                 let global = trainer.global_params().to_vec();
                 let shard = trainer.client(0).shard.clone();
                 let snaps = record_local_snapshots(
-                    &w, &global, &shard, k, fl.batch_size, fl.lr, fl.weight_decay,
+                    &w,
+                    &global,
+                    &shard,
+                    k,
+                    fl.batch_size,
+                    fl.lr,
+                    fl.weight_decay,
                     seed ^ (round as u64) << 4,
                 );
                 let r = layout.range(l);
@@ -89,6 +97,8 @@ fn main() {
             }
             trainer.run_round();
         }
-        note(&format!("fig5: {name} max |full − sampled| gap: {max_gap:.3}"));
+        note(&format!(
+            "fig5: {name} max |full − sampled| gap: {max_gap:.3}"
+        ));
     }
 }

@@ -60,7 +60,11 @@ fn main() {
                 per_round,
                 rounds,
                 total / 3600.0,
-                if reached { "" } else { "  (target not reached)" }
+                if reached {
+                    ""
+                } else {
+                    "  (target not reached)"
+                }
             ));
         }
         table.push('\n');

@@ -75,8 +75,16 @@ pub fn record_full_curves(
     weight_decay: f32,
     seed: u64,
 ) -> RecordedCurves {
-    let snapshots =
-        record_local_snapshots(workload, global, shard, k, batch_size, lr, weight_decay, seed);
+    let snapshots = record_local_snapshots(
+        workload,
+        global,
+        shard,
+        k,
+        batch_size,
+        lr,
+        weight_decay,
+        seed,
+    );
     let model_curve = progress_curve(&snapshots);
     let layers = (0..layout.num_layers())
         .map(|l| {
@@ -151,6 +159,13 @@ pub fn progress_study(
         }
         trainer.run_round();
     }
+    let host_ms: f64 = trainer.records().iter().map(|r| r.host_ms).sum();
+    let rounds_run = trainer.records().len();
+    note(&format!(
+        "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s)",
+        host_ms,
+        rounds_run as f64 / (host_ms / 1e3).max(1e-9),
+    ));
     out
 }
 

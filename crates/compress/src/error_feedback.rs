@@ -86,9 +86,13 @@ mod tests {
     fn total_transmitted_converges_to_total_update() {
         // Sum of transmissions + final residual == sum of updates, exactly.
         let mut ef = ErrorFeedback::new();
-        let updates = [vec![1.0f32, 2.0, -3.0], vec![0.5, -1.0, 0.25], vec![2.0, 0.0, 1.0]];
+        let updates = [
+            vec![1.0f32, 2.0, -3.0],
+            vec![0.5, -1.0, 0.25],
+            vec![2.0, 0.0, 1.0],
+        ];
         let mut total_sent = vec![0.0f32; 3];
-        let mut total_update = vec![0.0f32; 3];
+        let mut total_update = [0.0f32; 3];
         for u0 in &updates {
             for (t, v) in total_update.iter_mut().zip(u0) {
                 *t += v;

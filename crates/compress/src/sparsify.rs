@@ -96,11 +96,17 @@ mod tests {
 
     #[test]
     fn kept_energy_dominates_dropped_energy() {
-        let x: Vec<f32> = (0..100).map(|i| (i as f32 * 1.3).sin() * i as f32).collect();
+        let x: Vec<f32> = (0..100)
+            .map(|i| (i as f32 * 1.3).sin() * i as f32)
+            .collect();
         let s = top_k(&x, 0.2);
         let kept: f32 = s.values.iter().map(|v| v * v).sum();
         let total: f32 = x.iter().map(|v| v * v).sum();
-        assert!(kept / total > 0.5, "top-20% kept only {} of energy", kept / total);
+        assert!(
+            kept / total > 0.5,
+            "top-20% kept only {} of energy",
+            kept / total
+        );
     }
 
     #[test]

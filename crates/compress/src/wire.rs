@@ -320,7 +320,10 @@ mod tests {
             client: 1,
             layers: vec![
                 (0, Payload::Dense(sample_vec(8, 5))),
-                (1, Payload::Quantized(quantize(&sample_vec(20, 6), 4, &mut rng))),
+                (
+                    1,
+                    Payload::Quantized(quantize(&sample_vec(20, 6), 4, &mut rng)),
+                ),
                 (2, Payload::Sparse(top_k(&sample_vec(30, 7), 0.2))),
             ],
         };
@@ -357,7 +360,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage_and_truncation() {
-        assert_eq!(decode(&Bytes::from_static(b"xx")), Err(WireError::Truncated));
+        assert_eq!(
+            decode(&Bytes::from_static(b"xx")),
+            Err(WireError::Truncated)
+        );
         let msg = UpdateMessage {
             round: 1,
             client: 1,

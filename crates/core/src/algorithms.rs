@@ -136,7 +136,10 @@ impl Scheme {
 /// `K_i = ⌈θ·K + (1−θ)·K_feasible⌉`, clamped to `[1, K]`.
 pub fn fedada_iterations(k: usize, predicted: f64, target: f64, theta: f64) -> usize {
     assert!(k >= 1, "need at least one iteration");
-    assert!(predicted > 0.0 && target > 0.0, "durations must be positive");
+    assert!(
+        predicted > 0.0 && target > 0.0,
+        "durations must be positive"
+    );
     if predicted <= target {
         return k;
     }

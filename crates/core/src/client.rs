@@ -13,7 +13,7 @@ use crate::profiler::SampledProfiler;
 use crate::workload::Workload;
 use fedca_compress::{Compression, ErrorFeedback};
 use fedca_data::{BatchSampler, InMemoryDataset};
-use fedca_nn::{softmax_cross_entropy, Model, Sgd};
+use fedca_nn::{softmax_cross_entropy, Sgd};
 use fedca_sim::device::DeviceSpeed;
 use fedca_sim::network::Link;
 use fedca_sim::SimTime;
@@ -105,12 +105,13 @@ pub struct ClientRoundReport {
 /// Runs one client round: download → K local iterations (with FedCA hooks)
 /// → upload, all in virtual time.
 ///
-/// `model` is a freshly-built layer graph for this client (its weights are
-/// overwritten by the global parameters). Returns the round report.
+/// `arena` supplies the model instance and scratch buffers; its weights are
+/// fully overwritten by the global parameters, so a reused arena behaves
+/// identically to a freshly-built one. Returns the round report.
 #[allow(clippy::too_many_arguments)]
 pub fn run_client_round(
     state: &mut ClientState,
-    model: &mut Model,
+    arena: &mut crate::executor::ClientArena,
     layout: &Arc<ModelLayout>,
     global: &[f32],
     data: &InMemoryDataset,
@@ -120,7 +121,19 @@ pub fn run_client_round(
     plan: &RoundPlan,
 ) -> ClientRoundReport {
     let total_params = layout.total_params();
-    assert_eq!(global.len(), total_params, "global parameter length mismatch");
+    assert_eq!(
+        global.len(),
+        total_params,
+        "global parameter length mismatch"
+    );
+    // Split the arena so the model and the flat scratch can be borrowed
+    // independently below (the profiler reads the scratch while the model
+    // keeps training).
+    let crate::executor::ClientArena {
+        model,
+        flat,
+        allocs_avoided,
+    } = arena;
     let mut rng = StdRng::seed_from_u64(
         state
             .seed
@@ -152,7 +165,11 @@ pub fn run_client_round(
         .unwrap_or((0.01, 2.0));
 
     let opt = Sgd::new(fl.lr, fl.weight_decay).with_prox(opts.prox_mu);
-    let anchor_weights = if opts.prox_mu > 0.0 { Some(global) } else { None };
+    let anchor_weights = if opts.prox_mu > 0.0 {
+        Some(global)
+    } else {
+        None
+    };
 
     let mut eager_state = EagerState::new(layout.num_layers());
     let mut loss_sum = 0.0f64;
@@ -162,13 +179,12 @@ pub fn run_client_round(
     let mut bytes_uploaded = 0.0f64;
 
     // --- §3.1 availability churn: the client may drop out mid-round.
-    let drop_time: Option<SimTime> = if fl.dropout_prob > 0.0
-        && rng.gen_range(0.0..1.0) < fl.dropout_prob
-    {
-        Some(plan.start + rng.gen_range(0.0..1.0) * plan.deadline.min(1e9))
-    } else {
-        None
-    };
+    let drop_time: Option<SimTime> =
+        if fl.dropout_prob > 0.0 && rng.gen_range(0.0..1.0) < fl.dropout_prob {
+            Some(plan.start + rng.gen_range(0.0..1.0) * plan.deadline.min(1e9))
+        } else {
+            None
+        };
     let mut dropped = false;
 
     // --- §6 extension: autonomous intra-round batch-size adaptation.
@@ -210,8 +226,7 @@ pub fn run_client_round(
 
         // --- Advance virtual time by the device's pace for this iteration
         // (compute scales with the configured batch size).
-        let iter_work =
-            workload.iter_work_seconds * batch_size as f64 / fl.batch_size as f64;
+        let iter_work = workload.iter_work_seconds * batch_size as f64 / fl.batch_size as f64;
         let before = now;
         now = state.device.execute(now, iter_work);
         last_iter_wall = now - before;
@@ -232,8 +247,9 @@ pub fn run_client_round(
 
         // --- Profiling (anchor rounds) or eager transmission (others).
         if is_anchor {
-            let current = model.flat_params();
-            state.profiler.record_iteration(global, &current);
+            model.flat_params_into(flat);
+            *allocs_avoided += 1;
+            state.profiler.record_iteration(global, flat);
         } else if use_eager {
             let layer_curves = &curves.as_ref().expect("checked").layers;
             // Only materialize the flat params if some layer may fire.
@@ -241,7 +257,9 @@ pub fn run_client_round(
                 .filter(|&l| eager_state.should_send(l, &layer_curves[l], tau, t_e))
                 .collect();
             if !pending.is_empty() {
-                let current = model.flat_params();
+                model.flat_params_into(flat);
+                *allocs_avoided += 1;
+                let current: &[f32] = flat;
                 for l in pending {
                     let r = layout.range(l);
                     let snapshot: Vec<f32> = current[r.clone()]
@@ -260,12 +278,13 @@ pub fn run_client_round(
     let compute_done = now;
 
     // --- Final accumulated update.
-    let current = model.flat_params();
+    model.flat_params_into(flat);
+    *allocs_avoided += 1;
     let mut final_update = UpdateVec::zeros(layout.clone());
     {
         let fu = final_update.as_mut_slice();
         for i in 0..total_params {
-            fu[i] = current[i] - global[i];
+            fu[i] = flat[i] - global[i];
         }
     }
 
@@ -299,8 +318,7 @@ pub fn run_client_round(
                 reported.layer_mut(l).copy_from_slice(snap);
             }
             LayerOutcome::Regular | LayerOutcome::Retransmitted { .. } => {
-                final_payload_bytes +=
-                    workload.wire_bytes_for(layout.layer_len(l), total_params);
+                final_payload_bytes += workload.wire_bytes_for(layout.layer_len(l), total_params);
             }
         }
         eager_outcomes.push(outcome);
@@ -374,6 +392,7 @@ pub fn run_client_round(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::ClientArena;
     use crate::workload::Workload;
     use fedca_sim::device::DynamicsConfig;
 
@@ -409,9 +428,9 @@ mod tests {
     fn fedavg_round_runs_all_iterations_and_moves_weights() {
         let w = Workload::tiny_mlp(1);
         let mut client = make_client(&w, 0);
-        let mut model = (w.model_factory)();
-        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-        let global = model.flat_params();
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
         let fl = FlConfig {
             lr: w.lr,
             weight_decay: w.weight_decay,
@@ -420,7 +439,7 @@ mod tests {
         };
         let report = run_client_round(
             &mut client,
-            &mut model,
+            &mut arena,
             &layout,
             &global,
             &w.train,
@@ -439,16 +458,19 @@ mod tests {
         assert!(report.upload_done >= report.compute_done);
         // 10 iterations × 0.05 s at unit speed.
         assert!((report.compute_done - report.download_done - 0.5).abs() < 1e-9);
-        assert!(report.eager_outcomes.iter().all(|o| *o == LayerOutcome::Regular));
+        assert!(report
+            .eager_outcomes
+            .iter()
+            .all(|o| *o == LayerOutcome::Regular));
     }
 
     #[test]
     fn update_equals_local_minus_global() {
         let w = Workload::tiny_mlp(2);
         let mut client = make_client(&w, 1);
-        let mut model = (w.model_factory)();
-        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-        let global = model.flat_params();
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
         let fl = FlConfig {
             lr: 0.05,
             weight_decay: 0.0,
@@ -457,7 +479,7 @@ mod tests {
         };
         let report = run_client_round(
             &mut client,
-            &mut model,
+            &mut arena,
             &layout,
             &global,
             &w.train,
@@ -466,7 +488,7 @@ mod tests {
             &ClientOptions::default(),
             &base_plan(5),
         );
-        let local = model.flat_params();
+        let local = arena.model.flat_params();
         for i in 0..local.len() {
             assert!(
                 (report.update.as_slice()[i] - (local[i] - global[i])).abs() < 1e-6,
@@ -479,9 +501,9 @@ mod tests {
     fn anchor_round_profiles_and_disables_optimizations() {
         let w = Workload::tiny_mlp(3);
         let mut client = make_client(&w, 2);
-        let mut model = (w.model_factory)();
-        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-        let global = model.flat_params();
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
         let fl = FlConfig {
             lr: 0.05,
             weight_decay: 0.0,
@@ -497,7 +519,7 @@ mod tests {
         plan.deadline = 0.01; // would trigger early stop if it were active
         let report = run_client_round(
             &mut client,
-            &mut model,
+            &mut arena,
             &layout,
             &global,
             &w.train,
@@ -517,9 +539,9 @@ mod tests {
     fn early_stop_fires_past_deadline() {
         let w = Workload::tiny_mlp(4);
         let mut client = make_client(&w, 3);
-        let mut model = (w.model_factory)();
-        let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-        let global = model.flat_params();
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
         let fl = FlConfig {
             lr: 0.05,
             weight_decay: 0.0,
@@ -534,16 +556,35 @@ mod tests {
         let mut plan = base_plan(20);
         plan.is_anchor = true;
         let _ = run_client_round(
-            &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts, &plan,
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &opts,
+            &plan,
         );
         // Now a tight deadline: the client should stop early.
         let mut plan = base_plan(20);
         plan.round = 1;
         plan.deadline = 0.2; // 4 iterations' worth of time
         let report = run_client_round(
-            &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts, &plan,
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &opts,
+            &plan,
         );
-        assert!(report.early_stopped, "tight deadline must trigger early stop");
+        assert!(
+            report.early_stopped,
+            "tight deadline must trigger early stop"
+        );
         assert!(report.iters_done < 20);
         assert!(report.iters_done >= 1);
     }
@@ -559,15 +600,22 @@ mod tests {
         };
         let norm_for = |mu: f32| {
             let mut client = make_client(&w, 4);
-            let mut model = (w.model_factory)();
-            let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-            let global = model.flat_params();
+            let mut arena = ClientArena::from_model((w.model_factory)());
+            let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+            let global = arena.model.flat_params();
             let opts = ClientOptions {
                 prox_mu: mu,
                 fedca: None,
             };
             run_client_round(
-                &mut client, &mut model, &layout, &global, &w.train, &w, &fl, &opts,
+                &mut client,
+                &mut arena,
+                &layout,
+                &global,
+                &w.train,
+                &w,
+                &fl,
+                &opts,
                 &base_plan(30),
             )
             .update

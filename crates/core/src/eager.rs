@@ -147,7 +147,10 @@ mod tests {
         st.mark_sent(0, 1, vec![1.0, 0.4]);
         let final_update = [1.0, -0.4];
         // cos ≈ 0.72: accepted at T_r = 0.6, retransmitted at T_r = 0.8.
-        assert_eq!(st.resolve(0, &final_update, 0.6), LayerOutcome::Eager { iter: 1 });
+        assert_eq!(
+            st.resolve(0, &final_update, 0.6),
+            LayerOutcome::Eager { iter: 1 }
+        );
         assert_eq!(
             st.resolve(0, &final_update, 0.8),
             LayerOutcome::Retransmitted { iter: 1 }

@@ -24,7 +24,10 @@ use fedca_sim::SimTime;
 /// # Panics
 /// Panics if `tau` is 0 or exceeds the curve length.
 pub fn marginal_benefit(curve: &[f32], tau: usize) -> f32 {
-    assert!(tau >= 1 && tau <= curve.len(), "iteration {tau} out of curve range");
+    assert!(
+        tau >= 1 && tau <= curve.len(),
+        "iteration {tau} out of curve range"
+    );
     let k = curve.len();
     let p_tau = curve[tau - 1];
     let p_prev = if tau >= 2 { curve[tau - 2] } else { 0.0 };

@@ -38,6 +38,7 @@ pub mod config;
 pub mod deadline;
 pub mod eager;
 pub mod early_stop;
+pub mod executor;
 pub mod metrics;
 pub mod params;
 pub mod profiler;
@@ -48,8 +49,8 @@ pub mod workload;
 
 pub use algorithms::{FedCaOptions, Scheme};
 pub use config::{FedCaConfig, FlConfig};
+pub use metrics::TrainerOutput;
 pub use params::UpdateVec;
 pub use progress::statistical_progress;
-pub use metrics::TrainerOutput;
 pub use runner::Trainer;
 pub use workload::Workload;

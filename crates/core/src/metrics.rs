@@ -50,6 +50,14 @@ pub struct RoundRecord {
     pub bytes_uploaded: f64,
     /// Whether this was an unoptimized profiling (anchor) round.
     pub is_anchor: bool,
+    /// Host wall-clock milliseconds spent executing this round (real time
+    /// spent orchestrating and training, unrelated to the virtual clock).
+    #[serde(default)]
+    pub host_ms: f64,
+    /// Heap allocations avoided this round by reusing worker arenas
+    /// (cached model builds plus flat-parameter scratch refills).
+    #[serde(default)]
+    pub allocs_avoided: usize,
 }
 
 impl RoundRecord {
@@ -197,6 +205,8 @@ mod tests {
             eager_events: vec![],
             bytes_uploaded: 0.0,
             is_anchor: false,
+            host_ms: 0.0,
+            allocs_avoided: 0,
         }
     }
 

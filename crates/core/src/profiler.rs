@@ -124,8 +124,15 @@ impl SampledProfiler {
     /// # Panics
     /// Panics if not recording or the vectors don't match the layout.
     pub fn record_iteration(&mut self, round_start: &[f32], current: &[f32]) {
-        let rec = self.recording.as_mut().expect("not recording an anchor round");
-        assert_eq!(round_start.len(), self.layout.total_params(), "length mismatch");
+        let rec = self
+            .recording
+            .as_mut()
+            .expect("not recording an anchor round");
+        assert_eq!(
+            round_start.len(),
+            self.layout.total_params(),
+            "length mismatch"
+        );
         assert_eq!(current.len(), round_start.len(), "length mismatch");
         let mut snap = Vec::with_capacity(self.total_samples);
         for l in 0..self.layout.num_layers() {
@@ -143,8 +150,14 @@ impl SampledProfiler {
     /// # Panics
     /// Panics if not recording or no iterations were recorded.
     pub fn finish_anchor(&mut self) -> &ProfiledCurves {
-        let rec = self.recording.take().expect("not recording an anchor round");
-        assert!(!rec.snapshots.is_empty(), "anchor round recorded no iterations");
+        let rec = self
+            .recording
+            .take()
+            .expect("not recording an anchor round");
+        assert!(
+            !rec.snapshots.is_empty(),
+            "anchor round recorded no iterations"
+        );
         let model = progress_curve(&rec.snapshots);
         let mut layers = Vec::with_capacity(self.layout.num_layers());
         for l in 0..self.layout.num_layers() {
@@ -218,7 +231,10 @@ mod tests {
         assert!(SampledProfiler::is_anchor_round(0, 10));
         assert!(!SampledProfiler::is_anchor_round(5, 10));
         assert!(SampledProfiler::is_anchor_round(20, 10));
-        assert!(!SampledProfiler::is_anchor_round(3, 0), "period 0 disables profiling");
+        assert!(
+            !SampledProfiler::is_anchor_round(3, 0),
+            "period 0 disables profiling"
+        );
     }
 
     #[test]

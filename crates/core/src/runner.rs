@@ -1,15 +1,20 @@
-//! The experiment driver: multi-round FL with concurrent clients on real
-//! threads and deterministic virtual time.
+//! The experiment driver: multi-round FL on a persistent worker pool with
+//! deterministic virtual time.
 //!
 //! Each round: the server selects clients, offloads the latest parameters
-//! plus the round deadline (§5.1), the selected clients train concurrently
-//! (crossbeam scoped threads — every client owns its state, so the run is
-//! data-race free by construction and bit-identical regardless of thread
-//! interleaving), and the server aggregates the earliest 90% of uploads.
+//! plus the round deadline (§5.1), the selected clients' state is moved to
+//! the [`RoundExecutor`]'s workers (spawned once per trainer, each owning a
+//! reusable [`ClientArena`](crate::executor::ClientArena)), and completed
+//! reports stream back into the server's
+//! [`StreamingAggregator`](crate::server::StreamingAggregator), which
+//! collects the earliest 90% of uploads. Every client owns its state while
+//! training, so the run is data-race free by construction and bit-identical
+//! regardless of which worker finishes first.
 
 use crate::algorithms::Scheme;
-use crate::client::{run_client_round, ClientOptions, ClientRoundReport, ClientState, RoundPlan};
+use crate::client::{ClientOptions, ClientState, RoundPlan};
 use crate::config::FlConfig;
+use crate::executor::{ClientWork, RoundCtx, RoundExecutor};
 use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
 use crate::params::ModelLayout;
 use crate::profiler::SampledProfiler;
@@ -22,7 +27,6 @@ use fedca_sim::device::{DeviceSpeed, DynamicsConfig};
 use fedca_sim::network::Link;
 use fedca_sim::trace::fedscale_like;
 use fedca_sim::SimTime;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -36,7 +40,10 @@ pub struct Trainer {
     workload: Workload,
     layout: Arc<ModelLayout>,
     server: Server,
-    clients: Vec<ClientState>,
+    /// Client state; a slot is `None` only while that client is checked out
+    /// to a worker mid-round.
+    clients: Vec<Option<ClientState>>,
+    executor: RoundExecutor,
     eval_model: Model,
     clock: SimTime,
     rng: StdRng,
@@ -84,12 +91,12 @@ impl Trainer {
             Scheme::FedCa(o) => o.config.max_samples_per_layer,
             _ => 100,
         };
-        let clients: Vec<ClientState> = shards
+        let clients: Vec<Option<ClientState>> = shards
             .into_iter()
             .enumerate()
             .map(|(id, shard)| {
                 let sampler = BatchSampler::new(shard.clone(), fl.batch_size);
-                ClientState {
+                Some(ClientState {
                     id,
                     shard,
                     sampler,
@@ -108,7 +115,7 @@ impl Trainer {
                     seed: fl.seed ^ (id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
                     participations: 0,
                     error_feedback: fedca_compress::ErrorFeedback::new(),
-                }
+                })
             })
             .collect();
 
@@ -124,9 +131,17 @@ impl Trainer {
             default_duration,
         );
 
+        // The pool is sized for one round's concurrency and lives for the
+        // trainer's whole life (workers are joined when the trainer drops).
+        let n_workers = fl.clients_per_round.clamp(
+            1,
+            std::thread::available_parallelism().map_or(8, |n| n.get()),
+        );
+
         Trainer {
             rng: StdRng::seed_from_u64(fl.seed.wrapping_add(0xA11CE)),
             eval_model: model,
+            executor: RoundExecutor::new(n_workers),
             fl,
             scheme,
             workload,
@@ -157,7 +172,9 @@ impl Trainer {
 
     /// Read access to a client (tests, examples).
     pub fn client(&self, id: usize) -> &ClientState {
-        &self.clients[id]
+        self.clients[id]
+            .as_ref()
+            .expect("client is checked out to a worker")
     }
 
     /// Current global parameters.
@@ -181,10 +198,11 @@ impl Trainer {
 
     /// Runs one communication round; returns its record.
     pub fn run_round(&mut self) -> &RoundRecord {
+        let host_t0 = std::time::Instant::now();
         let round = self.records.len();
-        let selected = self
-            .server
-            .select_clients(self.fl.n_clients, self.fl.clients_per_round, &mut self.rng);
+        let selected =
+            self.server
+                .select_clients(self.fl.n_clients, self.fl.clients_per_round, &mut self.rng);
         let deadline = self.server.round_deadline(&selected);
         let plans = self
             .server
@@ -199,9 +217,12 @@ impl Trainer {
         let round_start = self.clock;
         let mut plan_for: Vec<RoundPlan> = Vec::with_capacity(selected.len());
         for (ord, &cid) in selected.iter().enumerate() {
+            let client = self.clients[cid]
+                .as_mut()
+                .expect("client is checked out to a worker");
             let is_anchor = matches!(self.scheme, Scheme::FedCa(_))
                 && profile_period != 0
-                && self.clients[cid].participations.is_multiple_of(profile_period);
+                && client.participations.is_multiple_of(profile_period);
             plan_for.push(RoundPlan {
                 round,
                 start: round_start,
@@ -209,61 +230,42 @@ impl Trainer {
                 planned_iters: plans[ord],
                 is_anchor,
             });
-            self.clients[cid].participations += 1;
+            client.participations += 1;
         }
         let any_anchor = plan_for.iter().any(|p| p.is_anchor);
 
-        // Pull disjoint &mut references to the selected clients.
-        let mut slots: Vec<Option<&mut ClientState>> =
-            self.clients.iter_mut().map(Some).collect();
-        let mut work: Vec<(usize, &mut ClientState, RoundPlan)> = selected
-            .iter()
-            .enumerate()
-            .map(|(ord, &cid)| {
-                let client = slots[cid].take().expect("client selected twice");
-                (ord, client, plan_for[ord].clone())
-            })
-            .collect();
-
-        let global: Arc<Vec<f32>> = Arc::new(self.server.global().as_slice().to_vec());
-        let results: Mutex<Vec<Option<ClientRoundReport>>> =
-            Mutex::new((0..selected.len()).map(|_| None).collect());
-        {
-            let layout = &self.layout;
-            let workload = &self.workload;
-            let fl = &self.fl;
-            let opts = &opts;
-            let global = &global;
-            let results = &results;
-            crossbeam::scope(|s| {
-                for (ord, client, plan) in work.iter_mut() {
-                    let ord = *ord;
-                    s.spawn(move |_| {
-                        let mut model = (workload.model_factory)();
-                        let report = run_client_round(
-                            client,
-                            &mut model,
-                            layout,
-                            global,
-                            &workload.train,
-                            workload,
-                            fl,
-                            opts,
-                            &plan.clone(),
-                        );
-                        results.lock()[ord] = Some(report);
-                    });
-                }
-            })
-            .expect("client thread panicked");
+        // Move the selected clients (and their plans) to the worker pool.
+        let ctx = Arc::new(RoundCtx {
+            layout: self.layout.clone(),
+            workload: self.workload.clone(),
+            fl: self.fl.clone(),
+            opts,
+            global: self.server.global().as_slice().to_vec(),
+        });
+        for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
+            let client = self.clients[cid].take().expect("client selected twice");
+            self.executor.submit(ClientWork {
+                ord,
+                client,
+                plan,
+                ctx: Arc::clone(&ctx),
+            });
         }
-        let reports: Vec<ClientRoundReport> = results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("missing client report"))
-            .collect();
 
-        let agg = self.server.aggregate_round(round_start, &reports);
+        // Stream completions into the aggregator as workers finish; the
+        // fold at close() runs in ordinal order, so results do not depend
+        // on which worker reports first.
+        let mut agg = self.server.begin_round(round_start, selected.len());
+        let mut allocs_avoided = 0usize;
+        for _ in 0..selected.len() {
+            let done = self.executor.recv();
+            let cid = selected[done.ord];
+            debug_assert_eq!(done.client.id, cid, "report/client mismatch");
+            self.clients[cid] = Some(done.client);
+            allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
+            agg.ingest(done.ord, done.report);
+        }
+        let (agg, reports) = agg.close(&mut self.server);
         self.clock = agg.completion;
 
         let accuracy = if self.eval_every != 0 && round.is_multiple_of(self.eval_every) {
@@ -299,6 +301,8 @@ impl Trainer {
             eager_events,
             bytes_uploaded: reports.iter().map(|r| r.bytes_uploaded).sum(),
             is_anchor: any_anchor,
+            host_ms: host_t0.elapsed().as_secs_f64() * 1e3,
+            allocs_avoided,
         });
         self.records.last().expect("just pushed")
     }
@@ -394,7 +398,10 @@ mod tests {
         assert_eq!(out.rounds[0].n_selected, 4);
         assert!(out.rounds[0].n_aggregated >= 3);
         assert!(out.rounds[0].accuracy.is_some());
-        assert!(out.rounds.iter().all(|r| r.iters_done.iter().all(|&i| i == 6)));
+        assert!(out
+            .rounds
+            .iter()
+            .all(|r| r.iters_done.iter().all(|&i| i == 6)));
     }
 
     #[test]
@@ -410,6 +417,23 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_is_spawned_once_and_reused() {
+        let mut t = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(6));
+        let n = t.executor.n_workers();
+        assert!(
+            (1..=4).contains(&n),
+            "pool sized by clients_per_round, got {n}"
+        );
+        t.run(3);
+        assert_eq!(t.executor.n_workers(), n, "pool must persist across rounds");
+        // Every round's final-update scratch fill counts, and from the
+        // second round on cached models are reused too.
+        assert!(t.records()[0].allocs_avoided >= 4);
+        assert!(t.records()[1].allocs_avoided > t.records()[0].allocs_avoided);
+        assert!(t.records().iter().all(|r| r.host_ms > 0.0));
+    }
+
+    #[test]
     fn runs_are_deterministic() {
         let run = || {
             let mut t = Trainer::new(tiny_fl(), Scheme::fedca_default(), Workload::tiny_mlp(3));
@@ -419,7 +443,11 @@ mod tests {
         let b = run();
         for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
             assert_eq!(ra.end, rb.end, "round {} time diverged", ra.round);
-            assert_eq!(ra.accuracy, rb.accuracy, "round {} accuracy diverged", ra.round);
+            assert_eq!(
+                ra.accuracy, rb.accuracy,
+                "round {} accuracy diverged",
+                ra.round
+            );
             assert_eq!(ra.iters_done, rb.iters_done);
         }
     }

@@ -4,7 +4,7 @@ use crate::algorithms::{fedada_iterations, Scheme};
 use crate::client::ClientRoundReport;
 use crate::deadline::{compute_deadline, DurationEstimator};
 use crate::params::{aggregate, ModelLayout, UpdateVec};
-use fedca_sim::engine::{aggregated_clients, round_completion_time};
+use fedca_sim::engine::ArrivalCut;
 use fedca_sim::SimTime;
 use rand::Rng;
 use std::sync::Arc;
@@ -96,9 +96,24 @@ impl Server {
         }
     }
 
+    /// Opens a round for streaming aggregation: client reports are ingested
+    /// one by one as uploads complete and folded into the global model when
+    /// the aggregator is [closed](StreamingAggregator::close).
+    pub fn begin_round(&self, round_start: SimTime, n_selected: usize) -> StreamingAggregator {
+        assert!(n_selected > 0, "no clients selected");
+        StreamingAggregator {
+            round_start,
+            cut: ArrivalCut::new(self.aggregation_fraction),
+            reports: (0..n_selected).map(|_| None).collect(),
+        }
+    }
+
     /// Collects the earliest `aggregation_fraction` of uploads, applies the
     /// weighted-mean update to the global model, and updates the duration
     /// estimates of the collected clients.
+    ///
+    /// Batch convenience over [`Server::begin_round`]: ingests every report
+    /// in order and closes the streaming aggregator.
     ///
     /// # Panics
     /// Panics if `reports` is empty.
@@ -108,24 +123,87 @@ impl Server {
         reports: &[ClientRoundReport],
     ) -> AggregationResult {
         assert!(!reports.is_empty(), "no client reports");
-        let arrivals: Vec<SimTime> = reports.iter().map(|r| r.upload_done).collect();
-        let completion = round_completion_time(&arrivals, self.aggregation_fraction);
-        let collected = aggregated_clients(&arrivals, self.aggregation_fraction);
+        let mut agg = self.begin_round(round_start, reports.len());
+        for (ord, r) in reports.iter().enumerate() {
+            agg.ingest(ord, r.clone());
+        }
+        let (result, _reports) = agg.close(self);
+        result
+    }
+}
+
+/// Incremental aggregation state for one round.
+///
+/// Reports are ingested in whatever order client uploads complete; the
+/// arrival cut is tracked incrementally via [`ArrivalCut`]. The actual
+/// weighted fold is deferred to [`close`](Self::close), where it runs over
+/// the collected reports in canonical (report-ordinal) order — so the
+/// result is bit-identical to the batch path regardless of ingestion order.
+pub struct StreamingAggregator {
+    round_start: SimTime,
+    cut: ArrivalCut,
+    reports: Vec<Option<ClientRoundReport>>,
+}
+
+impl StreamingAggregator {
+    /// Ingests the report at ordinal `ord` (its position in the round's
+    /// selection list).
+    ///
+    /// # Panics
+    /// Panics if `ord` is out of range or was already ingested.
+    pub fn ingest(&mut self, ord: usize, report: ClientRoundReport) {
+        assert!(self.reports[ord].is_none(), "report {ord} ingested twice");
+        self.cut.observe(report.upload_done);
+        self.reports[ord] = Some(report);
+    }
+
+    /// Reports ingested so far.
+    pub fn received(&self) -> usize {
+        self.cut.len()
+    }
+
+    /// The round completion time if no further uploads were to arrive.
+    pub fn provisional_completion(&self) -> SimTime {
+        self.cut.completion_time()
+    }
+
+    /// Folds the collected updates into `server`'s global model and returns
+    /// the aggregation result plus the reports in ordinal order.
+    ///
+    /// # Panics
+    /// Panics unless every expected report was ingested.
+    pub fn close(self, server: &mut Server) -> (AggregationResult, Vec<ClientRoundReport>) {
+        let reports: Vec<ClientRoundReport> = self
+            .reports
+            .into_iter()
+            .map(|r| r.expect("missing client report"))
+            .collect();
+        let completion = self.cut.completion_time();
+        let collected: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.upload_done <= completion)
+            .map(|(i, _)| i)
+            .collect();
         let weighted: Vec<(&UpdateVec, f64)> = collected
             .iter()
             .map(|&i| (&reports[i].update, reports[i].weight))
             .collect();
         let delta = aggregate(&weighted);
-        self.global.axpy(1.0, &delta);
+        server.global.axpy(1.0, &delta);
         for &i in &collected {
             let r = &reports[i];
-            self.estimator
-                .observe(r.client_id, r.upload_done - round_start);
+            server
+                .estimator
+                .observe(r.client_id, r.upload_done - self.round_start);
         }
-        AggregationResult {
-            completion,
-            collected,
-        }
+        (
+            AggregationResult {
+                completion,
+                collected,
+            },
+            reports,
+        )
     }
 }
 
@@ -144,7 +222,12 @@ mod tests {
         }]))
     }
 
-    fn report(client_id: usize, upload_done: f64, update: Vec<f32>, weight: f64) -> ClientRoundReport {
+    fn report(
+        client_id: usize,
+        upload_done: f64,
+        update: Vec<f32>,
+        weight: f64,
+    ) -> ClientRoundReport {
         ClientRoundReport {
             client_id,
             weight,
@@ -195,11 +278,50 @@ mod tests {
     }
 
     #[test]
+    fn streaming_ingestion_order_is_irrelevant() {
+        let reports = vec![
+            report(0, 3.0, vec![1.0, -2.0], 1.0),
+            report(1, 1.0, vec![0.5, 4.0], 2.0),
+            report(2, f64::INFINITY, vec![100.0, 100.0], 1.0),
+            report(3, 2.0, vec![-1.5, 0.25], 3.0),
+        ];
+        let mut batch = server();
+        let batch_res = batch.aggregate_round(0.0, &reports);
+
+        // Ingest in a scrambled completion order; results must be
+        // bit-identical to the batch path.
+        let mut streaming = server();
+        let mut agg = streaming.begin_round(0.0, reports.len());
+        for &ord in &[3usize, 0, 2, 1] {
+            agg.ingest(ord, reports[ord].clone());
+        }
+        assert_eq!(agg.received(), 4);
+        let (res, back) = agg.close(&mut streaming);
+        assert_eq!(res.completion, batch_res.completion);
+        assert_eq!(res.collected, batch_res.collected);
+        assert_eq!(batch.global().as_slice(), streaming.global().as_slice());
+        // Reports come back in ordinal order regardless of ingestion order.
+        let ids: Vec<usize> = back.iter().map(|r| r.client_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ingested twice")]
+    fn streaming_rejects_duplicate_ordinals() {
+        let s = server();
+        let mut agg = s.begin_round(0.0, 2);
+        agg.ingest(0, report(0, 1.0, vec![0.0, 0.0], 1.0));
+        agg.ingest(0, report(0, 1.0, vec![0.0, 0.0], 1.0));
+    }
+
+    #[test]
     fn straggler_update_is_dropped_at_90_percent() {
         let mut s = Server::new(layout(), vec![0.0, 0.0], 16, 0.9, 5.0);
         // 10 clients; the slowest (id 9) misses the cut. Its update is huge —
         // the global must not move by anything like it.
-        let mut reports: Vec<_> = (0..9).map(|i| report(i, 1.0 + i as f64 * 0.01, vec![0.1, 0.0], 1.0)).collect();
+        let mut reports: Vec<_> = (0..9)
+            .map(|i| report(i, 1.0 + i as f64 * 0.01, vec![0.1, 0.0], 1.0))
+            .collect();
         reports.push(report(9, 100.0, vec![1000.0, 0.0], 1.0));
         let res = s.aggregate_round(0.0, &reports);
         assert_eq!(res.collected.len(), 9);

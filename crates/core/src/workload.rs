@@ -113,14 +113,11 @@ impl Workload {
                 LstmConfig::paper(),
                 SequenceTaskConfig::kws_like(10, 40_000, 2_000),
             ),
-            Scale::Scaled => (
-                LstmConfig::scaled(),
-                {
-                    let mut c = SequenceTaskConfig::kws_like(8, 4_000, 512);
-                    c.noise = 1.8;
-                    c
-                },
-            ),
+            Scale::Scaled => (LstmConfig::scaled(), {
+                let mut c = SequenceTaskConfig::kws_like(8, 4_000, 512);
+                c.noise = 1.8;
+                c
+            }),
         };
         let (train, test) = sequence_task(&data_cfg, seed.wrapping_add(101));
         Workload {
@@ -130,7 +127,7 @@ impl Workload {
             test: Arc::new(test),
             iter_work_seconds: 0.25,
             wire_model_bytes: 0.20e6,
-            target_accuracy: 0.85,  // same target fits both scales
+            target_accuracy: 0.85, // same target fits both scales
             lr: 0.05,
             weight_decay: 0.01,
         }

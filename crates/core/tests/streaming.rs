@@ -1,0 +1,97 @@
+//! Property test: streaming aggregation ingested in arbitrary completion
+//! order is equivalent to the batch aggregation path.
+
+use fedca_core::client::ClientRoundReport;
+use fedca_core::params::{ModelLayout, UpdateVec};
+use fedca_core::server::Server;
+use fedca_nn::model::ParamSpan;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIM: usize = 4;
+
+fn layout() -> Arc<ModelLayout> {
+    Arc::new(ModelLayout::from_spans(&[ParamSpan {
+        name: "w".into(),
+        range: 0..DIM,
+    }]))
+}
+
+fn report(
+    client_id: usize,
+    upload_done: f64,
+    weight: f64,
+    update: Vec<f32>,
+    dropped: bool,
+) -> ClientRoundReport {
+    ClientRoundReport {
+        client_id,
+        weight,
+        update: UpdateVec::from_vec(layout(), update),
+        iters_done: 3,
+        early_stopped: false,
+        download_done: 0.05,
+        compute_done: upload_done.min(1e12),
+        upload_done,
+        eager_outcomes: Vec::new(),
+        bytes_uploaded: 16.0,
+        train_loss: 0.5,
+        dropped,
+    }
+}
+
+fn server() -> Server {
+    Server::new(layout(), vec![0.0; DIM], 32, 0.9, 5.0)
+}
+
+proptest! {
+    #[test]
+    fn streaming_aggregation_matches_batch_for_any_arrival_order(
+        (arrivals, weights, updates, prios) in (2usize..16).prop_flat_map(|n| (
+            // (arrival time, drop marker): marker 0 → the client dropped
+            // out and its upload never arrives (+inf).
+            prop::collection::vec((0.1f64..100.0, 0u8..5u8), n),
+            prop::collection::vec(0.5f64..20.0, n),
+            prop::collection::vec(prop::collection::vec(-5.0f32..5.0, DIM), n),
+            // Ingestion priorities: induce a random completion order.
+            prop::collection::vec(0u64..1_000_000, n),
+        ))
+    ) {
+        let n = arrivals.len();
+        let reports: Vec<ClientRoundReport> = (0..n)
+            .map(|i| {
+                // Client 0 always finishes so the round can complete.
+                let dropped = arrivals[i].1 == 0 && i != 0;
+                let t = if dropped { f64::INFINITY } else { arrivals[i].0 };
+                report(i, t, weights[i], updates[i].clone(), dropped)
+            })
+            .collect();
+
+        let mut batch = server();
+        let batch_res = batch.aggregate_round(0.0, &reports);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (prios[i], i));
+        let mut streaming = server();
+        let mut agg = streaming.begin_round(0.0, n);
+        for &ord in &order {
+            agg.ingest(ord, reports[ord].clone());
+        }
+        prop_assert_eq!(agg.received(), n);
+        prop_assert_eq!(agg.provisional_completion(), batch_res.completion);
+        let (res, back) = agg.close(&mut streaming);
+
+        prop_assert_eq!(&res.collected, &batch_res.collected);
+        prop_assert_eq!(res.completion, batch_res.completion);
+        prop_assert_eq!(back.len(), n);
+        for (i, (b, s)) in batch
+            .global()
+            .as_slice()
+            .iter()
+            .zip(streaming.global().as_slice())
+            .enumerate()
+        {
+            prop_assert!((b - s).abs() < 1e-6, "global[{}]: batch {} vs streaming {}", i, b, s);
+        }
+    }
+}

@@ -19,7 +19,11 @@ impl InMemoryDataset {
     /// Panics if lengths disagree or a label is `>= classes`.
     pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
         assert!(inputs.shape().rank() >= 1, "inputs need a batch dimension");
-        assert_eq!(inputs.dims()[0], labels.len(), "inputs/labels length mismatch");
+        assert_eq!(
+            inputs.dims()[0],
+            labels.len(),
+            "inputs/labels length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < classes),
             "label out of range for {classes} classes"

@@ -91,7 +91,9 @@ impl SequenceTaskConfig {
 /// channel, normalized to unit RMS. Seeded by `(task_seed, class)` so the
 /// same task config always produces the same concept.
 fn image_prototype(cfg: &ImageTaskConfig, task_seed: u64, class: usize) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(task_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)));
+    let mut rng = StdRng::seed_from_u64(
+        task_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)),
+    );
     let n = cfg.channels * cfg.hw * cfg.hw;
     let mut proto = vec![0.0f32; n];
     const WAVES: usize = 3;
@@ -115,7 +117,9 @@ fn image_prototype(cfg: &ImageTaskConfig, task_seed: u64, class: usize) -> Vec<f
 
 /// Class prototype for sequences: a smooth random walk per feature channel.
 fn sequence_prototype(cfg: &SequenceTaskConfig, task_seed: u64, class: usize) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(task_seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(class as u64 + 1)));
+    let mut rng = StdRng::seed_from_u64(
+        task_seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(class as u64 + 1)),
+    );
     let n = cfg.timesteps * cfg.features;
     let mut proto = vec![0.0f32; n];
     for f in 0..cfg.features {
@@ -189,8 +193,22 @@ pub fn image_task(cfg: &ImageTaskConfig, seed: u64) -> (InMemoryDataset, InMemor
     let mut rng_train = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut rng_test = StdRng::seed_from_u64(seed.wrapping_add(2));
     (
-        generate(&prototypes, &dims, cfg.train_samples, cfg.classes, cfg.noise, &mut rng_train),
-        generate(&prototypes, &dims, cfg.test_samples, cfg.classes, cfg.noise, &mut rng_test),
+        generate(
+            &prototypes,
+            &dims,
+            cfg.train_samples,
+            cfg.classes,
+            cfg.noise,
+            &mut rng_train,
+        ),
+        generate(
+            &prototypes,
+            &dims,
+            cfg.test_samples,
+            cfg.classes,
+            cfg.noise,
+            &mut rng_test,
+        ),
     )
 }
 
@@ -203,8 +221,22 @@ pub fn sequence_task(cfg: &SequenceTaskConfig, seed: u64) -> (InMemoryDataset, I
     let mut rng_train = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut rng_test = StdRng::seed_from_u64(seed.wrapping_add(2));
     (
-        generate(&prototypes, &dims, cfg.train_samples, cfg.classes, cfg.noise, &mut rng_train),
-        generate(&prototypes, &dims, cfg.test_samples, cfg.classes, cfg.noise, &mut rng_test),
+        generate(
+            &prototypes,
+            &dims,
+            cfg.train_samples,
+            cfg.classes,
+            cfg.noise,
+            &mut rng_train,
+        ),
+        generate(
+            &prototypes,
+            &dims,
+            cfg.test_samples,
+            cfg.classes,
+            cfg.noise,
+            &mut rng_test,
+        ),
     )
 }
 

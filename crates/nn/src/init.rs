@@ -13,7 +13,12 @@ pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Ten
 
 /// Xavier-Glorot uniform init: `U(±sqrt(6/(fan_in+fan_out)))`. Used for the
 /// LSTM's recurrent weights where activations are tanh/sigmoid.
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::rand_uniform(shape, -bound, bound, rng)

@@ -25,7 +25,11 @@ impl Layer for Relu {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut mask = Tensor::zeros(x.shape().clone());
         let mut y = x.clone();
-        for (m, v) in mask.as_mut_slice().iter_mut().zip(y.as_mut_slice().iter_mut()) {
+        for (m, v) in mask
+            .as_mut_slice()
+            .iter_mut()
+            .zip(y.as_mut_slice().iter_mut())
+        {
             if *v > 0.0 {
                 *m = 1.0;
             } else {
@@ -109,7 +113,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.output.as_ref().expect("Sigmoid::backward before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("Sigmoid::backward before forward");
         let mut g = grad_out.clone();
         for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
             *gi *= yi * (1.0 - yi);

@@ -46,9 +46,19 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.shape().rank(), 4, "BatchNorm2d expects [N,C,H,W], got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            4,
+            "BatchNorm2d expects [N,C,H,W], got {}",
+            x.shape()
+        );
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        assert_eq!(c, self.channels, "BatchNorm2d {}: channel mismatch", self.weight.name());
+        assert_eq!(
+            c,
+            self.channels,
+            "BatchNorm2d {}: channel mismatch",
+            self.weight.name()
+        );
         let plane = h * w;
         let m = (n * plane) as f32;
         let xd = x.as_slice();
@@ -96,7 +106,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let xhat = self.xhat.as_ref().expect("BatchNorm2d::backward before forward");
+        let xhat = self
+            .xhat
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         assert_eq!(grad_out.dims(), xhat.dims(), "grad shape mismatch");
         let dims = xhat.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -128,8 +141,7 @@ impl Layer for BatchNorm2d {
                     let base = (s * c + ch) * plane;
                     let gout = &mut gin.as_mut_slice()[base..base + plane];
                     for i in 0..plane {
-                        gout[i] =
-                            scale * (gd[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
+                        gout[i] = scale * (gd[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
                     }
                 }
             } else {

@@ -73,7 +73,10 @@ impl Conv2d {
             he,
             we
         );
-        ((he - self.k) / self.stride + 1, (we - self.k) / self.stride + 1)
+        (
+            (he - self.k) / self.stride + 1,
+            (we - self.k) / self.stride + 1,
+        )
     }
 
     /// Unrolls one sample `x[n]` into `self.col` with layout
@@ -141,9 +144,19 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.shape().rank(), 4, "Conv2d expects [N,C,H,W], got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            4,
+            "Conv2d expects [N,C,H,W], got {}",
+            x.shape()
+        );
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        assert_eq!(c, self.in_c, "Conv2d {}: channel mismatch", self.weight.name());
+        assert_eq!(
+            c,
+            self.in_c,
+            "Conv2d {}: channel mismatch",
+            self.weight.name()
+        );
         let (oh, ow) = self.out_size(h, w);
         let ck2 = self.in_c * self.k * self.k;
         if !self.col_dims_ready || self.col.dims() != [ck2, oh * ow] {
@@ -229,7 +242,14 @@ mod tests {
     use rand::SeedableRng;
 
     /// Direct (quadruple-loop) convolution used as a reference.
-    fn naive_conv(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+    fn naive_conv(
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (n, in_c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let out_c = w.dims()[0];
         let oh = (h + 2 * pad - k) / stride + 1;
@@ -245,7 +265,11 @@ mod tests {
                                 for dj in 0..k {
                                     let src_i = (i * stride + di) as isize - pad as isize;
                                     let src_j = (j * stride + dj) as isize - pad as isize;
-                                    if src_i < 0 || src_j < 0 || src_i >= h as isize || src_j >= ww as isize {
+                                    if src_i < 0
+                                        || src_j < 0
+                                        || src_i >= h as isize
+                                        || src_j >= ww as isize
+                                    {
                                         continue;
                                     }
                                     let xv = x.at(&[s, c, src_i as usize, src_j as usize]);
@@ -277,7 +301,10 @@ mod tests {
             let want = naive_conv(&x, &conv.weight.value, &conv.bias.value, k, stride, pad);
             assert_eq!(got.dims(), want.dims());
             for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
-                assert!((a - b).abs() < 1e-4, "{a} vs {b} (cfg {in_c},{out_c},{k},{stride},{pad})");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{a} vs {b} (cfg {in_c},{out_c},{k},{stride},{pad})"
+                );
             }
         }
     }

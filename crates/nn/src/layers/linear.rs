@@ -47,7 +47,12 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.shape().rank(), 2, "Linear expects [N, in], got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            2,
+            "Linear expects [N, in], got {}",
+            x.shape()
+        );
         assert_eq!(
             x.dims()[1],
             self.in_features,
@@ -62,7 +67,11 @@ impl Layer for Linear {
         let b = self.bias.value.as_slice();
         let ydata = y.as_mut_slice();
         for i in 0..n {
-            fedca_tensor::axpy(1.0, b, &mut ydata[i * self.out_features..(i + 1) * self.out_features]);
+            fedca_tensor::axpy(
+                1.0,
+                b,
+                &mut ydata[i * self.out_features..(i + 1) * self.out_features],
+            );
         }
         self.cached_input = Some(x.clone());
         y
@@ -74,7 +83,11 @@ impl Layer for Linear {
             .as_ref()
             .expect("Linear::backward called before forward");
         let n = x.dims()[0];
-        assert_eq!(grad_out.dims(), &[n, self.out_features], "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.dims(),
+            &[n, self.out_features],
+            "grad_out shape mismatch"
+        );
 
         // dW[out, in] += gᵀ[out, N] · x[N, in]  == matmul_transpose_a(g, x)
         ops::matmul_transpose_a_acc(grad_out, x, &mut self.weight.grad);
@@ -83,7 +96,11 @@ impl Layer for Linear {
             let g = grad_out.as_slice();
             let db = self.bias.grad.as_mut_slice();
             for i in 0..n {
-                fedca_tensor::axpy(1.0, &g[i * self.out_features..(i + 1) * self.out_features], db);
+                fedca_tensor::axpy(
+                    1.0,
+                    &g[i * self.out_features..(i + 1) * self.out_features],
+                    db,
+                );
             }
         }
         // dx[N, in] = g[N, out] · W[out, in]

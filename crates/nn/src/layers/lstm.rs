@@ -18,10 +18,10 @@ use fedca_tensor::{ops, Tensor};
 
 /// Per-timestep cache of one LSTM layer.
 struct StepCache {
-    x: Tensor,     // [N, in]  input at t
+    x: Tensor,      // [N, in]  input at t
     h_prev: Tensor, // [N, H]
     c_prev: Tensor, // [N, H]
-    i: Tensor,     // [N, H] gate activations
+    i: Tensor,      // [N, H] gate activations
     f: Tensor,
     g: Tensor,
     o: Tensor,
@@ -40,7 +40,13 @@ struct LstmCore {
 }
 
 impl LstmCore {
-    fn new(prefix: &str, layer_idx: usize, input_size: usize, hidden: usize, rng: &mut impl rand::Rng) -> Self {
+    fn new(
+        prefix: &str,
+        layer_idx: usize,
+        input_size: usize,
+        hidden: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
         let h4 = 4 * hidden;
         // PyTorch initializes all LSTM weights U(-1/sqrt(H), 1/sqrt(H)).
         let bound = 1.0 / (hidden as f32).sqrt();
@@ -71,7 +77,12 @@ impl LstmCore {
     /// states `[N, T, H]` and caching activations for BPTT.
     fn forward_seq(&mut self, xs: &Tensor) -> Tensor {
         let (n, t, fin) = (xs.dims()[0], xs.dims()[1], xs.dims()[2]);
-        assert_eq!(fin, self.input_size, "LSTM {}: input width mismatch", self.w_ih.name());
+        assert_eq!(
+            fin,
+            self.input_size,
+            "LSTM {}: input width mismatch",
+            self.w_ih.name()
+        );
         let hdim = self.hidden;
         self.cache.clear();
         self.cache.reserve(t);
@@ -255,7 +266,12 @@ impl Lstm {
 
 impl Layer for Lstm {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.shape().rank(), 3, "Lstm expects [N,T,F], got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            3,
+            "Lstm expects [N,T,F], got {}",
+            x.shape()
+        );
         let (n, t) = (x.dims()[0], x.dims()[1]);
         self.seq_len = Some(t);
         let mut seq = x.clone();
@@ -280,8 +296,7 @@ impl Layer for Lstm {
         // Only the last timestep of the top layer receives output gradient.
         let mut dh_seq = Tensor::zeros([n, t, hdim]);
         for s in 0..n {
-            let dst =
-                &mut dh_seq.as_mut_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
+            let dst = &mut dh_seq.as_mut_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
             dst.copy_from_slice(&grad_out.as_slice()[s * hdim..(s + 1) * hdim]);
         }
         let mut grad = dh_seq;
@@ -301,9 +316,7 @@ impl Layer for Lstm {
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
         self.layers
             .iter_mut()
-            .flat_map(|c| {
-                vec![&mut c.w_ih, &mut c.w_hh, &mut c.b_ih, &mut c.b_hh]
-            })
+            .flat_map(|c| vec![&mut c.w_ih, &mut c.w_hh, &mut c.b_ih, &mut c.b_hh])
             .collect()
     }
 }
@@ -367,7 +380,11 @@ mod tests {
         let o = sigmoid_scalar(0.4);
         let c = i * g;
         let expected = o * c.tanh();
-        assert!((y.as_slice()[0] - expected).abs() < 1e-6, "{} vs {expected}", y.as_slice()[0]);
+        assert!(
+            (y.as_slice()[0] - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            y.as_slice()[0]
+        );
     }
 
     #[test]

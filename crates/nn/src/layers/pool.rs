@@ -4,7 +4,12 @@ use crate::layer::Layer;
 use fedca_tensor::Tensor;
 
 fn check_4d(x: &Tensor, what: &str) -> (usize, usize, usize, usize) {
-    assert_eq!(x.shape().rank(), 4, "{what} expects [N,C,H,W], got {}", x.shape());
+    assert_eq!(
+        x.shape().rank(),
+        4,
+        "{what} expects [N,C,H,W], got {}",
+        x.shape()
+    );
     let d = x.dims();
     (d[0], d[1], d[2], d[3])
 }
@@ -72,7 +77,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
         let dims = self.input_dims.as_ref().unwrap().clone();
         assert_eq!(grad_out.len(), argmax.len(), "grad shape mismatch");
         let mut gin = Tensor::zeros(dims);

@@ -137,7 +137,11 @@ mod tests {
         let dx = block.backward(&Tensor::full([2, 4, 4, 4], 1.0));
         assert_eq!(dx.dims(), &[2, 2, 8, 8]);
         // Projection weights get gradients too.
-        let names: Vec<_> = block.params().iter().map(|p| p.name().to_string()).collect();
+        let names: Vec<_> = block
+            .params()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
         assert!(names.contains(&"proj.weight".to_string()));
     }
 

@@ -64,7 +64,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn set_training(&mut self, training: bool) {
@@ -102,7 +105,10 @@ mod tests {
             .push(Linear::new("fc1", 2, 2, &mut rng))
             .push(Linear::new("fc2", 2, 2, &mut rng));
         let names: Vec<_> = net.params().iter().map(|p| p.name().to_string()).collect();
-        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+        assert_eq!(
+            names,
+            vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        );
     }
 
     #[test]

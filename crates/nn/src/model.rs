@@ -80,10 +80,18 @@ impl Model {
     /// Copies all parameters into one flat vector (traversal order).
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.total);
+        self.flat_params_into(&mut out);
+        out
+    }
+
+    /// Copies all parameters into `out` (traversal order), reusing its
+    /// allocation. `out` is cleared first and ends up `num_params()` long.
+    pub fn flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.total);
         for p in self.net.params() {
             out.extend_from_slice(p.value.as_slice());
         }
-        out
     }
 
     /// Overwrites all parameters from a flat vector.
@@ -95,7 +103,9 @@ impl Model {
         let mut offset = 0usize;
         for p in self.net.params_mut() {
             let n = p.len();
-            p.value.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }
@@ -149,7 +159,10 @@ mod tests {
         }
         assert_eq!(expected_start, m.num_params());
         let names: Vec<_> = m.spans().iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+        assert_eq!(
+            names,
+            vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        );
     }
 
     #[test]
@@ -161,6 +174,18 @@ mod tests {
         assert_eq!(m.flat_params(), modified);
         m.set_flat_params(&orig);
         assert_eq!(m.flat_params(), orig);
+    }
+
+    #[test]
+    fn flat_params_into_reuses_the_buffer() {
+        let m = tiny_model(5);
+        let mut buf = vec![f32::NAN; 3]; // stale contents must be discarded
+        m.flat_params_into(&mut buf);
+        assert_eq!(buf, m.flat_params());
+        let cap = buf.capacity();
+        m.flat_params_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
+        assert_eq!(buf, m.flat_params());
     }
 
     #[test]

@@ -51,11 +51,19 @@ impl CnnConfig {
     fn flat_after_convs(&self) -> usize {
         // conv1 (k5): s-4; pool2: /2; conv2 (k5): -4; pool2: /2.
         let s1 = self.input_hw - 4;
-        assert!(s1.is_multiple_of(2), "CNN input size {} unsupported", self.input_hw);
+        assert!(
+            s1.is_multiple_of(2),
+            "CNN input size {} unsupported",
+            self.input_hw
+        );
         let s2 = s1 / 2;
         assert!(s2 > 4, "CNN input size {} too small", self.input_hw);
         let s3 = s2 - 4;
-        assert!(s3.is_multiple_of(2), "CNN input size {} unsupported", self.input_hw);
+        assert!(
+            s3.is_multiple_of(2),
+            "CNN input size {} unsupported",
+            self.input_hw
+        );
         16 * (s3 / 2) * (s3 / 2)
     }
 }
@@ -121,7 +129,13 @@ pub fn lstm(cfg: &LstmConfig, seed: u64) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     Model::new(
         Sequential::new()
-            .push(Lstm::new("rnn", cfg.input_size, cfg.hidden, cfg.num_layers, &mut rng))
+            .push(Lstm::new(
+                "rnn",
+                cfg.input_size,
+                cfg.hidden,
+                cfg.num_layers,
+                &mut rng,
+            ))
             .push(Linear::new("fc", cfg.hidden, cfg.classes, &mut rng)),
     )
 }
@@ -227,7 +241,10 @@ fn wrn_group(
 /// # Panics
 /// Panics if `input_hw` is not divisible by 4 (two stride-2 groups).
 pub fn wrn(cfg: &WrnConfig, seed: u64) -> Model {
-    assert!(cfg.input_hw.is_multiple_of(4), "WRN input must be divisible by 4");
+    assert!(
+        cfg.input_hw.is_multiple_of(4),
+        "WRN input must be divisible by 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let w = cfg.width;
     let mut seq = Sequential::new()
@@ -236,7 +253,15 @@ pub fn wrn(cfg: &WrnConfig, seed: u64) -> Model {
         .push(Relu::new());
     seq = wrn_group(seq, "conv2", w, w, 1, cfg.blocks_per_group, &mut rng);
     seq = wrn_group(seq, "conv3", w, 2 * w, 2, cfg.blocks_per_group, &mut rng);
-    seq = wrn_group(seq, "conv4", 2 * w, 4 * w, 2, cfg.blocks_per_group, &mut rng);
+    seq = wrn_group(
+        seq,
+        "conv4",
+        2 * w,
+        4 * w,
+        2,
+        cfg.blocks_per_group,
+        &mut rng,
+    );
     seq = seq
         .push(AvgPool2d::new())
         .push(Linear::new("fc", 4 * w, cfg.classes, &mut rng));
@@ -336,7 +361,9 @@ mod tests {
         let conv_weights = m
             .spans()
             .iter()
-            .filter(|s| s.name.ends_with("residual.0.weight") || s.name.ends_with("residual.3.weight"))
+            .filter(|s| {
+                s.name.ends_with("residual.0.weight") || s.name.ends_with("residual.3.weight")
+            })
             .count();
         assert_eq!(conv_weights, 24);
     }

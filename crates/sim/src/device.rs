@@ -183,7 +183,10 @@ mod tests {
         let t2 = d.execute(t1, 5.0);
         let t_both = d.execute(0.0, 10.0);
         assert!(t1 > 0.0 && t2 > t1);
-        assert!((t_both - t2).abs() < 1e-6, "split vs whole: {t_both} vs {t2}");
+        assert!(
+            (t_both - t2).abs() < 1e-6,
+            "split vs whole: {t_both} vs {t2}"
+        );
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub fn round_completion_time(arrivals: &[SimTime], fraction: f64) -> SimTime {
         fraction > 0.0 && fraction <= 1.0,
         "aggregation fraction must be in (0, 1], got {fraction}"
     );
-    let k = ((arrivals.len() as f64 * fraction).ceil() as usize)
-        .clamp(1, arrivals.len());
+    let k = ((arrivals.len() as f64 * fraction).ceil() as usize).clamp(1, arrivals.len());
     let mut sorted = arrivals.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN arrival times"));
     let t = sorted[k - 1];
@@ -45,6 +44,79 @@ pub fn aggregated_clients(arrivals: &[SimTime], fraction: f64) -> Vec<usize> {
         .filter(|(_, &t)| t <= deadline)
         .map(|(i, _)| i)
         .collect()
+}
+
+/// Incremental form of [`round_completion_time`]: arrivals are observed one
+/// at a time (in whatever order client uploads complete) and the completion
+/// cut can be read at any point.
+///
+/// Maintains the arrivals in sorted order, so the cut is the same value the
+/// batch helper computes over the full slice — streaming ingestion order
+/// never changes the result.
+#[derive(Clone, Debug)]
+pub struct ArrivalCut {
+    fraction: f64,
+    sorted: Vec<SimTime>,
+}
+
+impl ArrivalCut {
+    /// Creates an empty cut tracker.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "aggregation fraction must be in (0, 1], got {fraction}"
+        );
+        ArrivalCut {
+            fraction,
+            sorted: Vec::new(),
+        }
+    }
+
+    /// Records one upload arrival (`+inf` for clients that dropped out).
+    ///
+    /// # Panics
+    /// Panics on NaN arrival times.
+    pub fn observe(&mut self, arrival: SimTime) {
+        assert!(!arrival.is_nan(), "NaN arrival time");
+        let pos = self.sorted.partition_point(|&t| {
+            t.partial_cmp(&arrival).expect("non-NaN") == std::cmp::Ordering::Less
+        });
+        self.sorted.insert(pos, arrival);
+    }
+
+    /// Arrivals observed so far.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether no arrivals have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The completion time over the arrivals observed so far — identical to
+    /// [`round_completion_time`] on the same multiset of arrivals.
+    ///
+    /// # Panics
+    /// Panics if no arrival has been observed, or every arrival is `+inf`.
+    pub fn completion_time(&self) -> SimTime {
+        assert!(!self.sorted.is_empty(), "no client arrivals");
+        let k = ((self.sorted.len() as f64 * self.fraction).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        let t = self.sorted[k - 1];
+        if t.is_finite() {
+            return t;
+        }
+        self.sorted
+            .iter()
+            .rev()
+            .find(|t| t.is_finite())
+            .copied()
+            .expect("at least one client must finish the round")
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +160,38 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn rejects_zero_fraction() {
         let _ = round_completion_time(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn arrival_cut_matches_batch_helper_in_any_order() {
+        let arrivals = [4.0, 1.0, f64::INFINITY, 2.0, 3.0, 2.0];
+        for fraction in [0.3, 0.5, 0.9, 1.0] {
+            // Ingest in several different orders; all must agree with the
+            // batch computation over the full slice.
+            for rotation in 0..arrivals.len() {
+                let mut cut = ArrivalCut::new(fraction);
+                for i in 0..arrivals.len() {
+                    cut.observe(arrivals[(i + rotation) % arrivals.len()]);
+                }
+                assert_eq!(cut.len(), arrivals.len());
+                assert_eq!(
+                    cut.completion_time(),
+                    round_completion_time(&arrivals, fraction),
+                    "fraction {fraction}, rotation {rotation}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_cut_is_readable_after_every_observation() {
+        let mut cut = ArrivalCut::new(0.9);
+        assert!(cut.is_empty());
+        let mut seen = Vec::new();
+        for t in [5.0, 1.0, 3.0, f64::INFINITY] {
+            cut.observe(t);
+            seen.push(t);
+            assert_eq!(cut.completion_time(), round_completion_time(&seen, 0.9));
+        }
     }
 }

@@ -44,7 +44,10 @@ mod tests {
         assert!(f.iter().all(|&x| (MIN_SPEED..=MAX_SPEED).contains(&x)));
         let maxf = f.iter().cloned().fold(f64::MIN, f64::max);
         let minf = f.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(maxf / minf > 3.0, "not heterogeneous enough: {minf}..{maxf}");
+        assert!(
+            maxf / minf > 3.0,
+            "not heterogeneous enough: {minf}..{maxf}"
+        );
     }
 
     #[test]

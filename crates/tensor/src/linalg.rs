@@ -89,11 +89,7 @@ mod tests {
     fn dot_matches_naive() {
         let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
         let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32).collect();
-        let naive: f64 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| *x as f64 * *y as f64)
-            .sum();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
         assert!((dot(&a, &b) - naive).abs() < 1e-9);
     }
 

@@ -41,7 +41,11 @@ pub fn matmul_acc_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD { 0 } else { usize::MAX };
+    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD {
+        0
+    } else {
+        usize::MAX
+    };
     par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
         let row0 = start / n;
         for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
@@ -88,7 +92,11 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
     }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD { 0 } else { usize::MAX };
+    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD {
+        0
+    } else {
+        usize::MAX
+    };
     par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
         let row0 = start / n;
         for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
@@ -166,7 +174,10 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.dims(), b.dims());
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 

@@ -78,9 +78,9 @@ fn main() {
     let mut trainer = Trainer::new(fl, Scheme::fedca_default(), workload);
     let out = trainer.run_until_accuracy(0.8, 25);
     match out.time_to_accuracy(0.8) {
-        Some((t, round)) => println!(
-            "custom model reached 80% accuracy at virtual time {t:.1}s (round {round})"
-        ),
+        Some((t, round)) => {
+            println!("custom model reached 80% accuracy at virtual time {t:.1}s (round {round})")
+        }
         None => println!(
             "did not reach 80% in 25 rounds (best {:.3}) — tune lr/noise",
             out.best_accuracy()

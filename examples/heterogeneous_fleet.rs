@@ -53,11 +53,7 @@ fn main() {
         let durations: Vec<f64> = out.rounds.iter().map(|r| r.duration()).collect();
         let mean = durations.iter().sum::<f64>() / durations.len() as f64;
         let max = durations.iter().cloned().fold(0.0, f64::max);
-        let total_iters: usize = out
-            .rounds
-            .iter()
-            .flat_map(|r| r.iters_done.iter())
-            .sum();
+        let total_iters: usize = out.rounds.iter().flat_map(|r| r.iters_done.iter()).sum();
         let n_reports: usize = out.rounds.iter().map(|r| r.iters_done.len()).sum();
         println!(
             "  {:8} mean round {:7.2}s  worst round {:7.2}s  mean iters/client {:5.1}/{}  best acc {:.3}",
@@ -69,5 +65,7 @@ fn main() {
             out.best_accuracy()
         );
     }
-    println!("\nFedCA cuts the tail rounds: stragglers stop early instead of dragging the deadline.");
+    println!(
+        "\nFedCA cuts the tail rounds: stragglers stop early instead of dragging the deadline."
+    );
 }

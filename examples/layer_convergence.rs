@@ -6,20 +6,21 @@
 //! Run with: `cargo run --release --example layer_convergence`
 
 use fedca::core::client::{run_client_round, ClientOptions, ClientState, RoundPlan};
+use fedca::core::executor::ClientArena;
 use fedca::core::params::ModelLayout;
 use fedca::core::profiler::SampledProfiler;
-use fedca_compress::ErrorFeedback;
 use fedca::core::{FedCaOptions, FlConfig, Workload};
 use fedca::data::BatchSampler;
 use fedca::sim::device::{DeviceSpeed, DynamicsConfig};
 use fedca::sim::network::Link;
+use fedca_compress::ErrorFeedback;
 use std::sync::Arc;
 
 fn main() {
     let workload = Workload::cnn(fedca::core::workload::Scale::Scaled, 11);
-    let mut model = (workload.model_factory)();
-    let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-    let global = model.flat_params();
+    let mut arena = ClientArena::from_model((workload.model_factory)());
+    let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+    let global = arena.model.flat_params();
 
     let shard: Vec<usize> = (0..600).collect();
     let mut client = ClientState {
@@ -55,7 +56,7 @@ fn main() {
     println!("profiling a {k}-iteration anchor round on the CNN workload…");
     let report = run_client_round(
         &mut client,
-        &mut model,
+        &mut arena,
         &layout,
         &global,
         &workload.train,
@@ -73,7 +74,10 @@ fn main() {
         client.profiler.memory_bytes(k),
     );
     println!("\nper-layer statistical progress (P_i at selected iterations):");
-    println!("{:28} {:>6} {:>6} {:>6} {:>6}  first iter with P ≥ 0.95", "layer", "i=5", "i=10", "i=20", "i=40");
+    println!(
+        "{:28} {:>6} {:>6} {:>6} {:>6}  first iter with P ≥ 0.95",
+        "layer", "i=5", "i=10", "i=20", "i=40"
+    );
     for (l, curve) in curves.layers.iter().enumerate() {
         let cross = curve
             .iter()

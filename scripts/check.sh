@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "== cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "== cargo clippy not installed; skipping lints" >&2
+fi
+
+echo "== cargo test"
+cargo test --workspace -q

@@ -87,7 +87,9 @@ fn quantized_update_transport_round_trips_through_the_codec() {
     // update must be within one quantization step of the original.
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let update: Vec<f32> = (0..2048).map(|i| ((i as f32) * 0.013).sin() * 0.1).collect();
+    let update: Vec<f32> = (0..2048)
+        .map(|i| ((i as f32) * 0.013).sin() * 0.1)
+        .collect();
     let q = quantize(&update, 4, &mut rng);
     let msg = UpdateMessage {
         round: 5,
@@ -123,7 +125,7 @@ fn compression_wire_bytes_match_codec_reality_within_headers() {
         layers: vec![(0, Payload::Sparse(s))],
     };
     let actual = encode(&msg).len() as f64;
-    let estimate = Compression::TopK { keep: keep as f32 }.wire_bytes(v.len());
+    let estimate = Compression::TopK { keep }.wire_bytes(v.len());
     assert!(
         (actual - estimate).abs() / estimate < 0.05,
         "estimate {estimate} vs actual {actual}"
@@ -139,7 +141,9 @@ fn error_feedback_preserves_information_across_rounds() {
     // rest entirely; with it, the residual forces every coordinate through
     // eventually.
     let n = 256;
-    let base: Vec<f32> = (0..n).map(|i| 0.02 + (i as f32 * 0.37).sin().abs() * 0.05).collect();
+    let base: Vec<f32> = (0..n)
+        .map(|i| 0.02 + (i as f32 * 0.37).sin().abs() * 0.05)
+        .collect();
     let rounds = 60;
     let mut ef = ErrorFeedback::new();
     let mut total_sent = vec![0.0f32; n];
@@ -153,7 +157,10 @@ fn error_feedback_preserves_information_across_rounds() {
         }
         ef.absorb(&compensated, &sent);
         // Naive baseline without feedback.
-        for (t, v) in naive_sent.iter_mut().zip(fedca_compress::densify(&top_k(&base, 0.1))) {
+        for (t, v) in naive_sent
+            .iter_mut()
+            .zip(fedca_compress::densify(&top_k(&base, 0.1)))
+        {
             *t += v;
         }
     }

@@ -123,7 +123,11 @@ fn identical_seeds_identical_outcomes_despite_threading() {
     // Clients run on real concurrent threads; the virtual clock must make
     // the run bit-identical anyway.
     let run = |seed| {
-        let mut t = Trainer::new(tiny_fl(seed), Scheme::fedca_default(), Workload::tiny_mlp(6));
+        let mut t = Trainer::new(
+            tiny_fl(seed),
+            Scheme::fedca_default(),
+            Workload::tiny_mlp(6),
+        );
         t.run(6)
     };
     let a = run(7);
@@ -170,7 +174,11 @@ fn fedca_v2_without_retransmission_can_diverge_statistically() {
 
 #[test]
 fn fedada_reduces_planned_iterations_for_stragglers() {
-    let mut t = Trainer::new(tiny_fl(10), Scheme::fedada_default(), Workload::tiny_mlp(10));
+    let mut t = Trainer::new(
+        tiny_fl(10),
+        Scheme::fedada_default(),
+        Workload::tiny_mlp(10),
+    );
     let out = t.run(10);
     // After the server learns durations, some straggler should be throttled.
     let any_reduced = out

@@ -4,13 +4,14 @@
 
 use fedca::core::client::{run_client_round, ClientOptions, ClientState, RoundPlan};
 use fedca::core::eager::LayerOutcome;
+use fedca::core::executor::ClientArena;
 use fedca::core::params::ModelLayout;
 use fedca::core::profiler::SampledProfiler;
-use fedca_compress::ErrorFeedback;
 use fedca::core::{FedCaOptions, FlConfig, Workload};
 use fedca::data::BatchSampler;
 use fedca::sim::device::{DeviceSpeed, DynamicsConfig};
 use fedca::sim::network::Link;
+use fedca_compress::ErrorFeedback;
 use std::sync::Arc;
 
 fn client_for(w: &Workload, id: usize, layout: &Arc<ModelLayout>) -> ClientState {
@@ -50,9 +51,9 @@ fn two_rounds(
     Vec<fedca::core::client::ClientRoundReport>,
     Arc<ModelLayout>,
 ) {
-    let mut model = (w.model_factory)();
-    let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-    let global = model.flat_params();
+    let mut arena = ClientArena::from_model((w.model_factory)());
+    let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+    let global = arena.model.flat_params();
     let mut client = client_for(w, 0, &layout);
     let fl = fl_for(w);
     let anchor_plan = RoundPlan {
@@ -63,7 +64,15 @@ fn two_rounds(
         is_anchor: true,
     };
     let r0 = run_client_round(
-        &mut client, &mut model, &layout, &global, &w.train, w, &fl, opts, &anchor_plan,
+        &mut client,
+        &mut arena,
+        &layout,
+        &global,
+        &w.train,
+        w,
+        &fl,
+        opts,
+        &anchor_plan,
     );
     let start = r0.upload_done;
     let plan = RoundPlan {
@@ -74,7 +83,15 @@ fn two_rounds(
         is_anchor: false,
     };
     let r1 = run_client_round(
-        &mut client, &mut model, &layout, &global, &w.train, w, &fl, opts, &plan,
+        &mut client,
+        &mut arena,
+        &layout,
+        &global,
+        &w.train,
+        w,
+        &fl,
+        opts,
+        &plan,
     );
     (client, vec![r0, r1], layout)
 }
@@ -196,9 +213,9 @@ fn early_stop_reacts_to_injected_slowdown() {
     // deadline: FedCA stops; plain FedAvg grinds through all iterations.
     let w = Workload::tiny_mlp(44);
     let k = 30;
-    let mut model = (w.model_factory)();
-    let layout = Arc::new(ModelLayout::from_spans(model.spans()));
-    let global = model.flat_params();
+    let seed_model = (w.model_factory)();
+    let layout = Arc::new(ModelLayout::from_spans(seed_model.spans()));
+    let global = seed_model.flat_params();
     let fl = fl_for(&w);
 
     let run = |fedca: Option<FedCaOptions>| {
@@ -209,7 +226,7 @@ fn early_stop_reacts_to_injected_slowdown() {
             prox_mu: 0.0,
             fedca: fedca.clone(),
         };
-        let mut m = (w.model_factory)();
+        let mut arena = ClientArena::from_model((w.model_factory)());
         let anchor = RoundPlan {
             round: 0,
             start: 0.0,
@@ -218,7 +235,15 @@ fn early_stop_reacts_to_injected_slowdown() {
             is_anchor: true,
         };
         let r0 = run_client_round(
-            &mut client, &mut m, &layout, &global, &w.train, &w, &fl, &opts, &anchor,
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &opts,
+            &anchor,
         );
         // Deadline sized for a nominal-speed client: k * iter_work + slack.
         let deadline = k as f64 * w.iter_work_seconds * 1.5;
@@ -230,10 +255,17 @@ fn early_stop_reacts_to_injected_slowdown() {
             is_anchor: false,
         };
         run_client_round(
-            &mut client, &mut m, &layout, &global, &w.train, &w, &fl, &opts, &plan,
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &opts,
+            &plan,
         )
     };
-    let _ = &mut model;
     let fedca_report = run(Some(FedCaOptions::v1()));
     let fedavg_report = run(None);
     assert_eq!(fedavg_report.iters_done, k);

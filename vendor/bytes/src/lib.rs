@@ -1,0 +1,229 @@
+//! Offline shim for the `bytes` 1.x API subset this workspace uses:
+//! [`Bytes`]/[`BytesMut`] as growable byte buffers with a read cursor, and
+//! the [`Buf`]/[`BufMut`] little-endian accessors the wire codec calls.
+//! No zero-copy reference counting — `freeze` simply transfers the Vec.
+
+/// Read-side cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Write-side byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// An immutable byte buffer with an internal read position.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a vector.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+
+    /// Copies a slice.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies a static slice (the shim has no zero-copy path).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+
+    /// Copies a sub-range (indices are relative to the full buffer).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes {
+            data: self.data[range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies out the full contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Total length (including already-consumed bytes).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unread tail.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.pos + n <= self.data.len(), "buffer underflow");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.pos + n <= self.data.len(), "buffer underflow");
+        self.pos += n;
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u16_le(0x1234);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_f32_le(1.5);
+        w.put_slice(&[1, 2, 3]);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 4 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::copy_from_slice(&[1]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline shim for the `criterion` 0.5 API subset this workspace uses.
+//!
+//! Provides the same harness surface — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `criterion_group!`/`criterion_main!`, [`black_box`] —
+//! with a simple mean-of-samples timer instead of criterion's statistical
+//! machinery: each benchmark is warmed up for `warm_up_time`, then timed
+//! for `sample_size` samples spread over `measurement_time`, and the
+//! mean/min/max time per iteration is printed to stdout.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Criterion's post-run hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of parameterized benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one parameter value of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks an unparameterized function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &name, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming only the parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and parameter value.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Iterations per timed sample (chosen during warm-up).
+    iters_per_sample: u64,
+    /// Mean nanoseconds per iteration over all samples, filled by `iter`.
+    samples_ns: Vec<f64>,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    /// Calibrating: find an iteration count that fills a sample slot.
+    Warmup { budget: Duration },
+    /// Timing `samples` samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Times the routine, following the warm-up/measure protocol.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BenchMode::Warmup { budget } => {
+                // Double the iteration count until one batch takes at least
+                // ~1/8 of the warm-up budget, so sample batches are long
+                // enough to time reliably.
+                let mut iters: u64 = 1;
+                let started = Instant::now();
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = t0.elapsed();
+                    if elapsed >= budget / 8 || started.elapsed() >= budget {
+                        self.iters_per_sample = iters.max(1);
+                        return;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+            BenchMode::Measure { samples } => {
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    let ns = t0.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+                    self.samples_ns.push(ns);
+                }
+            }
+        }
+    }
+}
+
+fn run_bench<F>(config: &Criterion, name: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut warmup = Bencher {
+        iters_per_sample: 1,
+        samples_ns: Vec::new(),
+        mode: BenchMode::Warmup {
+            budget: config.warm_up_time,
+        },
+    };
+    f(&mut warmup);
+
+    // Spread the measurement budget across the requested samples: shrink
+    // the per-sample iteration count if the warm-up estimate would blow
+    // through `measurement_time`.
+    let sample_budget = config.measurement_time.as_nanos() as f64 / config.sample_size as f64;
+    let warm_iters = warmup.iters_per_sample;
+    let est_per_iter = (config.warm_up_time.as_nanos() as f64 / 8.0) / warm_iters as f64;
+    let fitted = (sample_budget / est_per_iter.max(1.0)) as u64;
+    let mut bench = Bencher {
+        iters_per_sample: fitted.clamp(1, warm_iters.saturating_mul(8)),
+        samples_ns: Vec::new(),
+        mode: BenchMode::Measure {
+            samples: config.sample_size,
+        },
+    };
+    f(&mut bench);
+
+    if bench.samples_ns.is_empty() {
+        println!("bench {name:<50} (no samples)");
+        return;
+    }
+    let n = bench.samples_ns.len() as f64;
+    let mean = bench.samples_ns.iter().sum::<f64>() / n;
+    let min = bench
+        .samples_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bench
+        .samples_ns
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "bench {name:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        c.bench_function("smoke/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline shim for the `crossbeam` 0.8 API subset this workspace uses:
+//! [`scope`] with `Scope::spawn`, delegating to `std::thread::scope`.
+//!
+//! Semantics match the call sites' expectations: spawned threads may borrow
+//! the enclosing stack frame, the scope joins them all before returning,
+//! and a child panic surfaces as `Err` from [`scope`].
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// convention) so it can spawn further work.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed threads can be spawned; joins all
+/// of them before returning. Returns `Err` with the first child panic
+/// payload, if any.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        scope(|s| {
+            for (out, chunk) in partial.iter_mut().zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    *out = chunk.iter().sum::<u64>();
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(partial, vec![3, 7]);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

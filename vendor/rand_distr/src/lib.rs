@@ -1,0 +1,154 @@
+//! Offline shim for the `rand_distr` 0.4 API subset this workspace uses:
+//! [`Distribution`], [`Gamma`] (Marsaglia–Tsang), and [`LogNormal`]
+//! (Box–Muller).
+
+use rand::{Rng, RngCore};
+
+/// A sampleable probability distribution.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma distribution with shape `k` and scale `θ`.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Γ(shape, scale)`.
+    ///
+    /// # Errors
+    /// Errors if either parameter is non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(ParamError("gamma shape must be positive"));
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(ParamError("gamma scale must be positive"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang squeeze; the shape<1 case boosts via
+        // Γ(k) = Γ(k+1) · U^{1/k}.
+        let (shape, boost) = if self.shape < 1.0 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v * boost * self.scale;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(μ, σ²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates `LogNormal(μ, σ)` (parameters of the underlying normal).
+    ///
+    /// # Errors
+    /// Errors if `σ` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !(sigma >= 0.0 && sigma.is_finite() && mu.is_finite()) {
+            return Err(ParamError("lognormal sigma must be non-negative"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Gamma::new(2.0, 40.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 80.0).abs() < 3.0, "gamma mean {mean}");
+        assert!((0..100).all(|_| g.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Gamma::new(0.3, 1.0).unwrap();
+        for _ in 0..5_000 {
+            let x = g.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "bad sample {x}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!(
+            (median - std::f64::consts::E).abs() < 0.1,
+            "lognormal median {median}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

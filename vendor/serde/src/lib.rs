@@ -1,0 +1,433 @@
+//! Offline shim for the `serde` 1.x API subset this workspace uses.
+//!
+//! Instead of serde's zero-copy visitor architecture, [`Serialize`] and
+//! [`Deserialize`] convert through an owned JSON-like [`Value`] tree. The
+//! only format consumer in the workspace is the vendored `serde_json`, so
+//! the simplification is observationally equivalent for every call site:
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::{to_string,
+//! from_str}` round trips, including `#[serde(default)]` fields.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number, kept wide enough that `u64` seeds survive round trips.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Lossy view as `f64` (integers above 2^53 lose precision).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Exact view as `u64`, accepting integral floats.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Exact view as `i64`, accepting integral floats.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An owned JSON document. Objects preserve insertion order so serialized
+/// output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number out of range for {}", stringify!($t)
+                            ))
+                        }),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::Number(Number::PosInt(x as u64))
+                } else {
+                    Value::Number(Number::NegInt(x))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number out of range for {}", stringify!($t)
+                            ))
+                        }),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!(
+                "expected 2-element array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (String::from("start"), self.start.to_value()),
+            (String::from("end"), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(__private::req_field(v, "start", "Range")?..__private::req_field(v, "end", "Range")?)
+    }
+}
+
+/// Support routines called by `serde_derive`-generated code. Not a public
+/// API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Fetches and deserializes a required object field.
+    pub fn req_field<T: Deserialize>(v: &Value, name: &str, ty: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(field) => {
+                T::from_value(field).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+            }
+            None => {
+                if let Value::Object(_) = v {
+                    Err(Error::custom(format!("{ty}: missing field `{name}`")))
+                } else {
+                    Err(Error::custom(format!(
+                        "{ty}: expected object, found {}",
+                        v.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches a `#[serde(default)]` field, falling back to `Default` when
+    /// the key is absent.
+    pub fn opt_field<T: Deserialize + Default>(
+        v: &Value,
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match v.get(name) {
+            Some(field) => {
+                T::from_value(field).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Checks an array value of an exact length (tuple structs/variants).
+    pub fn expect_array<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "{ty}: expected {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "{ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let x: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        let v = x.to_value();
+        let back: Option<Vec<u32>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, x);
+        let none: Option<f32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let seed: u64 = u64::MAX - 7;
+        let v = seed.to_value();
+        let back: u64 = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn range_round_trips() {
+        let r = 3usize..17;
+        let back: std::ops::Range<usize> = Deserialize::from_value(&r.to_value()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let v = Value::String("nope".into());
+        assert!(<u32 as Deserialize>::from_value(&v).is_err());
+        assert!(<bool as Deserialize>::from_value(&v).is_err());
+    }
+}

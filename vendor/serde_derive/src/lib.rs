@@ -1,0 +1,412 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without syn/quote, generating impls of the vendored `serde`'s
+//! value-based traits.
+//!
+//! Supported input shapes — exactly what this workspace declares:
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays),
+//! * enums with unit / newtype / tuple / struct variants, using serde's
+//!   externally-tagged JSON representation.
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic type `{name}` is not supported");
+    }
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("serde shim: unit struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Input { name, data }
+}
+
+/// Skips any `#[...]` attributes starting at `*i`, returning whether a
+/// `#[serde(default)]` was among them.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= attr_is_serde_default(g.stream());
+                *i += 2;
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips tokens until a top-level `,` (or end), tracking `<...>` depth so
+/// commas inside generic arguments don't split a field.
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&toks, &mut i);
+        i += 1; // the comma (or one past the end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_until_comma(&toks, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_comma(&toks, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let mut __f: Vec<(String, ::serde::Value)> = Vec::with_capacity({});\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__f.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__f)");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(__x0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __f: Vec<(String, ::serde::Value)> = Vec::with_capacity({});\n\
+                             {inner}\
+                             ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(__f))])\n\
+                             }}\n",
+                            binds.join(", "),
+                            fields.len()
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f, name)).collect();
+            format!("Ok({name} {{\n{}\n}})", inits.join(",\n"))
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = ::serde::__private::expect_array(__v, \"{name}\", {n})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = ::serde::__private::expect_array(__inner, \"{name}::{vn}\", {n})?;\n\
+                             Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_variant_field_init(f, name, vn))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{}\n}}),\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::custom(format!(\"expected {name} as string or single-key object, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_init(f: &Field, ty: &str) -> String {
+    if f.default {
+        format!(
+            "{0}: ::serde::__private::opt_field(__v, \"{0}\", \"{ty}\")?",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: ::serde::__private::req_field(__v, \"{0}\", \"{ty}\")?",
+            f.name
+        )
+    }
+}
+
+fn named_variant_field_init(f: &Field, ty: &str, variant: &str) -> String {
+    if f.default {
+        format!(
+            "{0}: ::serde::__private::opt_field(__inner, \"{0}\", \"{ty}::{variant}\")?",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: ::serde::__private::req_field(__inner, \"{0}\", \"{ty}::{variant}\")?",
+            f.name
+        )
+    }
+}
