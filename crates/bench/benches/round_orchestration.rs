@@ -8,7 +8,7 @@ use fedca_compress::ErrorFeedback;
 use fedca_core::client::{
     run_client_round, ClientOptions, ClientRoundReport, ClientState, RoundPlan,
 };
-use fedca_core::executor::{ClientArena, ClientWork, RoundCtx, RoundExecutor};
+use fedca_core::executor::{ClientArena, ClientDone, ClientWork, RoundCtx, RoundExecutor};
 use fedca_core::params::ModelLayout;
 use fedca_core::profiler::SampledProfiler;
 use fedca_core::{FlConfig, Workload};
@@ -47,6 +47,7 @@ fn plan() -> RoundPlan {
         deadline: 1e9,
         planned_iters: K,
         is_anchor: false,
+        faults: Default::default(),
     }
 }
 
@@ -126,11 +127,18 @@ fn bench_round_orchestration(c: &mut Criterion) {
                         client: slot.take().expect("client checked in"),
                         plan: plan(),
                         ctx: Arc::clone(&ctx),
-                    });
+                    })
+                    .expect("pool alive");
                 }
                 for _ in 0..N_CLIENTS {
-                    let done = pool.recv();
-                    clients[done.ord] = Some(done.client);
+                    match pool.recv().expect("pool alive") {
+                        ClientDone::Completed(done) => {
+                            clients[done.ord] = Some(done.client);
+                        }
+                        ClientDone::Failed(f) => {
+                            panic!("fault-free bench client failed: {}", f.panic_msg)
+                        }
+                    }
                 }
             })
         });

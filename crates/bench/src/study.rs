@@ -127,6 +127,7 @@ pub fn progress_study(
         dynamicity: false,
         dropout_prob: 0.0,
         compression: Default::default(),
+        faults: Default::default(),
     };
     let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload.clone());
     trainer.eval_every = 0; // no accuracy needed; keep the study fast
@@ -161,8 +162,12 @@ pub fn progress_study(
     }
     let host_ms: f64 = trainer.records().iter().map(|r| r.host_ms).sum();
     let rounds_run = trainer.records().len();
+    let n_crashed: usize = trainer.records().iter().map(|r| r.n_crashed).sum();
+    let n_dropped: usize = trainer.records().iter().map(|r| r.n_dropped).sum();
+    let n_missed: usize = trainer.records().iter().map(|r| r.n_deadline_missed).sum();
     note(&format!(
-        "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s)",
+        "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s); \
+         faults: {n_crashed} crashed, {n_dropped} dropped, {n_missed} deadline-missed",
         host_ms,
         rounds_run as f64 / (host_ms / 1e3).max(1e-9),
     ));

@@ -15,6 +15,7 @@ use fedca_compress::{Compression, ErrorFeedback};
 use fedca_data::{BatchSampler, InMemoryDataset};
 use fedca_nn::{softmax_cross_entropy, Sgd};
 use fedca_sim::device::DeviceSpeed;
+use fedca_sim::faults::ClientFaults;
 use fedca_sim::network::Link;
 use fedca_sim::SimTime;
 use rand::rngs::StdRng;
@@ -61,6 +62,9 @@ pub struct RoundPlan {
     pub planned_iters: usize,
     /// Whether FedCA profiles this round (anchor rounds run unoptimized).
     pub is_anchor: bool,
+    /// Injected faults for this `(round, client)` pair
+    /// ([`ClientFaults::none`] on the happy path).
+    pub faults: ClientFaults,
 }
 
 /// Client-side training options derived from the scheme.
@@ -100,6 +104,9 @@ pub struct ClientRoundReport {
     pub train_loss: f32,
     /// Whether the client dropped out mid-round (availability churn).
     pub dropped: bool,
+    /// Whether an injected crash killed the client mid-round (its state
+    /// survives on the trainer, but the upload never arrives).
+    pub crashed: bool,
 }
 
 /// Runs one client round: download → K local iterations (with FedCA hooks)
@@ -140,6 +147,14 @@ pub fn run_client_round(
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(plan.round as u64),
     );
+
+    // --- Fault hooks: degraded links run slow for the whole round; a
+    // slipped deadline makes the client *believe* it has more time than the
+    // server granted. Both are per-round, so every round (re)sets them.
+    let faults = &plan.faults;
+    state.uplink.set_rate_scale(faults.bandwidth_factor);
+    state.downlink.set_rate_scale(faults.bandwidth_factor);
+    let perceived_deadline = plan.deadline + faults.deadline_slip;
 
     // --- Download the latest global model over the client's downlink.
     let download_done = state
@@ -186,6 +201,7 @@ pub fn run_client_round(
             None
         };
     let mut dropped = false;
+    let mut crashed = false;
 
     // --- §6 extension: autonomous intra-round batch-size adaptation.
     // Per-iteration compute scales with the configured batch size.
@@ -194,6 +210,21 @@ pub fn run_client_round(
     state.sampler.set_batch_size(batch_size);
 
     for tau in 1..=plan.planned_iters {
+        // --- Injected worker panic: unwinds out of the worker thread; the
+        // executor catches it and reports the client as failed.
+        if faults.panic_at_iter == Some(tau) {
+            panic!(
+                "injected fault: worker panic (client {}, round {}, iter {tau})",
+                state.id, plan.round
+            );
+        }
+        // --- Injected crash: the client dies at this iteration. Unlike a
+        // panic its state survives (the worker returns normally), but its
+        // upload never arrives.
+        if faults.crash_at_iter == Some(tau) {
+            crashed = true;
+            break;
+        }
         // --- Availability: gone is gone (its upload never arrives).
         if let Some(t_drop) = drop_time {
             if now >= t_drop {
@@ -207,7 +238,8 @@ pub fn run_client_round(
             let curve = &curves.as_ref().expect("checked").model;
             let tau_clamped = tau.min(curve.len());
             let t_pred = (now - plan.start) + last_iter_wall;
-            if crate::early_stop::should_stop(curve, tau_clamped, t_pred, plan.deadline, beta) {
+            if crate::early_stop::should_stop(curve, tau_clamped, t_pred, perceived_deadline, beta)
+            {
                 early_stopped = true;
                 break;
             }
@@ -238,7 +270,7 @@ pub fn run_client_round(
             if !is_anchor && tau < plan.planned_iters && batch_size > min_batch {
                 let remaining = (plan.planned_iters - tau) as f64;
                 let projected = (now - plan.start) + remaining * last_iter_wall;
-                if projected > plan.deadline {
+                if projected > perceived_deadline {
                     batch_size = (batch_size / 2).max(min_batch);
                     state.sampler.set_batch_size(batch_size);
                 }
@@ -327,7 +359,7 @@ pub fn run_client_round(
     // top-k with error feedback). Composes with early stopping; the Trainer
     // rejects combining it with eager transmission, so every layer below is
     // part of the final payload and may be transformed.
-    if fl.compression != Compression::None && !dropped {
+    if fl.compression != Compression::None && !dropped && !crashed {
         let total = reported.as_slice().len();
         let mut compensated = reported.as_slice().to_vec();
         state.error_feedback.apply(&mut compensated);
@@ -355,12 +387,18 @@ pub fn run_client_round(
         final_payload_bytes *= ratio;
     }
 
-    let upload_done = if dropped {
+    let upload_done = if dropped || crashed {
         // The client vanished: nothing else reaches the server this round.
         f64::INFINITY
     } else {
         bytes_uploaded += final_payload_bytes;
-        state.uplink.transmit(compute_done, final_payload_bytes)
+        let sent = state.uplink.transmit(compute_done, final_payload_bytes);
+        if faults.lose_result {
+            // The upload left the client but the message never arrived.
+            f64::INFINITY
+        } else {
+            sent + faults.result_delay
+        }
     };
 
     debug_assert!(
@@ -386,6 +424,7 @@ pub fn run_client_round(
             f32::NAN
         },
         dropped,
+        crashed,
     }
 }
 
@@ -421,6 +460,7 @@ mod tests {
             deadline: 1e9,
             planned_iters: k,
             is_anchor: false,
+            faults: ClientFaults::none(),
         }
     }
 
@@ -587,6 +627,173 @@ mod tests {
         );
         assert!(report.iters_done < 20);
         assert!(report.iters_done >= 1);
+    }
+
+    #[test]
+    fn injected_crash_truncates_round_and_loses_upload() {
+        let w = Workload::tiny_mlp(6);
+        let mut client = make_client(&w, 5);
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let mut plan = base_plan(10);
+        plan.faults.crash_at_iter = Some(4);
+        let report = run_client_round(
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &ClientOptions::default(),
+            &plan,
+        );
+        assert!(report.crashed);
+        assert!(!report.dropped);
+        assert_eq!(report.iters_done, 3, "crash at iter 4 runs exactly 3");
+        assert_eq!(report.upload_done, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: worker panic")]
+    fn injected_panic_unwinds_out_of_the_round() {
+        let w = Workload::tiny_mlp(6);
+        let mut client = make_client(&w, 6);
+        let mut arena = ClientArena::from_model((w.model_factory)());
+        let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+        let global = arena.model.flat_params();
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let mut plan = base_plan(10);
+        plan.faults.panic_at_iter = Some(2);
+        let _ = run_client_round(
+            &mut client,
+            &mut arena,
+            &layout,
+            &global,
+            &w.train,
+            &w,
+            &fl,
+            &ClientOptions::default(),
+            &plan,
+        );
+    }
+
+    #[test]
+    fn result_faults_delay_or_lose_the_upload() {
+        let w = Workload::tiny_mlp(7);
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let run_with = |faults: ClientFaults| {
+            let mut client = make_client(&w, 7);
+            let mut arena = ClientArena::from_model((w.model_factory)());
+            let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+            let global = arena.model.flat_params();
+            let mut plan = base_plan(5);
+            plan.faults = faults;
+            run_client_round(
+                &mut client,
+                &mut arena,
+                &layout,
+                &global,
+                &w.train,
+                &w,
+                &fl,
+                &ClientOptions::default(),
+                &plan,
+            )
+        };
+        let clean = run_with(ClientFaults::none());
+        let mut delayed_faults = ClientFaults::none();
+        delayed_faults.result_delay = 2.5;
+        let delayed = run_with(delayed_faults);
+        assert!((delayed.upload_done - clean.upload_done - 2.5).abs() < 1e-9);
+        let mut lost_faults = ClientFaults::none();
+        lost_faults.lose_result = true;
+        let lost = run_with(lost_faults);
+        assert_eq!(lost.upload_done, f64::INFINITY);
+        assert!(
+            !lost.dropped && !lost.crashed,
+            "a lost result is not a crash"
+        );
+        assert_eq!(lost.iters_done, 5, "the work itself completed");
+        // Degraded bandwidth stretches both download and upload.
+        let mut slow_faults = ClientFaults::none();
+        slow_faults.bandwidth_factor = 0.5;
+        let slow = run_with(slow_faults);
+        assert!((slow.download_done - 2.0 * clean.download_done).abs() < 1e-9);
+        assert!(slow.upload_done > clean.upload_done);
+    }
+
+    #[test]
+    fn deadline_slip_defers_early_stop() {
+        let w = Workload::tiny_mlp(4);
+        let fl = FlConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            batch_size: 8,
+            ..FlConfig::scaled()
+        };
+        let opts = ClientOptions {
+            prox_mu: 0.0,
+            fedca: Some(FedCaOptions::v1()),
+        };
+        let iters_with_slip = |slip: f64| {
+            let mut client = make_client(&w, 8);
+            let mut arena = ClientArena::from_model((w.model_factory)());
+            let layout = Arc::new(ModelLayout::from_spans(arena.model.spans()));
+            let global = arena.model.flat_params();
+            let mut anchor = base_plan(20);
+            anchor.is_anchor = true;
+            let _ = run_client_round(
+                &mut client,
+                &mut arena,
+                &layout,
+                &global,
+                &w.train,
+                &w,
+                &fl,
+                &opts,
+                &anchor,
+            );
+            let mut plan = base_plan(20);
+            plan.round = 1;
+            plan.deadline = 0.2;
+            plan.faults.deadline_slip = slip;
+            run_client_round(
+                &mut client,
+                &mut arena,
+                &layout,
+                &global,
+                &w.train,
+                &w,
+                &fl,
+                &opts,
+                &plan,
+            )
+            .iters_done
+        };
+        let honest = iters_with_slip(0.0);
+        let slipped = iters_with_slip(1e9);
+        assert!(
+            slipped > honest,
+            "a slipped deadline must defer early stop: {slipped} vs {honest}"
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use fedca_compress::Compression;
 use serde::{Deserialize, Serialize};
 
+pub use fedca_sim::faults::FaultConfig;
+
 /// Federation-level configuration shared by all schemes.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FlConfig {
@@ -38,6 +40,12 @@ pub struct FlConfig {
     /// paper).
     #[serde(default)]
     pub compression: Compression,
+    /// Deterministic fault injection (crashes, worker panics, result
+    /// loss/delay, bandwidth degradation, deadline slip). The default is
+    /// inert: no fault is ever injected and trajectories are byte-identical
+    /// to a build without the fault layer.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl Default for FlConfig {
@@ -56,6 +64,7 @@ impl Default for FlConfig {
             dynamicity: true,
             dropout_prob: 0.0,
             compression: Compression::None,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -137,5 +146,18 @@ mod tests {
         let back: FlConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_clients, c.n_clients);
         assert_eq!(back.seed, c.seed);
+        assert!(back.faults.is_inert());
+    }
+
+    #[test]
+    fn fault_section_defaults_to_inert_and_round_trips() {
+        let c = FlConfig {
+            faults: FaultConfig::chaos(3),
+            ..FlConfig::scaled()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, c.faults);
+        assert!(FlConfig::default().faults.is_inert());
     }
 }

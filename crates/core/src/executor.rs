@@ -28,10 +28,11 @@ use crate::workload::Workload;
 use fedca_nn::Model;
 use parking_lot::Mutex;
 use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Per-worker reusable resources: a cached model instance and flat-param
 /// scratch space, so steady-state rounds allocate nothing model-sized.
@@ -91,8 +92,23 @@ pub struct ClientWork {
     pub ctx: Arc<RoundCtx>,
 }
 
-/// Completion event streamed back as each client finishes.
-pub struct ClientDone {
+/// Event streamed back as each client's work item resolves.
+// Completed carries the full client state by design: the channel transfers
+// ownership back to the trainer, and boxing it would add a heap allocation
+// per client round to shrink a variant that only exists transiently.
+#[allow(clippy::large_enum_variant)]
+pub enum ClientDone {
+    /// The client round ran to completion.
+    Completed(ClientCompletion),
+    /// The client code panicked on the worker; the worker itself survived
+    /// (it caught the unwind) but the client's in-flight state was
+    /// destroyed. The server must exclude the client from the round exactly
+    /// like a straggler past the aggregation cut.
+    Failed(ClientFailure),
+}
+
+/// Successful completion event.
+pub struct ClientCompletion {
     /// Position within the round's selection.
     pub ord: usize,
     /// The client's state, handed back to the trainer.
@@ -106,19 +122,57 @@ pub struct ClientDone {
     pub allocs_avoided: usize,
 }
 
+/// A client whose round died in a panic on the worker.
+#[derive(Debug)]
+pub struct ClientFailure {
+    /// Position within the round's selection.
+    pub ord: usize,
+    /// The failed client's id (its `ClientState` was lost in the unwind).
+    pub client_id: usize,
+    /// The panic payload, stringified.
+    pub panic_msg: String,
+}
+
+/// Why [`RoundExecutor::recv`]/[`submit`](RoundExecutor::submit) could not
+/// proceed. Returned instead of blocking forever (or panicking) when the
+/// worker pool cannot make progress.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// Every worker thread has exited; no result can ever arrive.
+    Disconnected,
+    /// No result arrived within the timeout — a hang upstream (only
+    /// `recv_timeout` returns this).
+    Timeout,
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorError::Disconnected => {
+                write!(f, "worker pool disconnected (all workers exited)")
+            }
+            ExecutorError::Timeout => write!(f, "timed out waiting for a worker result"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
 enum WorkerMsg {
     Work(Box<ClientWork>),
     Shutdown,
 }
 
-type WorkerResult = Result<ClientDone, Box<dyn Any + Send + 'static>>;
+type WorkerResult = ClientDone;
 
 /// A persistent pool of client-execution workers.
 ///
 /// Spawned once (by `Trainer::new`), fed with [`submit`](Self::submit), and
 /// drained with [`recv`](Self::recv); threads are joined on drop. A panic
-/// inside client code is caught on the worker, forwarded over the results
-/// channel, and resumed on the caller's thread by `recv`.
+/// inside client code is caught on the worker, which survives and reports a
+/// [`ClientDone::Failed`] event instead — the pool never deadlocks on a
+/// dying client, and a dead pool surfaces as [`ExecutorError::Disconnected`]
+/// rather than a blocked `recv`.
 pub struct RoundExecutor {
     work_tx: Sender<WorkerMsg>,
     done_rx: Receiver<WorkerResult>,
@@ -154,37 +208,50 @@ impl RoundExecutor {
         self.handles.len()
     }
 
-    /// Enqueues one client round; returns immediately.
-    pub fn submit(&self, work: ClientWork) {
+    /// Enqueues one client round; returns immediately. Fails (returning the
+    /// error instead of panicking) if every worker has exited.
+    pub fn submit(&self, work: ClientWork) -> Result<(), ExecutorError> {
         self.work_tx
             .send(WorkerMsg::Work(Box::new(work)))
-            .expect("worker pool is alive while the executor exists");
+            .map_err(|_| ExecutorError::Disconnected)
     }
 
-    /// Blocks until the next client finishes (in completion order, not
-    /// submission order). Resumes any panic raised by client code.
-    pub fn recv(&self) -> ClientDone {
-        match self
-            .done_rx
-            .recv()
-            .expect("worker pool is alive while the executor exists")
-        {
-            Ok(done) => done,
-            Err(payload) => resume_unwind(payload),
+    /// Blocks until the next client's work item resolves (in completion
+    /// order, not submission order). A panic inside client code arrives as
+    /// [`ClientDone::Failed`]; a dead worker pool is detected and returned
+    /// as [`ExecutorError::Disconnected`] instead of blocking forever.
+    pub fn recv(&self) -> Result<ClientDone, ExecutorError> {
+        self.done_rx.recv().map_err(|_| ExecutorError::Disconnected)
+    }
+
+    /// Like [`recv`](Self::recv) but bounded: returns
+    /// [`ExecutorError::Timeout`] if nothing resolves within `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ClientDone, ExecutorError> {
+        self.done_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ExecutorError::Timeout,
+            RecvTimeoutError::Disconnected => ExecutorError::Disconnected,
+        })
+    }
+
+    /// Stops and joins every worker. Afterwards `submit`/`recv` return
+    /// `Err(Disconnected)` — this is the disconnect path a crashed pool
+    /// takes, exposed directly so shutdown and the chaos suite can exercise
+    /// it deterministically.
+    pub fn halt(&mut self) {
+        for _ in &self.handles {
+            // Ignore send failures: a worker that already exited no longer
+            // needs a shutdown message.
+            let _ = self.work_tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for RoundExecutor {
     fn drop(&mut self) {
-        for _ in &self.handles {
-            // Ignore send failures: a worker that already exited (e.g. its
-            // results channel closed) no longer needs a shutdown message.
-            let _ = self.work_tx.send(WorkerMsg::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.halt();
     }
 }
 
@@ -198,14 +265,35 @@ fn worker_loop(rx: Arc<Mutex<Receiver<WorkerMsg>>>, tx: Sender<WorkerResult>) {
             Ok(WorkerMsg::Work(w)) => w,
             Ok(WorkerMsg::Shutdown) | Err(_) => return,
         };
-        let result = catch_unwind(AssertUnwindSafe(|| execute(&mut arena, *work)));
+        // Remember enough to attribute a failure: the unwind destroys the
+        // work item (and the client state moved into it).
+        let (ord, client_id) = (work.ord, work.client.id);
+        let result = match catch_unwind(AssertUnwindSafe(|| execute(&mut arena, *work))) {
+            Ok(done) => ClientDone::Completed(done),
+            Err(payload) => ClientDone::Failed(ClientFailure {
+                ord,
+                client_id,
+                panic_msg: panic_message(&payload),
+            }),
+        };
         if tx.send(result).is_err() {
             return;
         }
     }
 }
 
-fn execute(arena_slot: &mut Option<ClientArena>, work: ClientWork) -> ClientDone {
+/// Stringifies a panic payload (panics carry `&str` or `String` in practice).
+fn panic_message(payload: &Box<dyn Any + Send + 'static>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn execute(arena_slot: &mut Option<ClientArena>, work: ClientWork) -> ClientCompletion {
     let ClientWork {
         ord,
         mut client,
@@ -227,7 +315,7 @@ fn execute(arena_slot: &mut Option<ClientArena>, work: ClientWork) -> ClientDone
         &plan,
     );
     let allocs_avoided = arena.allocs_avoided - allocs_before;
-    ClientDone {
+    ClientCompletion {
         ord,
         client,
         report,
@@ -257,5 +345,36 @@ mod tests {
         assert!(arena.flat.capacity() >= n, "scratch not pre-sized");
         arena.model.flat_params_into(&mut arena.flat);
         assert_eq!(arena.flat.len(), n);
+    }
+
+    #[test]
+    fn halted_pool_reports_disconnected_instead_of_blocking() {
+        let mut pool = RoundExecutor::new(2);
+        pool.halt();
+        assert!(matches!(pool.recv(), Err(ExecutorError::Disconnected)));
+        assert!(matches!(
+            pool.recv_timeout(Duration::from_millis(50)),
+            Err(ExecutorError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_bounds_the_wait_on_an_idle_pool() {
+        let pool = RoundExecutor::new(1);
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            pool.recv_timeout(Duration::from_millis(20)),
+            Err(ExecutorError::Timeout)
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn executor_errors_display_and_compare() {
+        assert_ne!(ExecutorError::Disconnected, ExecutorError::Timeout);
+        assert!(ExecutorError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(ExecutorError::Timeout.to_string().contains("timed out"));
     }
 }

@@ -38,6 +38,14 @@ pub struct RoundRecord {
     /// Selected clients that dropped out mid-round (availability churn).
     #[serde(default)]
     pub n_dropped: usize,
+    /// Selected clients whose round died to an injected fault: crashes
+    /// (state intact, upload lost) plus worker panics (state destroyed).
+    #[serde(default)]
+    pub n_crashed: usize,
+    /// Surviving clients whose upload arrived after the aggregation cut
+    /// (stragglers whose update was discarded, including delayed results).
+    #[serde(default)]
+    pub n_deadline_missed: usize,
     /// Iterations actually executed per selected client.
     pub iters_done: Vec<usize>,
     /// Iterations planned per selected client (differs from K under FedAda).
@@ -199,6 +207,8 @@ mod tests {
             n_selected: 4,
             n_aggregated: 4,
             n_dropped: 0,
+            n_crashed: 0,
+            n_deadline_missed: 0,
             iters_done: vec![10; 4],
             iters_planned: vec![10; 4],
             early_stops: vec![false; 4],

@@ -14,7 +14,7 @@
 use crate::algorithms::Scheme;
 use crate::client::{ClientOptions, ClientState, RoundPlan};
 use crate::config::FlConfig;
-use crate::executor::{ClientWork, RoundCtx, RoundExecutor};
+use crate::executor::{ClientDone, ClientWork, RoundCtx, RoundExecutor};
 use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
 use crate::params::ModelLayout;
 use crate::profiler::SampledProfiler;
@@ -24,6 +24,7 @@ use fedca_data::{dirichlet_partition, BatchSampler};
 use fedca_nn::loss::accuracy;
 use fedca_nn::Model;
 use fedca_sim::device::{DeviceSpeed, DynamicsConfig};
+use fedca_sim::faults::FaultPlan;
 use fedca_sim::network::Link;
 use fedca_sim::trace::fedscale_like;
 use fedca_sim::SimTime;
@@ -32,6 +33,17 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 pub use crate::metrics::TrainerOutput as Output;
+
+/// Everything needed to reconstruct a client whose in-flight state was
+/// destroyed by a worker panic: the immutable assignment (data shard, device
+/// speed class) plus shared federation settings. Mutable cross-round state
+/// (profiler history, error feedback, link queues) is genuinely lost — a
+/// panicked client rejoins as a fresh device, which is exactly the paper's
+/// availability-churn semantics.
+struct ClientBlueprint {
+    shard: Vec<usize>,
+    speed: f64,
+}
 
 /// Drives one `(scheme, workload)` experiment.
 pub struct Trainer {
@@ -43,6 +55,14 @@ pub struct Trainer {
     /// Client state; a slot is `None` only while that client is checked out
     /// to a worker mid-round.
     clients: Vec<Option<ClientState>>,
+    /// Rebuild recipes for clients destroyed by injected worker panics.
+    blueprints: Vec<ClientBlueprint>,
+    /// Trainer-side participation counts, kept in lockstep with each
+    /// client's own counter so a rebuilt client resumes its anchor cadence.
+    participations: Vec<usize>,
+    dynamics: DynamicsConfig,
+    max_samples: usize,
+    fault_plan: FaultPlan,
     executor: RoundExecutor,
     eval_model: Model,
     clock: SimTime,
@@ -58,6 +78,21 @@ impl Trainer {
     /// Builds the federation: partitions the data non-IID, assigns device
     /// speeds/dynamics, and initializes the global model.
     pub fn new(fl: FlConfig, scheme: Scheme, workload: Workload) -> Self {
+        let n_workers = fl.clients_per_round.clamp(
+            1,
+            std::thread::available_parallelism().map_or(8, |n| n.get()),
+        );
+        Self::new_with_workers(fl, scheme, workload, n_workers)
+    }
+
+    /// Like [`new`](Self::new) but with an explicit worker-pool size
+    /// (determinism tests compare 1-worker vs N-worker runs bit-for-bit).
+    pub fn new_with_workers(
+        fl: FlConfig,
+        scheme: Scheme,
+        workload: Workload,
+        n_workers: usize,
+    ) -> Self {
         if let Scheme::FedCa(o) = &scheme {
             assert!(
                 !(o.eager && fl.compression != fedca_compress::Compression::None),
@@ -91,31 +126,24 @@ impl Trainer {
             Scheme::FedCa(o) => o.config.max_samples_per_layer,
             _ => 100,
         };
-        let clients: Vec<Option<ClientState>> = shards
-            .into_iter()
+        let blueprints: Vec<ClientBlueprint> = shards
+            .iter()
             .enumerate()
-            .map(|(id, shard)| {
-                let sampler = BatchSampler::new(shard.clone(), fl.batch_size);
-                Some(ClientState {
+            .map(|(id, shard)| ClientBlueprint {
+                shard: shard.clone(),
+                speed: speeds[id],
+            })
+            .collect();
+        let clients: Vec<Option<ClientState>> = (0..fl.n_clients)
+            .map(|id| {
+                Some(build_client(
                     id,
-                    shard,
-                    sampler,
-                    device: DeviceSpeed::new(
-                        speeds[id],
-                        dynamics.clone(),
-                        fl.seed ^ (0xDE71 + id as u64 * 7919),
-                    ),
-                    uplink: Link::paper_client(),
-                    downlink: Link::paper_client(),
-                    profiler: SampledProfiler::new(
-                        layout.clone(),
-                        max_samples,
-                        fl.seed ^ (0x5A4D + id as u64 * 104729),
-                    ),
-                    seed: fl.seed ^ (id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
-                    participations: 0,
-                    error_feedback: fedca_compress::ErrorFeedback::new(),
-                })
+                    &blueprints[id],
+                    &dynamics,
+                    &layout,
+                    max_samples,
+                    &fl,
+                ))
             })
             .collect();
 
@@ -131,28 +159,44 @@ impl Trainer {
             default_duration,
         );
 
-        // The pool is sized for one round's concurrency and lives for the
-        // trainer's whole life (workers are joined when the trainer drops).
-        let n_workers = fl.clients_per_round.clamp(
-            1,
-            std::thread::available_parallelism().map_or(8, |n| n.get()),
-        );
-
+        // The pool lives for the trainer's whole life (workers are joined
+        // when the trainer drops).
         Trainer {
             rng: StdRng::seed_from_u64(fl.seed.wrapping_add(0xA11CE)),
             eval_model: model,
             executor: RoundExecutor::new(n_workers),
+            fault_plan: FaultPlan::new(fl.faults.clone()),
+            participations: vec![0; fl.n_clients],
             fl,
             scheme,
             workload,
             layout,
             server,
             clients,
+            blueprints,
+            dynamics,
+            max_samples,
             clock: 0.0,
             records: Vec::new(),
             eval_every: 1,
             eval_samples: 512,
         }
+    }
+
+    /// Reconstructs a client destroyed by an injected worker panic from its
+    /// blueprint; participation count carries over (the server still knows
+    /// the client), everything else restarts fresh.
+    fn rebuild_client(&self, id: usize) -> ClientState {
+        let mut client = build_client(
+            id,
+            &self.blueprints[id],
+            &self.dynamics,
+            &self.layout,
+            self.max_samples,
+            &self.fl,
+        );
+        client.participations = self.participations[id];
+        client
     }
 
     /// The virtual clock (end of the last completed round).
@@ -229,8 +273,10 @@ impl Trainer {
                 deadline,
                 planned_iters: plans[ord],
                 is_anchor,
+                faults: self.fault_plan.draw(round, cid, plans[ord]),
             });
             client.participations += 1;
+            self.participations[cid] += 1;
         }
         let any_anchor = plan_for.iter().any(|p| p.is_anchor);
 
@@ -244,26 +290,46 @@ impl Trainer {
         });
         for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
             let client = self.clients[cid].take().expect("client selected twice");
-            self.executor.submit(ClientWork {
-                ord,
-                client,
-                plan,
-                ctx: Arc::clone(&ctx),
-            });
+            self.executor
+                .submit(ClientWork {
+                    ord,
+                    client,
+                    plan,
+                    ctx: Arc::clone(&ctx),
+                })
+                .expect("worker pool alive while the trainer exists");
         }
 
         // Stream completions into the aggregator as workers finish; the
         // fold at close() runs in ordinal order, so results do not depend
-        // on which worker reports first.
+        // on which worker reports first. Workers that die to an injected
+        // panic report a Failed event — the round always sees exactly
+        // `selected.len()` events and can never hang on a lost client.
         let mut agg = self.server.begin_round(round_start, selected.len());
+        agg.set_deadline(deadline);
         let mut allocs_avoided = 0usize;
+        let mut n_panicked = 0usize;
         for _ in 0..selected.len() {
-            let done = self.executor.recv();
-            let cid = selected[done.ord];
-            debug_assert_eq!(done.client.id, cid, "report/client mismatch");
-            self.clients[cid] = Some(done.client);
-            allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
-            agg.ingest(done.ord, done.report);
+            let event = self
+                .executor
+                .recv()
+                .expect("worker pool alive while the trainer exists");
+            match event {
+                ClientDone::Completed(done) => {
+                    let cid = selected[done.ord];
+                    debug_assert_eq!(done.client.id, cid, "report/client mismatch");
+                    self.clients[cid] = Some(done.client);
+                    allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
+                    agg.ingest(done.ord, done.report);
+                }
+                ClientDone::Failed(failure) => {
+                    let cid = selected[failure.ord];
+                    debug_assert_eq!(failure.client_id, cid, "failure/client mismatch");
+                    self.clients[cid] = Some(self.rebuild_client(cid));
+                    n_panicked += 1;
+                    agg.mark_failed(failure.ord);
+                }
+            }
         }
         let (agg, reports) = agg.close(&mut self.server);
         self.clock = agg.completion;
@@ -278,14 +344,28 @@ impl Trainer {
             let collected = &agg.collected;
             let sum: f64 = collected
                 .iter()
-                .map(|&i| reports[i].train_loss as f64)
+                .map(|&i| reports[i].as_ref().expect("collected").train_loss as f64)
                 .sum();
             (sum / collected.len().max(1) as f64) as f32
         };
         let mut eager_events = Vec::new();
-        for r in &reports {
+        for r in reports.iter().flatten() {
             eager_events.extend(outcomes_to_events(r.client_id, &r.eager_outcomes));
         }
+        // Fault accounting: panics destroyed the client; crashes returned a
+        // report with the crash flag; survivors whose (finite) upload landed
+        // after the cut missed the deadline and had their update discarded.
+        let n_crashed = n_panicked + reports.iter().flatten().filter(|r| r.crashed).count();
+        let n_deadline_missed = reports
+            .iter()
+            .flatten()
+            .filter(|r| {
+                !r.dropped
+                    && !r.crashed
+                    && r.upload_done.is_finite()
+                    && r.upload_done > agg.completion
+            })
+            .count();
         self.records.push(RoundRecord {
             round,
             start: round_start,
@@ -294,12 +374,20 @@ impl Trainer {
             mean_train_loss,
             n_selected: selected.len(),
             n_aggregated: agg.collected.len(),
-            n_dropped: reports.iter().filter(|r| r.dropped).count(),
-            iters_done: reports.iter().map(|r| r.iters_done).collect(),
+            n_dropped: reports.iter().flatten().filter(|r| r.dropped).count(),
+            n_crashed,
+            n_deadline_missed,
+            iters_done: reports
+                .iter()
+                .map(|r| r.as_ref().map_or(0, |r| r.iters_done))
+                .collect(),
             iters_planned: plans,
-            early_stops: reports.iter().map(|r| r.early_stopped).collect(),
+            early_stops: reports
+                .iter()
+                .map(|r| r.as_ref().is_some_and(|r| r.early_stopped))
+                .collect(),
             eager_events,
-            bytes_uploaded: reports.iter().map(|r| r.bytes_uploaded).sum(),
+            bytes_uploaded: reports.iter().flatten().map(|r| r.bytes_uploaded).sum(),
             is_anchor: any_anchor,
             host_ms: host_t0.elapsed().as_secs_f64() * 1e3,
             allocs_avoided,
@@ -364,10 +452,46 @@ impl Trainer {
     }
 }
 
+/// Constructs one client's state from its blueprint. All seeds derive from
+/// `(fl.seed, id)` alone, so a rebuilt client is bit-identical to a freshly
+/// federated one.
+fn build_client(
+    id: usize,
+    blueprint: &ClientBlueprint,
+    dynamics: &DynamicsConfig,
+    layout: &Arc<ModelLayout>,
+    max_samples: usize,
+    fl: &FlConfig,
+) -> ClientState {
+    let shard = blueprint.shard.clone();
+    let sampler = BatchSampler::new(shard.clone(), fl.batch_size);
+    ClientState {
+        id,
+        shard,
+        sampler,
+        device: DeviceSpeed::new(
+            blueprint.speed,
+            dynamics.clone(),
+            fl.seed ^ (0xDE71 + id as u64 * 7919),
+        ),
+        uplink: Link::paper_client(),
+        downlink: Link::paper_client(),
+        profiler: SampledProfiler::new(
+            layout.clone(),
+            max_samples,
+            fl.seed ^ (0x5A4D + id as u64 * 104729),
+        ),
+        seed: fl.seed ^ (id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        participations: 0,
+        error_feedback: fedca_compress::ErrorFeedback::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::FedCaOptions;
+    use crate::config::FaultConfig;
     use crate::workload::Workload;
 
     fn tiny_fl() -> FlConfig {
@@ -385,6 +509,7 @@ mod tests {
             dynamicity: false,
             dropout_prob: 0.0,
             compression: Default::default(),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -449,6 +574,56 @@ mod tests {
                 ra.round
             );
             assert_eq!(ra.iters_done, rb.iters_done);
+        }
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_trajectories_byte_identical() {
+        // A seeded FaultConfig with all probabilities at zero must produce
+        // exactly the trajectory of the default (fault-free) config.
+        let mut zeroed = FaultConfig::none();
+        zeroed.seed = 999; // seed alone must not perturb anything
+        let base = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(1)).run(3);
+        let faulted = Trainer::new(
+            FlConfig {
+                faults: zeroed,
+                ..tiny_fl()
+            },
+            Scheme::FedAvg,
+            Workload::tiny_mlp(1),
+        )
+        .run(3);
+        for (ra, rb) in base.rounds.iter().zip(&faulted.rounds) {
+            assert_eq!(ra.end, rb.end);
+            assert_eq!(ra.accuracy, rb.accuracy);
+            assert_eq!(ra.iters_done, rb.iters_done);
+            assert_eq!(rb.n_crashed, 0);
+        }
+    }
+
+    #[test]
+    fn chaos_round_survives_panics_and_accounts_faults() {
+        let fl = FlConfig {
+            faults: FaultConfig::chaos(7),
+            seed: 7,
+            ..tiny_fl()
+        };
+        let mut t = Trainer::new(fl, Scheme::FedAvg, Workload::tiny_mlp(1));
+        let out = t.run(6);
+        assert_eq!(out.rounds.len(), 6, "chaos must not stall the trainer");
+        let total_faults: usize = out.rounds.iter().map(|r| r.n_crashed).sum();
+        assert!(
+            total_faults > 0,
+            "chaos(7) over 24 client-rounds drew no fault"
+        );
+        for r in &out.rounds {
+            assert!(r.end >= r.start, "round {} clock went backwards", r.round);
+            assert_eq!(r.iters_done.len(), r.n_selected);
+            assert!(r.n_aggregated + r.n_crashed <= r.n_selected + r.n_crashed);
+        }
+        // Every client slot must be occupied again (panicked ones rebuilt).
+        for id in 0..8 {
+            assert_eq!(t.client(id).id, id);
         }
     }
 

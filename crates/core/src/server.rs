@@ -105,6 +105,7 @@ impl Server {
             round_start,
             cut: ArrivalCut::new(self.aggregation_fraction),
             reports: (0..n_selected).map(|_| None).collect(),
+            fallback_completion: None,
         }
     }
 
@@ -143,6 +144,7 @@ pub struct StreamingAggregator {
     round_start: SimTime,
     cut: ArrivalCut,
     reports: Vec<Option<ClientRoundReport>>,
+    fallback_completion: Option<SimTime>,
 }
 
 impl StreamingAggregator {
@@ -157,7 +159,26 @@ impl StreamingAggregator {
         self.reports[ord] = Some(report);
     }
 
-    /// Reports ingested so far.
+    /// Records that the client at ordinal `ord` failed outright (its worker
+    /// panicked and no report exists). The failure is observed as a `+inf`
+    /// arrival, so the cut treats it exactly like a straggler past the
+    /// aggregation deadline (paper §5.1 partial aggregation).
+    ///
+    /// # Panics
+    /// Panics if `ord` is out of range or was already ingested.
+    pub fn mark_failed(&mut self, ord: usize) {
+        assert!(self.reports[ord].is_none(), "report {ord} ingested twice");
+        self.cut.observe(f64::INFINITY);
+    }
+
+    /// Sets the wall the round closes at when *no* upload ever arrives
+    /// (every client failed, dropped, or lost its result): completion falls
+    /// back to `round_start + deadline` instead of panicking.
+    pub fn set_deadline(&mut self, deadline: SimTime) {
+        self.fallback_completion = Some(self.round_start + deadline);
+    }
+
+    /// Reports and failures observed so far.
     pub fn received(&self) -> usize {
         self.cut.len()
     }
@@ -168,31 +189,47 @@ impl StreamingAggregator {
     }
 
     /// Folds the collected updates into `server`'s global model and returns
-    /// the aggregation result plus the reports in ordinal order.
+    /// the aggregation result plus the reports in ordinal order (`None`
+    /// where the client failed without producing a report).
     ///
     /// # Panics
-    /// Panics unless every expected report was ingested.
-    pub fn close(self, server: &mut Server) -> (AggregationResult, Vec<ClientRoundReport>) {
-        let reports: Vec<ClientRoundReport> = self
-            .reports
-            .into_iter()
-            .map(|r| r.expect("missing client report"))
-            .collect();
-        let completion = self.cut.completion_time();
+    /// Panics unless every ordinal was ingested or marked failed, or if no
+    /// finite arrival exists and no deadline fallback was set.
+    pub fn close(self, server: &mut Server) -> (AggregationResult, Vec<Option<ClientRoundReport>>) {
+        assert_eq!(
+            self.cut.len(),
+            self.reports.len(),
+            "missing client report or failure mark"
+        );
+        let reports = self.reports;
+        let completion = if self.cut.finite_count() == 0 {
+            // Every client failed/dropped: no upload will ever arrive and
+            // the cut is undefined. The server gives up at its deadline and
+            // keeps the global model unchanged.
+            self.fallback_completion
+                .expect("all clients failed and no deadline fallback was set")
+        } else {
+            self.cut.completion_time()
+        };
         let collected: Vec<usize> = reports
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.upload_done <= completion)
+            .filter(|(_, r)| r.as_ref().is_some_and(|r| r.upload_done <= completion))
             .map(|(i, _)| i)
             .collect();
         let weighted: Vec<(&UpdateVec, f64)> = collected
             .iter()
-            .map(|&i| (&reports[i].update, reports[i].weight))
+            .map(|&i| {
+                let r = reports[i].as_ref().expect("collected implies present");
+                (&r.update, r.weight)
+            })
             .collect();
-        let delta = aggregate(&weighted);
-        server.global.axpy(1.0, &delta);
+        if !weighted.is_empty() {
+            let delta = aggregate(&weighted);
+            server.global.axpy(1.0, &delta);
+        }
         for &i in &collected {
-            let r = &reports[i];
+            let r = reports[i].as_ref().expect("collected implies present");
             server
                 .estimator
                 .observe(r.client_id, r.upload_done - self.round_start);
@@ -241,6 +278,7 @@ mod tests {
             bytes_uploaded: 8.0,
             train_loss: 1.0,
             dropped: false,
+            crashed: false,
         }
     }
 
@@ -301,8 +339,70 @@ mod tests {
         assert_eq!(res.collected, batch_res.collected);
         assert_eq!(batch.global().as_slice(), streaming.global().as_slice());
         // Reports come back in ordinal order regardless of ingestion order.
-        let ids: Vec<usize> = back.iter().map(|r| r.client_id).collect();
+        let ids: Vec<usize> = back
+            .iter()
+            .map(|r| r.as_ref().expect("all ingested").client_id)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn failed_clients_are_cut_like_stragglers() {
+        // Batch over the three survivors vs streaming with one failure
+        // marked in the middle: identical global model, and the failed
+        // ordinal never appears in `collected`.
+        let survivors = vec![
+            report(0, 1.0, vec![1.0, 0.0], 1.0),
+            report(1, 2.0, vec![3.0, 0.0], 1.0),
+            report(3, 1.5, vec![2.0, 0.0], 2.0),
+        ];
+        let mut batch = server();
+        let _ = batch.aggregate_round(0.0, &survivors);
+
+        let mut streaming = server();
+        let mut agg = streaming.begin_round(0.0, 4);
+        agg.ingest(0, report(0, 1.0, vec![1.0, 0.0], 1.0));
+        agg.mark_failed(2);
+        agg.ingest(1, report(1, 2.0, vec![3.0, 0.0], 1.0));
+        agg.ingest(3, report(3, 1.5, vec![2.0, 0.0], 2.0));
+        assert_eq!(agg.received(), 4);
+        let (res, back) = agg.close(&mut streaming);
+        assert!(!res.collected.contains(&2));
+        assert!(back[2].is_none());
+        assert_eq!(batch.global().as_slice(), streaming.global().as_slice());
+    }
+
+    #[test]
+    fn all_failed_round_closes_at_the_deadline_fallback() {
+        let mut s = server();
+        let before = s.global().as_slice().to_vec();
+        let mut agg = s.begin_round(10.0, 3);
+        agg.set_deadline(7.5);
+        agg.mark_failed(0);
+        agg.mark_failed(1);
+        agg.ingest(2, report(2, f64::INFINITY, vec![5.0, 5.0], 1.0));
+        let (res, back) = agg.close(&mut s);
+        assert_eq!(res.completion, 17.5);
+        assert!(res.collected.is_empty());
+        assert!(back[0].is_none() && back[1].is_none() && back[2].is_some());
+        assert_eq!(s.global().as_slice(), &before[..], "global must not move");
+    }
+
+    #[test]
+    #[should_panic(expected = "no deadline fallback")]
+    fn all_failed_round_without_deadline_panics() {
+        let mut s = server();
+        let mut agg = s.begin_round(0.0, 1);
+        agg.mark_failed(0);
+        let _ = agg.close(&mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing client report")]
+    fn close_requires_every_ordinal_resolved() {
+        let mut s = server();
+        let agg = s.begin_round(0.0, 2);
+        let _ = agg.close(&mut s);
     }
 
     #[test]

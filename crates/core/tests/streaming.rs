@@ -37,6 +37,7 @@ fn report(
         bytes_uploaded: 16.0,
         train_loss: 0.5,
         dropped,
+        crashed: false,
     }
 }
 
@@ -58,15 +59,21 @@ proptest! {
         ))
     ) {
         let n = arrivals.len();
+        // Marker 0 → the client dropped (a +inf report exists); marker 1 →
+        // the client's worker panicked (no report at all: the streaming
+        // path marks the ordinal failed). Client 0 always survives so the
+        // round can complete.
+        let failed: Vec<bool> = (0..n).map(|i| arrivals[i].1 == 1 && i != 0).collect();
         let reports: Vec<ClientRoundReport> = (0..n)
             .map(|i| {
-                // Client 0 always finishes so the round can complete.
                 let dropped = arrivals[i].1 == 0 && i != 0;
-                let t = if dropped { f64::INFINITY } else { arrivals[i].0 };
+                let t = if dropped || failed[i] { f64::INFINITY } else { arrivals[i].0 };
                 report(i, t, weights[i], updates[i].clone(), dropped)
             })
             .collect();
 
+        // The batch reference sees failed clients as +inf stragglers whose
+        // update never aggregates — the paper-§5.1 cut semantics.
         let mut batch = server();
         let batch_res = batch.aggregate_round(0.0, &reports);
 
@@ -75,7 +82,11 @@ proptest! {
         let mut streaming = server();
         let mut agg = streaming.begin_round(0.0, n);
         for &ord in &order {
-            agg.ingest(ord, reports[ord].clone());
+            if failed[ord] {
+                agg.mark_failed(ord);
+            } else {
+                agg.ingest(ord, reports[ord].clone());
+            }
         }
         prop_assert_eq!(agg.received(), n);
         prop_assert_eq!(agg.provisional_completion(), batch_res.completion);

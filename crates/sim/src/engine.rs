@@ -97,6 +97,13 @@ impl ArrivalCut {
         self.sorted.is_empty()
     }
 
+    /// Arrivals that actually happened (finite times) — dropped, crashed,
+    /// and failed clients report `+inf` and are excluded.
+    pub fn finite_count(&self) -> usize {
+        // `sorted` is ascending, so finite arrivals form a prefix.
+        self.sorted.partition_point(|t| t.is_finite())
+    }
+
     /// The completion time over the arrivals observed so far — identical to
     /// [`round_completion_time`] on the same multiset of arrivals.
     ///
@@ -181,6 +188,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn finite_count_excludes_lost_arrivals() {
+        let mut cut = ArrivalCut::new(0.9);
+        assert_eq!(cut.finite_count(), 0);
+        cut.observe(f64::INFINITY);
+        cut.observe(2.0);
+        cut.observe(f64::INFINITY);
+        cut.observe(1.0);
+        assert_eq!(cut.len(), 4);
+        assert_eq!(cut.finite_count(), 2);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   final update upload;
 //! * [`trace`] — FedScale-like heavy-tailed speed-ratio sampling;
 //! * [`engine`] — round-completion arithmetic (partial aggregation waits
-//!   for the earliest fraction of clients, §5.1's 90%).
+//!   for the earliest fraction of clients, §5.1's 90%);
+//! * [`faults`] — seeded deterministic fault injection (crashes, worker
+//!   panics, result loss/delay, bandwidth degradation, deadline slip) so
+//!   chaos runs are exactly reproducible.
 //!
 //! Virtual time is `f64` seconds ([`SimTime`]). Everything is deterministic
 //! given client seeds, which is what makes the FL experiments reproducible
@@ -25,6 +28,7 @@
 
 pub mod device;
 pub mod engine;
+pub mod faults;
 pub mod network;
 pub mod trace;
 

@@ -30,6 +30,10 @@ pub struct Transfer {
 #[derive(Clone, Debug)]
 pub struct Link {
     bandwidth_bytes_per_sec: f64,
+    /// Multiplier on the nominal bandwidth (fault injection: a degraded
+    /// link runs at `rate_scale` of nominal for as long as the scale is
+    /// set). Always 1.0 on a healthy link.
+    rate_scale: f64,
     busy_until: SimTime,
     log: Vec<Transfer>,
 }
@@ -43,6 +47,7 @@ impl Link {
         assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
         Link {
             bandwidth_bytes_per_sec,
+            rate_scale: 1.0,
             busy_until: 0.0,
             log: Vec::new(),
         }
@@ -53,9 +58,28 @@ impl Link {
         Link::new(PAPER_CLIENT_BANDWIDTH_BPS)
     }
 
-    /// Seconds needed to push `bytes` through an idle link.
+    /// Seconds needed to push `bytes` through an idle link at its current
+    /// (possibly degraded) rate.
     pub fn serialize_time(&self, bytes: f64) -> f64 {
-        bytes / self.bandwidth_bytes_per_sec
+        bytes / (self.bandwidth_bytes_per_sec * self.rate_scale)
+    }
+
+    /// Degrades (or restores) the link to `scale` of its nominal bandwidth.
+    /// Fault-injection hook; transfers already enqueued are unaffected.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is in `(0, 1]`.
+    pub fn set_rate_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "rate scale must be in (0, 1], got {scale}"
+        );
+        self.rate_scale = scale;
+    }
+
+    /// The current bandwidth multiplier (1.0 = healthy).
+    pub fn rate_scale(&self) -> f64 {
+        self.rate_scale
     }
 
     /// Enqueues a transfer that becomes ready at `ready`; returns the
@@ -89,9 +113,11 @@ impl Link {
         &self.log
     }
 
-    /// Resets the link to idle at time 0 (new experiment), keeping bandwidth.
+    /// Resets the link to idle at time 0 (new experiment), keeping bandwidth
+    /// and clearing any degradation.
     pub fn reset(&mut self) {
         self.busy_until = 0.0;
+        self.rate_scale = 1.0;
         self.log.clear();
     }
 }
@@ -138,11 +164,30 @@ mod tests {
     }
 
     #[test]
+    fn degraded_link_slows_by_the_scale_factor() {
+        let mut link = Link::new(100.0);
+        link.set_rate_scale(0.25); // 25 B/s effective
+        assert!((link.serialize_time(100.0) - 4.0).abs() < 1e-12);
+        let e = link.transmit(0.0, 100.0);
+        assert!((e - 4.0).abs() < 1e-12);
+        link.set_rate_scale(1.0);
+        assert!((link.serialize_time(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate scale")]
+    fn rejects_zero_rate_scale() {
+        Link::new(10.0).set_rate_scale(0.0);
+    }
+
+    #[test]
     fn reset_clears_state() {
         let mut link = Link::new(10.0);
         let _ = link.transmit(0.0, 50.0);
+        link.set_rate_scale(0.5);
         link.reset();
         assert_eq!(link.busy_until(), 0.0);
+        assert_eq!(link.rate_scale(), 1.0);
         assert!(link.log().is_empty());
     }
 }

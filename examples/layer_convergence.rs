@@ -52,6 +52,7 @@ fn main() {
         deadline: 1e9,
         planned_iters: k,
         is_anchor: true,
+        faults: Default::default(),
     };
     println!("profiling a {k}-iteration anchor round on the CNN workload…");
     let report = run_client_round(

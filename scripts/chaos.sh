@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Fixed-seed chaos sweep: runs the fault-injection harness
+# (crates/core/tests/chaos.rs) across N deterministic seeds in release
+# mode. The sweep is fully reproducible — seeds are 0..N-1 and every fault
+# schedule is a pure function of (fault seed, round, client).
+#
+# Usage: scripts/chaos.sh [N_SEEDS]   (default 32, the acceptance width)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-32}"
+
+echo "== chaos sweep: ${SEEDS} seeds x 3 fault mixes (release)"
+FEDCA_CHAOS_SEEDS="${SEEDS}" cargo test -p fedca-core --test chaos --release -q

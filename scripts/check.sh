@@ -16,3 +16,6 @@ fi
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== chaos sweep"
+scripts/chaos.sh "${CHAOS_SEEDS:-32}"

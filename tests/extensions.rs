@@ -22,6 +22,7 @@ fn fl(seed: u64) -> FlConfig {
         dynamicity: true,
         dropout_prob: 0.0,
         compression: Default::default(),
+        faults: Default::default(),
     }
 }
 

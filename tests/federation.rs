@@ -18,6 +18,7 @@ fn tiny_fl(seed: u64) -> FlConfig {
         dynamicity: true,
         dropout_prob: 0.0,
         compression: Default::default(),
+        faults: Default::default(),
     }
 }
 

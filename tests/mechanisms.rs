@@ -62,6 +62,7 @@ fn two_rounds(
         deadline: 1e9,
         planned_iters: k,
         is_anchor: true,
+        faults: Default::default(),
     };
     let r0 = run_client_round(
         &mut client,
@@ -81,6 +82,7 @@ fn two_rounds(
         deadline,
         planned_iters: k,
         is_anchor: false,
+        faults: Default::default(),
     };
     let r1 = run_client_round(
         &mut client,
@@ -233,6 +235,7 @@ fn early_stop_reacts_to_injected_slowdown() {
             deadline: 1e9,
             planned_iters: k,
             is_anchor: true,
+            faults: Default::default(),
         };
         let r0 = run_client_round(
             &mut client,
@@ -253,6 +256,7 @@ fn early_stop_reacts_to_injected_slowdown() {
             deadline,
             planned_iters: k,
             is_anchor: false,
+            faults: Default::default(),
         };
         run_client_round(
             &mut client,
