@@ -1,14 +1,16 @@
 //! Periodical-sampling profiler cost per iteration, vs the naive
-//! full-snapshot alternative the paper rules out (§4.1: 14 GB for WRN-28).
-//!
-//! `record_iteration` gathers only the sampled indices; `full_snapshot`
-//! clones the entire flat parameter vector.
+//! full-snapshot alternative the paper rules out (§4.1: 14 GB for WRN-28),
+//! plus the trace journal's overhead claims: a disabled tracer must cost
+//! nothing measurable per round, and per-event emission stays cheap when
+//! enabled.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fedca_core::config::FlConfig;
 use fedca_core::params::ModelLayout;
 use fedca_core::profiler::SampledProfiler;
+use fedca_core::trace::{TraceConfig, TraceEvent, Tracer};
 use fedca_core::workload::Scale;
-use fedca_core::Workload;
+use fedca_core::{Scheme, Trainer, Workload};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,12 +61,58 @@ fn bench_profiler(c: &mut Criterion) {
     }
 }
 
+fn sample_event() -> TraceEvent {
+    TraceEvent::EagerTransmit {
+        round: 3,
+        client: 17,
+        layer: 2,
+        iter: 29,
+        bytes: 4096.0,
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Per-event emission: the disabled tracer is one branch on a `None`,
+    // the enabled one takes a lock and pushes into the ring.
+    let disabled = Tracer::disabled();
+    c.bench_function("trace_overhead/emit_disabled", |b| {
+        b.iter(|| disabled.emit(black_box(1.5), black_box(3), 0.0, black_box(sample_event())))
+    });
+    let enabled = Tracer::enabled(1 << 12);
+    c.bench_function("trace_overhead/emit_enabled_ring", |b| {
+        b.iter(|| enabled.emit(black_box(1.5), black_box(3), 0.0, black_box(sample_event())))
+    });
+
+    // Whole-round cost with the journal off vs on: the "off" number is the
+    // regression guard (it must stay within noise of the pre-trace
+    // baseline); the off-vs-on gap bounds what enabling costs.
+    for (label, trace) in [
+        ("round_disabled", TraceConfig::disabled()),
+        ("round_enabled", TraceConfig::enabled()),
+    ] {
+        let fl = FlConfig {
+            n_clients: 8,
+            clients_per_round: 4,
+            local_iters: 6,
+            batch_size: 8,
+            seed: 7,
+            trace,
+            ..FlConfig::default()
+        };
+        let mut t = Trainer::new(fl, Scheme::fedca_default(), Workload::tiny_mlp(7));
+        t.eval_every = 0;
+        c.bench_function(&format!("trace_overhead/{label}"), |b| {
+            b.iter(|| black_box(t.run_round().n_aggregated))
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_profiler
+    targets = bench_profiler, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -12,8 +12,11 @@
 
 pub mod study;
 
+use fedca_core::trace::JsonlSink;
 use fedca_core::workload::Scale;
-use fedca_core::{FlConfig, Scheme, Trainer, TrainerOutput, Workload};
+use fedca_core::{FlConfig, Scheme, TraceConfig, Trainer, TrainerOutput, Workload};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Experiment scale tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +102,70 @@ pub fn workload_by_name(name: &str, scale: ExpScale, seed: u64) -> Workload {
     }
 }
 
+/// Trace destination requested for this process: `--trace PATH` /
+/// `--trace=PATH` on the command line, else the `FEDCA_TRACE` environment
+/// variable. `None` means tracing stays off (the zero-cost default).
+pub fn trace_spec() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().expect("--trace requires a file path").into());
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.into());
+        }
+    }
+    std::env::var_os("FEDCA_TRACE").map(Into::into)
+}
+
+/// Counts traced runs within the process so each gets its own file.
+static TRACE_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// The `n`-th run's trace file: the base path as given for the first run,
+/// `stem.N.ext` for subsequent runs (figure binaries run many studies).
+fn numbered_trace_path(base: &Path, n: usize) -> PathBuf {
+    if n == 0 {
+        return base.to_path_buf();
+    }
+    match (base.file_stem(), base.extension()) {
+        (Some(stem), Some(ext)) => base.with_file_name(format!(
+            "{}.{n}.{}",
+            stem.to_string_lossy(),
+            ext.to_string_lossy()
+        )),
+        _ => {
+            let name = base
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            base.with_file_name(format!("{name}.{n}"))
+        }
+    }
+}
+
+/// Builds a trainer, honoring the process-wide trace request: when a trace
+/// destination is configured, tracing is switched on in the config and a
+/// JSONL sink is attached (one numbered file per traced run).
+fn build_trainer(fl: &FlConfig, scheme: Scheme, workload: &Workload) -> Trainer {
+    let spec = trace_spec();
+    let mut fl = fl.clone();
+    if spec.is_some() && !fl.trace.enabled {
+        fl.trace = TraceConfig::enabled();
+    }
+    let t = Trainer::new(fl, scheme, workload.clone());
+    if let Some(base) = spec {
+        let path = numbered_trace_path(&base, TRACE_RUN.fetch_add(1, Ordering::Relaxed));
+        match JsonlSink::create(&path) {
+            Ok(sink) => {
+                t.tracer().add_sink(Box::new(sink));
+                note(&format!("tracing to {}", path.display()));
+            }
+            Err(e) => note(&format!("cannot open trace file {}: {e}", path.display())),
+        }
+    }
+    t
+}
+
 /// Runs a scheme on a workload for a fixed number of rounds.
 pub fn run_rounds(
     scheme: Scheme,
@@ -107,7 +174,7 @@ pub fn run_rounds(
     rounds: usize,
     eval_every: usize,
 ) -> TrainerOutput {
-    let mut t = Trainer::new(fl.clone(), scheme, workload.clone());
+    let mut t = build_trainer(fl, scheme, workload);
     t.eval_every = eval_every;
     t.run(rounds)
 }
@@ -120,7 +187,7 @@ pub fn run_to_target(
     target: f32,
     max_rounds: usize,
 ) -> TrainerOutput {
-    let mut t = Trainer::new(fl.clone(), scheme, workload.clone());
+    let mut t = build_trainer(fl, scheme, workload);
     t.run_until_accuracy(target, max_rounds)
 }
 
@@ -146,6 +213,17 @@ mod tests {
         assert_eq!(ExpScale::Scaled.workload_scale(), Scale::Scaled);
         assert_eq!(ExpScale::Paper.workload_scale(), Scale::Paper);
         assert_eq!(ExpScale::Smoke.workload_scale(), Scale::Scaled);
+    }
+
+    #[test]
+    fn trace_paths_are_numbered_per_run() {
+        let base = Path::new("out/trace.jsonl");
+        assert_eq!(numbered_trace_path(base, 0), base);
+        assert_eq!(numbered_trace_path(base, 2), Path::new("out/trace.2.jsonl"));
+        assert_eq!(
+            numbered_trace_path(Path::new("trace"), 1),
+            Path::new("trace.1")
+        );
     }
 
     #[test]

@@ -128,6 +128,7 @@ pub fn progress_study(
         dropout_prob: 0.0,
         compression: Default::default(),
         faults: Default::default(),
+        trace: Default::default(),
     };
     let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload.clone());
     trainer.eval_every = 0; // no accuracy needed; keep the study fast

@@ -10,6 +10,7 @@ use crate::config::FlConfig;
 use crate::eager::{EagerState, LayerOutcome};
 use crate::params::{ModelLayout, UpdateVec};
 use crate::profiler::SampledProfiler;
+use crate::trace::{ClientTraceBuf, TraceEvent};
 use crate::workload::Workload;
 use fedca_compress::{Compression, ErrorFeedback};
 use fedca_data::{BatchSampler, InMemoryDataset};
@@ -107,6 +108,12 @@ pub struct ClientRoundReport {
     /// Whether an injected crash killed the client mid-round (its state
     /// survives on the trainer, but the upload never arrives).
     pub crashed: bool,
+    /// Events recorded inside this client round (empty unless
+    /// `FlConfig::trace` is enabled). Buffered here — deterministically,
+    /// inside the client's own virtual-time round — and merged into the
+    /// canonical stream by the trainer at round close, so the journal never
+    /// observes worker scheduling.
+    pub trace: ClientTraceBuf,
 }
 
 /// Runs one client round: download → K local iterations (with FedCA hooks)
@@ -152,6 +159,10 @@ pub fn run_client_round(
     // slipped deadline makes the client *believe* it has more time than the
     // server granted. Both are per-round, so every round (re)sets them.
     let faults = &plan.faults;
+    // Trace buffer: events accumulate locally in virtual-time order and are
+    // merged by the trainer. Inert (no allocation) when tracing is off.
+    let tracing = fl.trace.enabled;
+    let mut trace = ClientTraceBuf::new();
     state.uplink.set_rate_scale(faults.bandwidth_factor);
     state.downlink.set_rate_scale(faults.bandwidth_factor);
     let perceived_deadline = plan.deadline + faults.deadline_slip;
@@ -223,12 +234,34 @@ pub fn run_client_round(
         // upload never arrives.
         if faults.crash_at_iter == Some(tau) {
             crashed = true;
+            if tracing {
+                trace.push(
+                    now,
+                    TraceEvent::FaultFired {
+                        round: plan.round,
+                        client: state.id,
+                        kind: "crash".to_string(),
+                        iter: tau,
+                    },
+                );
+            }
             break;
         }
         // --- Availability: gone is gone (its upload never arrives).
         if let Some(t_drop) = drop_time {
             if now >= t_drop {
                 dropped = true;
+                if tracing {
+                    trace.push(
+                        now,
+                        TraceEvent::FaultFired {
+                            round: plan.round,
+                            client: state.id,
+                            kind: "dropout".to_string(),
+                            iter: tau,
+                        },
+                    );
+                }
                 break;
             }
         }
@@ -241,6 +274,16 @@ pub fn run_client_round(
             if crate::early_stop::should_stop(curve, tau_clamped, t_pred, perceived_deadline, beta)
             {
                 early_stopped = true;
+                if tracing {
+                    trace.push(
+                        now,
+                        TraceEvent::EarlyStop {
+                            round: plan.round,
+                            client: state.id,
+                            iter: tau,
+                        },
+                    );
+                }
                 break;
             }
         }
@@ -303,6 +346,18 @@ pub fn run_client_round(
                     state.uplink.transmit(now, bytes);
                     bytes_uploaded += bytes;
                     eager_state.mark_sent(l, tau, snapshot);
+                    if tracing {
+                        trace.push(
+                            now,
+                            TraceEvent::EagerTransmit {
+                                round: plan.round,
+                                client: state.id,
+                                layer: l,
+                                iter: tau,
+                                bytes,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -321,7 +376,18 @@ pub fn run_client_round(
     }
 
     if is_anchor {
-        state.profiler.finish_anchor();
+        let k = state.profiler.finish_anchor().k;
+        if tracing {
+            trace.push(
+                compute_done,
+                TraceEvent::AnchorProfiled {
+                    round: plan.round,
+                    client: state.id,
+                    k,
+                    sampled_params: state.profiler.sampled_param_count(),
+                },
+            );
+        }
     }
 
     // --- TryRetransmit + final upload.
@@ -395,8 +461,30 @@ pub fn run_client_round(
         let sent = state.uplink.transmit(compute_done, final_payload_bytes);
         if faults.lose_result {
             // The upload left the client but the message never arrived.
+            if tracing {
+                trace.push(
+                    sent,
+                    TraceEvent::FaultFired {
+                        round: plan.round,
+                        client: state.id,
+                        kind: "result_loss".to_string(),
+                        iter: 0,
+                    },
+                );
+            }
             f64::INFINITY
         } else {
+            if tracing && faults.result_delay > 0.0 {
+                trace.push(
+                    sent,
+                    TraceEvent::FaultFired {
+                        round: plan.round,
+                        client: state.id,
+                        kind: "result_delay".to_string(),
+                        iter: 0,
+                    },
+                );
+            }
             sent + faults.result_delay
         }
     };
@@ -425,6 +513,7 @@ pub fn run_client_round(
         },
         dropped,
         crashed,
+        trace,
     }
 }
 

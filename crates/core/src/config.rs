@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 
 pub use fedca_sim::faults::FaultConfig;
 
+pub use crate::trace::TraceConfig;
+
 /// Federation-level configuration shared by all schemes.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FlConfig {
@@ -46,6 +48,11 @@ pub struct FlConfig {
     /// to a build without the fault layer.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Structured tracing of the round pipeline (`core::trace`). Disabled
+    /// by default; when off the journal records nothing and the hot path
+    /// pays a single branch.
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl Default for FlConfig {
@@ -65,6 +72,7 @@ impl Default for FlConfig {
             dropout_prob: 0.0,
             compression: Compression::None,
             faults: FaultConfig::none(),
+            trace: TraceConfig::disabled(),
         }
     }
 }

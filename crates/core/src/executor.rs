@@ -120,6 +120,11 @@ pub struct ClientCompletion {
     pub model_reused: bool,
     /// Scratch-buffer allocations this work item avoided.
     pub allocs_avoided: usize,
+    /// Host wall-clock microseconds the worker spent inside
+    /// `run_client_round` for this item. Profiling data only — it rides on
+    /// trace records as a host-time delta and never enters the canonical
+    /// (deterministic) stream.
+    pub host_us: f64,
 }
 
 /// A client whose round died in a panic on the worker.
@@ -303,6 +308,7 @@ fn execute(arena_slot: &mut Option<ClientArena>, work: ClientWork) -> ClientComp
     let model_reused = arena_slot.is_some();
     let arena = arena_slot.get_or_insert_with(|| ClientArena::new(&ctx.workload));
     let allocs_before = arena.allocs_avoided;
+    let started = std::time::Instant::now();
     let report = run_client_round(
         &mut client,
         arena,
@@ -321,6 +327,7 @@ fn execute(arena_slot: &mut Option<ClientArena>, work: ClientWork) -> ClientComp
         report,
         model_reused,
         allocs_avoided,
+        host_us: started.elapsed().as_secs_f64() * 1e6,
     }
 }
 

@@ -45,6 +45,7 @@ pub mod profiler;
 pub mod progress;
 pub mod runner;
 pub mod server;
+pub mod trace;
 pub mod workload;
 
 pub use algorithms::{FedCaOptions, Scheme};
@@ -53,4 +54,5 @@ pub use metrics::TrainerOutput;
 pub use params::UpdateVec;
 pub use progress::statistical_progress;
 pub use runner::Trainer;
+pub use trace::{TraceConfig, TraceEvent, TraceRecord, TraceSink, Tracer};
 pub use workload::Workload;

@@ -5,7 +5,7 @@ use fedca_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// One eager-transmission event (for Fig. 8b's CDFs).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EagerEvent {
     /// Client that transmitted.
     pub client: usize,
@@ -18,7 +18,7 @@ pub struct EagerEvent {
 }
 
 /// Everything the server records about one round.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,

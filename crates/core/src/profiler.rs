@@ -94,6 +94,18 @@ impl SampledProfiler {
         self.total_samples
     }
 
+    /// Per-layer sampled indices (local to each layer's span), sorted
+    /// ascending. Deterministic per `(seed, layout)`.
+    pub fn sample_indices(&self) -> &[Vec<usize>] {
+        &self.sample_indices
+    }
+
+    /// Where each layer's samples live in the concatenated sample vector;
+    /// consecutive and non-overlapping by construction.
+    pub fn sample_ranges(&self) -> &[Range<usize>] {
+        &self.sample_ranges
+    }
+
     /// Peak profiling memory for a `k`-iteration anchor round, in bytes
     /// (one f32 per sample per iteration).
     pub fn memory_bytes(&self, k: usize) -> usize {

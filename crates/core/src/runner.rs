@@ -19,6 +19,7 @@ use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
 use crate::params::ModelLayout;
 use crate::profiler::SampledProfiler;
 use crate::server::Server;
+use crate::trace::{PendingEvent, TraceEvent, Tracer, SERVER_ORD};
 use crate::workload::Workload;
 use fedca_data::{dirichlet_partition, BatchSampler};
 use fedca_nn::loss::accuracy;
@@ -64,6 +65,7 @@ pub struct Trainer {
     max_samples: usize,
     fault_plan: FaultPlan,
     executor: RoundExecutor,
+    tracer: Tracer,
     eval_model: Model,
     clock: SimTime,
     rng: StdRng,
@@ -159,12 +161,26 @@ impl Trainer {
             default_duration,
         );
 
+        let tracer = Tracer::from_config(&fl.trace);
+        tracer.emit(
+            0.0,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::RunStart {
+                scheme: scheme.name(),
+                workload: workload.name.clone(),
+                seed: fl.seed,
+                n_workers: n_workers.max(1),
+            },
+        );
+
         // The pool lives for the trainer's whole life (workers are joined
         // when the trainer drops).
         Trainer {
             rng: StdRng::seed_from_u64(fl.seed.wrapping_add(0xA11CE)),
             eval_model: model,
             executor: RoundExecutor::new(n_workers),
+            tracer,
             fault_plan: FaultPlan::new(fl.faults.clone()),
             participations: vec![0; fl.n_clients],
             fl,
@@ -214,6 +230,13 @@ impl Trainer {
         &self.records
     }
 
+    /// The trainer's trace journal. Disabled (a no-op handle) unless
+    /// `FlConfig::trace.enabled` is set; attach extra sinks with
+    /// [`Tracer::add_sink`] before running rounds.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Read access to a client (tests, examples).
     pub fn client(&self, id: usize) -> &ClientState {
         self.clients[id]
@@ -243,6 +266,8 @@ impl Trainer {
     /// Runs one communication round; returns its record.
     pub fn run_round(&mut self) -> &RoundRecord {
         let host_t0 = std::time::Instant::now();
+        let round_span = self.tracer.start_span("round");
+        let tracing = self.tracer.is_enabled();
         let round = self.records.len();
         let selected =
             self.server
@@ -259,6 +284,16 @@ impl Trainer {
 
         // Per-client round plans (anchor cadence is per participation).
         let round_start = self.clock;
+        self.tracer.emit(
+            round_start,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::RoundOpen {
+                round,
+                n_selected: selected.len(),
+                deadline,
+            },
+        );
         let mut plan_for: Vec<RoundPlan> = Vec::with_capacity(selected.len());
         for (ord, &cid) in selected.iter().enumerate() {
             let client = self.clients[cid]
@@ -277,6 +312,33 @@ impl Trainer {
             });
             client.participations += 1;
             self.participations[cid] += 1;
+            if tracing {
+                let plan = plan_for.last().expect("just pushed");
+                self.tracer.emit(
+                    round_start,
+                    ord,
+                    0.0,
+                    TraceEvent::ClientCheckout {
+                        round,
+                        client: cid,
+                        planned_iters: plan.planned_iters,
+                        is_anchor: plan.is_anchor,
+                    },
+                );
+                let kinds = plan.faults.active_kinds();
+                if !kinds.is_empty() {
+                    self.tracer.emit(
+                        round_start,
+                        ord,
+                        0.0,
+                        TraceEvent::FaultArmed {
+                            round,
+                            client: cid,
+                            kinds,
+                        },
+                    );
+                }
+            }
         }
         let any_anchor = plan_for.iter().any(|p| p.is_anchor);
 
@@ -309,15 +371,40 @@ impl Trainer {
         agg.set_deadline(deadline);
         let mut allocs_avoided = 0usize;
         let mut n_panicked = 0usize;
+        // Client-side trace buffers, keyed by ordinal. Collected in
+        // completion order but merged canonically below, so the journal
+        // never observes worker scheduling.
+        let mut trace_batches: Vec<(usize, Vec<PendingEvent>)> = Vec::new();
         for _ in 0..selected.len() {
             let event = self
                 .executor
                 .recv()
                 .expect("worker pool alive while the trainer exists");
             match event {
-                ClientDone::Completed(done) => {
+                ClientDone::Completed(mut done) => {
                     let cid = selected[done.ord];
                     debug_assert_eq!(done.client.id, cid, "report/client mismatch");
+                    if tracing {
+                        let mut events = std::mem::take(&mut done.report.trace).into_events();
+                        let r = &done.report;
+                        let end_time = if r.upload_done.is_finite() {
+                            r.upload_done
+                        } else {
+                            r.compute_done
+                        };
+                        events.push(PendingEvent {
+                            time: end_time,
+                            host_us: done.host_us,
+                            event: TraceEvent::ClientDone {
+                                round,
+                                client: cid,
+                                iters_done: r.iters_done,
+                                early_stopped: r.early_stopped,
+                                upload_done: r.upload_done.is_finite().then_some(r.upload_done),
+                            },
+                        });
+                        trace_batches.push((done.ord, events));
+                    }
                     self.clients[cid] = Some(done.client);
                     allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
                     agg.ingest(done.ord, done.report);
@@ -327,15 +414,43 @@ impl Trainer {
                     debug_assert_eq!(failure.client_id, cid, "failure/client mismatch");
                     self.clients[cid] = Some(self.rebuild_client(cid));
                     n_panicked += 1;
+                    if tracing {
+                        // The unwind destroyed the client's buffered events;
+                        // journal the failure itself at round start (the
+                        // panic's virtual time died with the state).
+                        trace_batches.push((
+                            failure.ord,
+                            vec![PendingEvent {
+                                time: round_start,
+                                host_us: 0.0,
+                                event: TraceEvent::ClientFailed { round, client: cid },
+                            }],
+                        ));
+                    }
                     agg.mark_failed(failure.ord);
                 }
             }
         }
         let (agg, reports) = agg.close(&mut self.server);
         self.clock = agg.completion;
+        self.tracer.merge_client_events(trace_batches);
+        self.tracer.emit(
+            agg.completion,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::AggregationCut {
+                round,
+                completion: agg.completion,
+                n_collected: agg.collected.len(),
+                n_finite: agg.n_finite,
+            },
+        );
 
         let accuracy = if self.eval_every != 0 && round.is_multiple_of(self.eval_every) {
-            Some(self.evaluate())
+            let eval_span = self.tracer.start_span("evaluate");
+            let acc = self.evaluate();
+            self.tracer.end_span(eval_span, self.clock);
+            Some(acc)
         } else {
             None
         };
@@ -366,6 +481,19 @@ impl Trainer {
                     && r.upload_done > agg.completion
             })
             .count();
+        self.tracer.emit(
+            agg.completion,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::RoundClose {
+                round,
+                end: agg.completion,
+                n_aggregated: agg.collected.len(),
+                n_crashed,
+                n_deadline_missed,
+            },
+        );
+        self.tracer.end_span(round_span, agg.completion);
         self.records.push(RoundRecord {
             round,
             start: round_start,
@@ -510,6 +638,7 @@ mod tests {
             dropout_prob: 0.0,
             compression: Default::default(),
             faults: FaultConfig::none(),
+            trace: Default::default(),
         }
     }
 
@@ -624,6 +753,59 @@ mod tests {
         // Every client slot must be occupied again (panicked ones rebuilt).
         for id in 0..8 {
             assert_eq!(t.client(id).id, id);
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_and_records_when_enabled() {
+        let mut off = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(1));
+        off.run(1);
+        assert!(!off.tracer().is_enabled());
+        assert!(off.tracer().ring_records().is_empty());
+
+        let fl = FlConfig {
+            trace: crate::trace::TraceConfig::enabled(),
+            ..tiny_fl()
+        };
+        let mut on = Trainer::new(fl, Scheme::FedAvg, Workload::tiny_mlp(1));
+        on.run(2);
+        let recs = on.tracer().ring_records();
+        let kind_count = |k: &str| recs.iter().filter(|r| r.event.kind() == k).count();
+        assert_eq!(kind_count("run_start"), 1);
+        assert_eq!(kind_count("round_open"), 2);
+        assert_eq!(kind_count("round_close"), 2);
+        assert_eq!(kind_count("aggregation_cut"), 2);
+        assert_eq!(kind_count("client_checkout"), 8, "4 clients × 2 rounds");
+        assert_eq!(kind_count("client_done"), 8);
+        assert_eq!(kind_count("fault_armed"), 0, "fault-free run");
+        // Spans: one "round" + one "evaluate" per round, with host time.
+        assert_eq!(kind_count("span"), 4);
+        assert!(recs
+            .iter()
+            .filter(|r| r.event.kind() == "span")
+            .all(|r| r.host_us > 0.0));
+        // Seq numbers are the canonical stream order.
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn enabling_tracing_never_perturbs_the_trajectory() {
+        let base = Trainer::new(tiny_fl(), Scheme::fedca_default(), Workload::tiny_mlp(3)).run(4);
+        let traced = Trainer::new(
+            FlConfig {
+                trace: crate::trace::TraceConfig::enabled(),
+                ..tiny_fl()
+            },
+            Scheme::fedca_default(),
+            Workload::tiny_mlp(3),
+        )
+        .run(4);
+        for (ra, rb) in base.rounds.iter().zip(&traced.rounds) {
+            assert_eq!(ra.end, rb.end, "round {} time diverged", ra.round);
+            assert_eq!(ra.accuracy, rb.accuracy);
+            assert_eq!(ra.iters_done, rb.iters_done);
         }
     }
 

@@ -24,6 +24,9 @@ pub struct AggregationResult {
     pub completion: SimTime,
     /// Indices (into the round's report list) of the collected clients.
     pub collected: Vec<usize>,
+    /// Uploads that actually arrived (finite arrival times), collected or
+    /// not — the trace layer journals this next to the cut decision.
+    pub n_finite: usize,
 }
 
 impl Server {
@@ -238,6 +241,7 @@ impl StreamingAggregator {
             AggregationResult {
                 completion,
                 collected,
+                n_finite: self.cut.finite_count(),
             },
             reports,
         )
@@ -279,6 +283,7 @@ mod tests {
             train_loss: 1.0,
             dropped: false,
             crashed: false,
+            trace: Default::default(),
         }
     }
 

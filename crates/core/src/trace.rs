@@ -1,0 +1,1038 @@
+//! Structured tracing for the round pipeline: a zero-cost-when-disabled
+//! event journal whose canonical stream is a pure function of the
+//! experiment seed.
+//!
+//! FedCA's claims are trajectory claims — time-to-accuracy, per-layer
+//! eager-transmission timing, aggregation-cut placement — so the simulator
+//! records *typed events* for every decision the pipeline takes: round
+//! open/close, client checkout/done/failed, fault firings, eager
+//! transmissions, aggregation cuts, anchor profiling, and wall-clock spans.
+//!
+//! ## Determinism contract
+//!
+//! The canonical stream is ordered by `(virtual time, ordinal, intra-client
+//! sequence)` and contains **no host-time data**, so it is byte-identical
+//! across reruns and across worker-pool sizes:
+//!
+//! * client-side events are buffered locally on the worker (inside the
+//!   client's own deterministic round) and merged by the trainer in
+//!   canonical order at round close — the OS-level completion order of
+//!   workers never reaches the stream;
+//! * host-time deltas ([`TraceRecord::host_us`]) ride along on every record
+//!   for profiling sinks, but the canonical JSONL line
+//!   ([`TraceRecord::canonical_line`]) omits them (a [`JsonlSink`] can opt
+//!   in with [`with_host`](JsonlSink::with_host));
+//! * when tracing is disabled ([`Tracer::disabled`], the default), the hot
+//!   path is a single inline boolean check and no event is ever
+//!   materialized.
+//!
+//! Events implement `Serialize`/`Deserialize` (externally-tagged JSON), so
+//! a dumped JSONL trace can be parsed back for regression diffing.
+
+use fedca_sim::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Ordinal used for server-scoped records (round framing, cuts, spans)
+/// that do not belong to one selected client.
+pub const SERVER_ORD: usize = usize::MAX;
+
+/// Tracing section of [`FlConfig`](crate::config::FlConfig). The default is
+/// disabled and behaviourally invisible.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master switch. When off, no event is recorded anywhere.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Capacity of the trainer's built-in ring buffer (records beyond this
+    /// evict the oldest). Zero selects the default.
+    #[serde(default)]
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing off (the default).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Tracing on with the default ring capacity.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: 0,
+        }
+    }
+
+    /// The effective ring-buffer capacity.
+    pub fn effective_ring_capacity(&self) -> usize {
+        if self.ring_capacity == 0 {
+            DEFAULT_RING_CAPACITY
+        } else {
+            self.ring_capacity
+        }
+    }
+}
+
+/// Default capacity of the built-in ring buffer (records).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One typed event in the round pipeline. Externally-tagged JSON keeps the
+/// kind readable in a JSONL dump: `{"RoundOpen":{"round":0,...}}`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A trainer run began (first record of a dumped stream).
+    RunStart {
+        /// Scheme name (`FedAvg`, `FedCA`, …).
+        scheme: String,
+        /// Workload name.
+        workload: String,
+        /// Master experiment seed.
+        seed: u64,
+        /// Worker-pool size. Excluded from the canonical *comparison* in
+        /// the golden test's 1-vs-N check via [`TraceEvent::is_canonical`].
+        n_workers: usize,
+    },
+    /// A communication round opened.
+    RoundOpen {
+        /// Round index.
+        round: usize,
+        /// Clients selected this round.
+        n_selected: usize,
+        /// Round deadline `T_R` (duration from round start).
+        deadline: SimTime,
+    },
+    /// A selected client's state was checked out to the worker pool.
+    ClientCheckout {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Planned local iterations.
+        planned_iters: usize,
+        /// Whether this is an unoptimized profiling (anchor) participation.
+        is_anchor: bool,
+    },
+    /// The fault plan armed at least one fault for this `(round, client)`.
+    FaultArmed {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Names of the armed fault classes, in canonical order.
+        kinds: Vec<String>,
+    },
+    /// An armed fault actually fired inside the client round.
+    FaultFired {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Fault class name (`crash`, `result_loss`, `result_delay`).
+        kind: String,
+        /// Local iteration at which it fired (0 for end-of-round faults).
+        iter: usize,
+    },
+    /// A layer crossed its eager-transmission threshold and was uploaded
+    /// mid-round (§4.3).
+    EagerTransmit {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Layer index within the model layout.
+        layer: usize,
+        /// Local iteration of the transmission.
+        iter: usize,
+        /// Payload bytes on the wire.
+        bytes: f64,
+    },
+    /// The client stopped before its planned iterations (§4.2).
+    EarlyStop {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// First iteration *not* executed.
+        iter: usize,
+    },
+    /// An anchor round finished profiling (§4.1).
+    AnchorProfiled {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Iterations recorded into the curves.
+        k: usize,
+        /// Sampled scalars across all layers.
+        sampled_params: usize,
+    },
+    /// A client round ran to completion and its state returned home.
+    ClientDone {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Iterations actually executed.
+        iters_done: usize,
+        /// Whether the client early-stopped.
+        early_stopped: bool,
+        /// Virtual arrival time of the upload (`None` if it never arrives:
+        /// dropped, crashed, or lost).
+        upload_done: Option<SimTime>,
+    },
+    /// A client's worker panicked; its in-flight state was destroyed and
+    /// the trainer rebuilt it from the blueprint.
+    ClientFailed {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+    },
+    /// The streaming aggregator placed the round's arrival cut (§5.1).
+    AggregationCut {
+        /// Round index.
+        round: usize,
+        /// Virtual completion time of the round.
+        completion: SimTime,
+        /// Reports whose uploads made the cut.
+        n_collected: usize,
+        /// Uploads that actually arrived (finite arrival times).
+        n_finite: usize,
+    },
+    /// The round closed and its record was pushed.
+    RoundClose {
+        /// Round index.
+        round: usize,
+        /// Virtual end time.
+        end: SimTime,
+        /// Clients aggregated.
+        n_aggregated: usize,
+        /// Clients lost to crashes or panics.
+        n_crashed: usize,
+        /// Survivors whose upload missed the cut.
+        n_deadline_missed: usize,
+    },
+    /// A named wall-clock span closed; its duration is in the record's
+    /// [`host_us`](TraceRecord::host_us) (never in the canonical line).
+    Span {
+        /// Span name (`round`, `evaluate`, `aggregate_close`, …).
+        name: String,
+    },
+}
+
+impl TraceEvent {
+    /// Short kind name, used by [`MetricsRegistry`] counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::RoundOpen { .. } => "round_open",
+            TraceEvent::ClientCheckout { .. } => "client_checkout",
+            TraceEvent::FaultArmed { .. } => "fault_armed",
+            TraceEvent::FaultFired { .. } => "fault_fired",
+            TraceEvent::EagerTransmit { .. } => "eager_transmit",
+            TraceEvent::EarlyStop { .. } => "early_stop",
+            TraceEvent::AnchorProfiled { .. } => "anchor_profiled",
+            TraceEvent::ClientDone { .. } => "client_done",
+            TraceEvent::ClientFailed { .. } => "client_failed",
+            TraceEvent::AggregationCut { .. } => "aggregation_cut",
+            TraceEvent::RoundClose { .. } => "round_close",
+            TraceEvent::Span { .. } => "span",
+        }
+    }
+
+    /// Whether the event belongs to the canonical (worker-count-invariant)
+    /// stream. `RunStart` names the pool size and is excluded.
+    pub fn is_canonical(&self) -> bool {
+        !matches!(self, TraceEvent::RunStart { .. })
+    }
+}
+
+/// One journal record: a typed event stamped with virtual time, the
+/// client's round ordinal (or [`SERVER_ORD`]), a stream sequence number,
+/// and a host-time delta that is *never* part of the canonical line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Ordinal within the round's selection, or [`SERVER_ORD`].
+    pub ord: usize,
+    /// Position in the merged stream (assigned at emission).
+    pub seq: u64,
+    /// Host wall-clock microseconds attributed to the event (span
+    /// durations, worker-side client-round cost); 0 when not measured.
+    pub host_us: f64,
+    /// The typed event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The canonical JSONL line: deterministic fields only, in a fixed
+    /// field order. This is what golden-trace fixtures are made of.
+    pub fn canonical_line(&self) -> String {
+        let ord = if self.ord == SERVER_ORD {
+            serde::Value::Null
+        } else {
+            serde::Value::Number(serde::Number::PosInt(self.ord as u64))
+        };
+        let obj = serde::Value::Object(vec![
+            ("t".to_string(), self.time.to_value()),
+            ("ord".to_string(), ord),
+            ("seq".to_string(), self.seq.to_value()),
+            ("event".to_string(), self.event.to_value()),
+        ]);
+        serde_json::to_string(&obj).expect("value trees always serialize")
+    }
+
+    /// Like [`canonical_line`](Self::canonical_line) but with the host-time
+    /// delta appended — useful for profiling, unfit for golden fixtures.
+    pub fn line_with_host(&self) -> String {
+        let mut line = self.canonical_line();
+        line.pop(); // strip the closing brace
+        line.push_str(&format!(",\"host_us\":{:?}}}", self.host_us));
+        line
+    }
+}
+
+/// Where trace records go. Sinks are driven from the trainer thread only;
+/// `Send` lets a tracer move with its trainer.
+pub trait TraceSink: Send {
+    /// Consumes one record (records arrive in canonical stream order).
+    fn record(&mut self, rec: &TraceRecord);
+    /// Flushes buffered output (file sinks).
+    fn flush(&mut self) {}
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` records.
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: VecDeque<TraceRecord>,
+    /// Records evicted because the ring was full.
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` records (at least one).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring, returning the held records oldest-first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec.clone());
+    }
+}
+
+/// Streams canonical JSONL to any writer (a file, a `Vec<u8>`, stdout).
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    include_host: bool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer; emits canonical (host-free) lines by default.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            include_host: false,
+        }
+    }
+
+    /// Also writes the `host_us` delta on every line. Host time varies
+    /// across machines and runs, so such a dump is for profiling, not for
+    /// golden-trace comparison.
+    pub fn with_host(mut self, include_host: bool) -> Self {
+        self.include_host = include_host;
+        self
+    }
+
+    /// Unwraps the writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let line = if self.include_host {
+            rec.line_with_host()
+        } else {
+            rec.canonical_line()
+        };
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Histogram summary of one span name's host-time samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of host microseconds.
+    pub total_us: f64,
+    /// Largest single sample.
+    pub max_us: f64,
+}
+
+impl SpanStats {
+    /// Mean host microseconds per sample.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+}
+
+/// Counting/aggregating sink: per-kind event counters plus per-span
+/// host-time summaries. `BTreeMap` keeps report order deterministic.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counts: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded for `kind` (see [`TraceEvent::kind`]).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All `(kind, count)` pairs in lexicographic kind order.
+    pub fn counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Host-time summary for a span name, if any sample was recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// A one-line human summary (for bench stderr notes).
+    pub fn summary(&self) -> String {
+        let events: u64 = self.counts.values().sum();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(name, s)| format!("{name}: {:.0} us x{}", s.mean_us(), s.count))
+            .collect();
+        format!("{events} events; spans [{}]", spans.join(", "))
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&mut self, rec: &TraceRecord) {
+        *self.counts.entry(rec.event.kind()).or_insert(0) += 1;
+        if let TraceEvent::Span { name } = &rec.event {
+            let s = self.spans.entry(name.clone()).or_default();
+            s.count += 1;
+            s.total_us += rec.host_us;
+            if rec.host_us > s.max_us {
+                s.max_us = rec.host_us;
+            }
+        }
+    }
+}
+
+/// An event with its virtual timestamp, buffered inside a client round
+/// before the trainer merges it into the canonical stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Host wall-clock microseconds attributed to the event (0 when not
+    /// measured); never part of the canonical line.
+    pub host_us: f64,
+    /// The typed event.
+    pub event: TraceEvent,
+}
+
+/// Client-side event buffer. Created only when tracing is enabled; the
+/// `Vec` stays unallocated until the first event, so the fault-free,
+/// trace-free path allocates nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClientTraceBuf {
+    events: Vec<PendingEvent>,
+}
+
+impl ClientTraceBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers one event at virtual time `time`.
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        self.push_hosted(time, 0.0, event);
+    }
+
+    /// Buffers one event carrying a host wall-clock delta.
+    pub fn push_hosted(&mut self, time: SimTime, host_us: f64, event: TraceEvent) {
+        self.events.push(PendingEvent {
+            time,
+            host_us,
+            event,
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer, returning its events in emission order.
+    pub fn into_events(self) -> Vec<PendingEvent> {
+        self.events
+    }
+}
+
+struct TracerInner {
+    sinks: Vec<Box<dyn TraceSink>>,
+    /// Built-in ring buffer, always attached when tracing is on.
+    ring: RingBufferSink,
+    next_seq: u64,
+}
+
+/// The tracing handle the trainer carries. Cloning shares the journal.
+///
+/// A disabled tracer ([`Tracer::disabled`]) is a unit value: every call
+/// short-circuits on one inline boolean, so the hot path pays nothing.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TracerInner>>>,
+}
+
+impl Tracer {
+    /// The no-op tracer (the default when `TraceConfig.enabled` is false).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with a built-in ring buffer of `ring_capacity`.
+    pub fn enabled(ring_capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TracerInner {
+                sinks: Vec::new(),
+                ring: RingBufferSink::new(ring_capacity),
+                next_seq: 0,
+            }))),
+        }
+    }
+
+    /// Builds a tracer from the config section.
+    pub fn from_config(cfg: &TraceConfig) -> Self {
+        if cfg.enabled {
+            Tracer::enabled(cfg.effective_ring_capacity())
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches an additional sink (file writer, metrics registry, …).
+    /// No-op on a disabled tracer.
+    pub fn add_sink(&self, sink: Box<dyn TraceSink>) {
+        if let Some(inner) = &self.inner {
+            inner.lock().sinks.push(sink);
+        }
+    }
+
+    /// Emits one record into every sink, assigning the next stream
+    /// sequence number. No-op (a single branch) when disabled.
+    #[inline]
+    pub fn emit(&self, time: SimTime, ord: usize, host_us: f64, event: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        let mut inner = inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let rec = TraceRecord {
+            time,
+            ord,
+            seq,
+            host_us,
+            event,
+        };
+        inner.ring.record(&rec);
+        for sink in &mut inner.sinks {
+            sink.record(&rec);
+        }
+    }
+
+    /// Merges per-client buffered events into the canonical stream:
+    /// a stable sort by `(virtual time, ordinal)` — intra-client emission
+    /// order is preserved by stability — then emission in that order.
+    /// The result is independent of worker count and completion order
+    /// because the buffers themselves are per-client deterministic.
+    pub fn merge_client_events(&self, mut batches: Vec<(usize, Vec<PendingEvent>)>) {
+        if self.inner.is_none() {
+            return;
+        }
+        batches.sort_by_key(|(ord, _)| *ord);
+        let mut merged: Vec<(SimTime, usize, PendingEvent)> = Vec::new();
+        for (ord, events) in batches {
+            for e in events {
+                merged.push((e.time, ord, e));
+            }
+        }
+        merged.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("virtual times are never NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        for (time, ord, e) in merged {
+            self.emit(time, ord, e.host_us, e.event);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            for sink in &mut inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Snapshot of the built-in ring buffer (empty when disabled).
+    pub fn ring_records(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner.lock().ring.records().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the built-in ring buffer (empty when disabled).
+    pub fn drain_ring(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner.lock().ring.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Canonical JSONL of the ring's *canonical* records — the golden-trace
+    /// text. `RunStart` (which names the worker count) is excluded.
+    pub fn canonical_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.ring_records() {
+            if rec.event.is_canonical() {
+                out.push_str(&rec.canonical_line());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+/// A started wall-clock span; close it with [`Tracer::end_span`].
+pub struct SpanTimer {
+    name: &'static str,
+    started: std::time::Instant,
+}
+
+impl Tracer {
+    /// Starts a wall-clock span (returns `None` on a disabled tracer, so
+    /// the hot path never reads the clock).
+    #[inline]
+    pub fn start_span(&self, name: &'static str) -> Option<SpanTimer> {
+        self.inner.as_ref()?;
+        Some(SpanTimer {
+            name,
+            started: std::time::Instant::now(),
+        })
+    }
+
+    /// Closes a span at virtual time `time`, emitting a [`TraceEvent::Span`]
+    /// whose host delta is the elapsed wall-clock time.
+    pub fn end_span(&self, timer: Option<SpanTimer>, time: SimTime) {
+        if let Some(t) = timer {
+            self.emit(
+                time,
+                SERVER_ORD,
+                t.started.elapsed().as_secs_f64() * 1e6,
+                TraceEvent::Span {
+                    name: t.name.to_string(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: usize) -> TraceEvent {
+        TraceEvent::RoundOpen {
+            round,
+            n_selected: 4,
+            deadline: 2.5,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(1.0, 0, 0.0, ev(0));
+        t.merge_client_events(vec![(
+            0,
+            vec![PendingEvent {
+                time: 1.0,
+                host_us: 0.0,
+                event: ev(0),
+            }],
+        )]);
+        assert!(t.ring_records().is_empty());
+        assert!(t.canonical_jsonl().is_empty());
+        assert!(t.start_span("noop").is_none());
+    }
+
+    #[test]
+    fn emit_assigns_monotone_seq_and_feeds_every_sink() {
+        let t = Tracer::enabled(16);
+        t.add_sink(Box::new(MetricsRegistry::new()));
+        for i in 0..3 {
+            t.emit(i as f64, SERVER_ORD, 0.0, ev(i));
+        }
+        let recs = t.ring_records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ring = RingBufferSink::new(2);
+        for i in 0..5u64 {
+            ring.record(&TraceRecord {
+                time: i as f64,
+                ord: SERVER_ORD,
+                seq: i,
+                host_us: 0.0,
+                event: ev(i as usize),
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let seqs: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn canonical_line_has_fixed_shape_and_no_host_time() {
+        let rec = TraceRecord {
+            time: 1.5,
+            ord: 2,
+            seq: 7,
+            host_us: 123.4,
+            event: TraceEvent::EarlyStop {
+                round: 3,
+                client: 5,
+                iter: 4,
+            },
+        };
+        let line = rec.canonical_line();
+        assert!(line.starts_with("{\"t\":1.5,\"ord\":2,\"seq\":7,\"event\":"));
+        assert!(!line.contains("host"), "host time leaked: {line}");
+        assert!(rec.line_with_host().contains("\"host_us\":123.4"));
+        // Server-scoped ordinals serialize as null.
+        let server = TraceRecord {
+            ord: SERVER_ORD,
+            ..rec
+        };
+        assert!(server.canonical_line().contains("\"ord\":null"));
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_ordinal_regardless_of_batch_order() {
+        let batch = |ord: usize, times: &[f64]| {
+            (
+                ord,
+                times
+                    .iter()
+                    .map(|&t| PendingEvent {
+                        time: t,
+                        host_us: 0.0,
+                        event: TraceEvent::EagerTransmit {
+                            round: 0,
+                            client: ord,
+                            layer: 0,
+                            iter: 1,
+                            bytes: 1.0,
+                        },
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let run = |batches: Vec<(usize, Vec<PendingEvent>)>| {
+            let t = Tracer::enabled(64);
+            t.merge_client_events(batches);
+            t.canonical_jsonl()
+        };
+        // Completion order scrambled (2, 0, 1) vs sorted — same stream.
+        let a = run(vec![
+            batch(2, &[0.5, 2.0]),
+            batch(0, &[1.0]),
+            batch(1, &[0.5]),
+        ]);
+        let b = run(vec![
+            batch(0, &[1.0]),
+            batch(1, &[0.5]),
+            batch(2, &[0.5, 2.0]),
+        ]);
+        assert_eq!(a, b);
+        // Time is the primary key, ordinal breaks ties.
+        let ords: Vec<Option<u64>> = a
+            .lines()
+            .map(|l| {
+                let v = serde_json::parse(l).unwrap();
+                match v.get("ord").unwrap() {
+                    serde::Value::Number(n) => n.as_u64(),
+                    _ => None,
+                }
+            })
+            .collect();
+        assert_eq!(ords, vec![Some(1), Some(2), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn metrics_registry_counts_kinds_and_summarizes_spans() {
+        let mut m = MetricsRegistry::new();
+        m.record(&TraceRecord {
+            time: 0.0,
+            ord: SERVER_ORD,
+            seq: 0,
+            host_us: 0.0,
+            event: ev(0),
+        });
+        for (i, us) in [100.0, 300.0].iter().enumerate() {
+            m.record(&TraceRecord {
+                time: 1.0,
+                ord: SERVER_ORD,
+                seq: 1 + i as u64,
+                host_us: *us,
+                event: TraceEvent::Span {
+                    name: "round".into(),
+                },
+            });
+        }
+        assert_eq!(m.count("round_open"), 1);
+        assert_eq!(m.count("span"), 2);
+        assert_eq!(m.count("client_done"), 0);
+        let s = m.span("round").expect("span stats");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_us(), 200.0);
+        assert_eq!(s.max_us, 300.0);
+        assert!(m.summary().contains("3 events"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let rec = TraceRecord {
+            time: 2.0,
+            ord: 1,
+            seq: 0,
+            host_us: 9.0,
+            event: ev(4),
+        };
+        sink.record(&rec);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let v = serde_json::parse(text.lines().next().unwrap()).unwrap();
+        let back = TraceEvent::from_value(v.get("event").unwrap());
+        assert_eq!(back.unwrap(), ev(4));
+    }
+
+    #[test]
+    fn trace_event_serde_round_trips_every_variant() {
+        let variants = vec![
+            TraceEvent::RunStart {
+                scheme: "FedCA".into(),
+                workload: "cnn".into(),
+                seed: 7,
+                n_workers: 4,
+            },
+            ev(1),
+            TraceEvent::ClientCheckout {
+                round: 1,
+                client: 2,
+                planned_iters: 6,
+                is_anchor: true,
+            },
+            TraceEvent::FaultArmed {
+                round: 1,
+                client: 2,
+                kinds: vec!["crash".into(), "deadline_slip".into()],
+            },
+            TraceEvent::FaultFired {
+                round: 1,
+                client: 2,
+                kind: "crash".into(),
+                iter: 3,
+            },
+            TraceEvent::EagerTransmit {
+                round: 1,
+                client: 2,
+                layer: 0,
+                iter: 4,
+                bytes: 1024.0,
+            },
+            TraceEvent::EarlyStop {
+                round: 1,
+                client: 2,
+                iter: 5,
+            },
+            TraceEvent::AnchorProfiled {
+                round: 0,
+                client: 2,
+                k: 6,
+                sampled_params: 107,
+            },
+            TraceEvent::ClientDone {
+                round: 1,
+                client: 2,
+                iters_done: 6,
+                early_stopped: false,
+                upload_done: Some(3.5),
+            },
+            TraceEvent::ClientDone {
+                round: 1,
+                client: 3,
+                iters_done: 2,
+                early_stopped: false,
+                upload_done: None,
+            },
+            TraceEvent::ClientFailed {
+                round: 1,
+                client: 2,
+            },
+            TraceEvent::AggregationCut {
+                round: 1,
+                completion: 9.5,
+                n_collected: 3,
+                n_finite: 4,
+            },
+            TraceEvent::RoundClose {
+                round: 1,
+                end: 9.5,
+                n_aggregated: 3,
+                n_crashed: 1,
+                n_deadline_missed: 0,
+            },
+            TraceEvent::Span {
+                name: "evaluate".into(),
+            },
+        ];
+        for v in variants {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, v, "round trip failed for {json}");
+            assert!(!v.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_config_defaults_off_and_round_trips() {
+        let def = TraceConfig::default();
+        assert!(!def.enabled);
+        assert_eq!(def.effective_ring_capacity(), DEFAULT_RING_CAPACITY);
+        let on = TraceConfig {
+            enabled: true,
+            ring_capacity: 128,
+        };
+        let json = serde_json::to_string(&on).unwrap();
+        let back: TraceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, on);
+        assert_eq!(back.effective_ring_capacity(), 128);
+        // `#[serde(default)]` drift guard: an empty object is the default.
+        let empty: TraceConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, TraceConfig::default());
+    }
+}

@@ -48,6 +48,7 @@ fn tiny_fl(seed: u64, faults: FaultConfig) -> FlConfig {
         dropout_prob: 0.0,
         compression: Default::default(),
         faults,
+        trace: Default::default(),
     }
 }
 

@@ -1,0 +1,208 @@
+//! Property tests: serde round-trips for the experiment's persisted types
+//! (`RoundRecord`, `EagerEvent`, `TraceEvent`) — arbitrary values survive
+//! JSON serialization exactly, and `#[serde(default)]` fields deserialize
+//! from documents that predate them (the drift a new field would introduce).
+
+use fedca_core::metrics::{EagerEvent, RoundRecord};
+use fedca_core::trace::TraceEvent;
+use proptest::prelude::*;
+use serde::Deserialize;
+
+fn eager_event((client, layer, iter, retrans): (usize, usize, usize, u8)) -> EagerEvent {
+    EagerEvent {
+        client,
+        layer,
+        iter,
+        retransmitted: retrans == 1,
+    }
+}
+
+proptest! {
+    #[test]
+    fn eager_event_round_trips(raw in (0usize..64, 0usize..8, 1usize..200, 0u8..2)) {
+        let event = eager_event(raw);
+        let json = serde_json::to_string(&event).expect("serialize");
+        let back: EagerEvent = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn round_record_round_trips(
+        (base, acc, per_client, eager_raw) in (1usize..6).prop_flat_map(|n| (
+            // round, start, duration, loss, counters ×3, misc
+            (0usize..500, 0.0f64..1e4, 0.0f64..1e3, 0.0f32..10.0,
+             0usize..5, 0usize..5, 0usize..5, 0usize..1000),
+            // accuracy: present-flag + value
+            (0u8..2, 0.0f32..1.0),
+            // per selected client: iters_done, iters_planned, early-stop flag
+            prop::collection::vec((1usize..200, 1usize..200, 0u8..2), n),
+            prop::collection::vec((0usize..64, 0usize..8, 1usize..200, 0u8..2), 0..5),
+        ))
+    ) {
+        let n = per_client.len();
+        let record = RoundRecord {
+            round: base.0,
+            start: base.1,
+            end: base.1 + base.2,
+            accuracy: (acc.0 == 1).then_some(acc.1),
+            mean_train_loss: base.3,
+            n_selected: n,
+            n_aggregated: base.4.min(n),
+            n_dropped: base.5.min(n),
+            n_crashed: base.6.min(n),
+            n_deadline_missed: (base.4 + base.5).min(n),
+            iters_done: per_client.iter().map(|c| c.0).collect(),
+            iters_planned: per_client.iter().map(|c| c.1).collect(),
+            early_stops: per_client.iter().map(|c| c.2 == 1).collect(),
+            eager_events: eager_raw.iter().map(|&r| eager_event(r)).collect(),
+            bytes_uploaded: base.2 * 4096.0,
+            is_anchor: base.7 % 2 == 0,
+            host_ms: base.2 * 0.5,
+            allocs_avoided: base.7,
+        };
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: RoundRecord = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn trace_event_round_trips(
+        (variant, ints, floats, (flags, pick)) in (
+            0usize..13,
+            (0usize..500, 0usize..128, 0usize..32, 1usize..200),
+            (0.0f64..1e4, 0.0f64..1e7),
+            (0u8..8, 0usize..32),
+        )
+    ) {
+        const KINDS: [&str; 4] = ["crash", "result_loss", "result_delay", "dropout"];
+        const NAMES: [&str; 3] = ["round", "evaluate", "client_round"];
+        const SCHEMES: [&str; 3] = ["FedAvg", "FedCA", "FedProx"];
+        let (round, client, layer, iter) = ints;
+        let (t, big) = floats;
+        let event = match variant {
+            0 => TraceEvent::RunStart {
+                scheme: SCHEMES[pick % 3].to_string(),
+                workload: "tiny_mlp".to_string(),
+                seed: pick as u64,
+                n_workers: 1 + pick % 8,
+            },
+            1 => TraceEvent::RoundOpen {
+                round,
+                n_selected: 1 + pick,
+                deadline: t,
+            },
+            2 => TraceEvent::ClientCheckout {
+                round,
+                client,
+                planned_iters: iter,
+                is_anchor: flags & 1 == 1,
+            },
+            3 => TraceEvent::FaultArmed {
+                round,
+                client,
+                kinds: KINDS[..(flags as usize % (KINDS.len() + 1))]
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect(),
+            },
+            4 => TraceEvent::FaultFired {
+                round,
+                client,
+                kind: KINDS[pick % KINDS.len()].to_string(),
+                iter,
+            },
+            5 => TraceEvent::EagerTransmit {
+                round,
+                client,
+                layer,
+                iter,
+                bytes: big,
+            },
+            6 => TraceEvent::EarlyStop { round, client, iter },
+            7 => TraceEvent::AnchorProfiled {
+                round,
+                client,
+                k: iter,
+                sampled_params: pick,
+            },
+            8 => TraceEvent::ClientDone {
+                round,
+                client,
+                iters_done: iter,
+                early_stopped: flags & 2 == 2,
+                upload_done: (flags & 1 == 1).then_some(t),
+            },
+            9 => TraceEvent::ClientFailed { round, client },
+            10 => TraceEvent::AggregationCut {
+                round,
+                completion: t,
+                n_collected: pick,
+                n_finite: pick + (flags as usize),
+            },
+            11 => TraceEvent::RoundClose {
+                round,
+                end: t,
+                n_aggregated: pick,
+                n_crashed: flags as usize,
+                n_deadline_missed: layer,
+            },
+            _ => TraceEvent::Span {
+                name: NAMES[pick % NAMES.len()].to_string(),
+            },
+        };
+        let json = serde_json::to_string(&event).expect("serialize");
+        let back: TraceEvent = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, event);
+    }
+}
+
+/// `#[serde(default)]`-drift guard: a `RoundRecord` document written before
+/// the defaulted fields existed (no `n_dropped`/`n_crashed`/
+/// `n_deadline_missed`/`host_ms`/`allocs_avoided` keys) still deserializes,
+/// with those fields at their defaults.
+#[test]
+fn round_record_tolerates_pre_fault_documents() {
+    let record = RoundRecord {
+        round: 3,
+        start: 1.0,
+        end: 2.5,
+        accuracy: Some(0.5),
+        mean_train_loss: 0.25,
+        n_selected: 4,
+        n_aggregated: 3,
+        n_dropped: 2,
+        n_crashed: 1,
+        n_deadline_missed: 1,
+        iters_done: vec![6, 6, 4, 0],
+        iters_planned: vec![6; 4],
+        early_stops: vec![false, false, true, false],
+        eager_events: vec![],
+        bytes_uploaded: 4096.0,
+        is_anchor: false,
+        host_ms: 12.0,
+        allocs_avoided: 9,
+    };
+    const DEFAULTED: [&str; 5] = [
+        "n_dropped",
+        "n_crashed",
+        "n_deadline_missed",
+        "host_ms",
+        "allocs_avoided",
+    ];
+    let serde::Value::Object(pairs) = serde_json::to_value(&record).expect("to_value") else {
+        panic!("RoundRecord must serialize to an object");
+    };
+    let stripped: Vec<(String, serde::Value)> = pairs
+        .into_iter()
+        .filter(|(k, _)| !DEFAULTED.contains(&k.as_str()))
+        .collect();
+    let back = RoundRecord::from_value(&serde::Value::Object(stripped))
+        .expect("defaulted fields must be optional");
+    assert_eq!(back.n_dropped, 0);
+    assert_eq!(back.n_crashed, 0);
+    assert_eq!(back.n_deadline_missed, 0);
+    assert_eq!(back.host_ms, 0.0);
+    assert_eq!(back.allocs_avoided, 0);
+    assert_eq!(back.iters_done, record.iters_done);
+    assert_eq!(back.accuracy, record.accuracy);
+}

@@ -38,6 +38,7 @@ fn report(
         train_loss: 0.5,
         dropped,
         crashed: false,
+        trace: Default::default(),
     }
 }
 

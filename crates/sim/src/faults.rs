@@ -196,6 +196,32 @@ impl ClientFaults {
     pub fn is_none(&self) -> bool {
         *self == ClientFaults::none()
     }
+
+    /// Names of the armed fault classes, in a fixed canonical order (the
+    /// declaration order above). Empty for the fault-free assignment; used
+    /// by the trace layer to journal what a round armed before it runs.
+    pub fn active_kinds(&self) -> Vec<String> {
+        let mut kinds = Vec::new();
+        if self.crash_at_iter.is_some() {
+            kinds.push("crash".to_string());
+        }
+        if self.panic_at_iter.is_some() {
+            kinds.push("panic".to_string());
+        }
+        if self.result_delay > 0.0 {
+            kinds.push("result_delay".to_string());
+        }
+        if self.lose_result {
+            kinds.push("result_loss".to_string());
+        }
+        if self.bandwidth_factor < 1.0 {
+            kinds.push("bandwidth_degrade".to_string());
+        }
+        if self.deadline_slip > 0.0 {
+            kinds.push("deadline_slip".to_string());
+        }
+        kinds
+    }
 }
 
 /// A seeded, deterministic fault schedule: a pure function from
@@ -295,6 +321,26 @@ fn mix(seed: u64, round: u64, client: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn active_kinds_names_exactly_the_armed_classes() {
+        assert!(ClientFaults::none().active_kinds().is_empty());
+        let mut f = ClientFaults::none();
+        f.crash_at_iter = Some(3);
+        f.deadline_slip = 2.0;
+        assert_eq!(f.active_kinds(), vec!["crash", "deadline_slip"]);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 3,
+            result_loss_prob: 1.0,
+            bandwidth_degrade_prob: 1.0,
+            bandwidth_floor: 0.5,
+            ..FaultConfig::none()
+        });
+        assert_eq!(
+            plan.draw(0, 0, 5).active_kinds(),
+            vec!["result_loss", "bandwidth_degrade"]
+        );
+    }
 
     #[test]
     fn inert_plan_draws_nothing() {

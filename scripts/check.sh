@@ -19,3 +19,6 @@ cargo test --workspace -q
 
 echo "== chaos sweep"
 scripts/chaos.sh "${CHAOS_SEEDS:-32}"
+
+echo "== trace check"
+scripts/trace_check.sh

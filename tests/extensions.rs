@@ -23,6 +23,7 @@ fn fl(seed: u64) -> FlConfig {
         dropout_prob: 0.0,
         compression: Default::default(),
         faults: Default::default(),
+        trace: Default::default(),
     }
 }
 

@@ -19,6 +19,7 @@ fn tiny_fl(seed: u64) -> FlConfig {
         dropout_prob: 0.0,
         compression: Default::default(),
         faults: Default::default(),
+        trace: Default::default(),
     }
 }
 

@@ -137,6 +137,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// A Value serializes to itself, as in real serde_json — lets callers build
+// JSON trees by hand and feed them to the same serialization entry points.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
