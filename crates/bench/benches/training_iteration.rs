@@ -1,11 +1,16 @@
 //! Cost of one real local SGD iteration (forward + backward + step) for
 //! each model family at the scaled shapes — the unit of work the
 //! virtual-time model prices at `iter_work_seconds`.
+//!
+//! The loop mirrors the client hot path: a persistent logits-gradient
+//! buffer, `softmax_cross_entropy_into`, and recycling every tensor the
+//! model hands out, so the steady state allocates nothing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fedca_core::workload::Scale;
 use fedca_core::Workload;
-use fedca_nn::{softmax_cross_entropy, Sgd};
+use fedca_nn::{softmax_cross_entropy_into, Sgd};
+use fedca_tensor::Tensor;
 use std::time::Duration;
 
 fn bench_iteration(c: &mut Criterion) {
@@ -19,12 +24,15 @@ fn bench_iteration(c: &mut Criterion) {
         let idx: Vec<usize> = (0..16).collect();
         let (x, y) = w.train.batch(&idx);
         let opt = Sgd::new(w.lr, w.weight_decay);
+        let mut grad = Tensor::zeros([0]);
         c.bench_function(&format!("train_iteration/{name}/batch16"), |b| {
             b.iter(|| {
                 let logits = model.forward(black_box(&x));
-                let (loss, grad) = softmax_cross_entropy(&logits, &y);
+                let loss = softmax_cross_entropy_into(&logits, &y, &mut grad);
+                model.recycle(logits);
                 model.zero_grad();
-                model.backward(&grad);
+                let gin = model.backward(&grad);
+                model.recycle(gin);
                 model.step(&opt, None);
                 black_box(loss)
             })

@@ -14,7 +14,7 @@ use crate::trace::{ClientTraceBuf, TraceEvent};
 use crate::workload::Workload;
 use fedca_compress::{Compression, ErrorFeedback};
 use fedca_data::{BatchSampler, InMemoryDataset};
-use fedca_nn::{softmax_cross_entropy, Sgd};
+use fedca_nn::{softmax_cross_entropy_into, Sgd};
 use fedca_sim::device::DeviceSpeed;
 use fedca_sim::faults::ClientFaults;
 use fedca_sim::network::Link;
@@ -146,6 +146,7 @@ pub fn run_client_round(
     let crate::executor::ClientArena {
         model,
         flat,
+        grad,
         allocs_avoided,
     } = arena;
     let mut rng = StdRng::seed_from_u64(
@@ -292,9 +293,11 @@ pub fn run_client_round(
         let batch_idx = state.sampler.next_batch(&mut rng);
         let (x, y) = data.batch(&batch_idx);
         let logits = model.forward(&x);
-        let (loss, grad) = softmax_cross_entropy(&logits, &y);
+        let loss = softmax_cross_entropy_into(&logits, &y, grad);
+        model.recycle(logits);
         model.zero_grad();
-        model.backward(&grad);
+        let gin = model.backward(grad);
+        model.recycle(gin);
         model.step(&opt, anchor_weights);
         loss_sum += loss as f64;
         iters_done = tau;

@@ -26,6 +26,7 @@ use crate::config::FlConfig;
 use crate::params::ModelLayout;
 use crate::workload::Workload;
 use fedca_nn::Model;
+use fedca_tensor::Tensor;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,8 +35,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-worker reusable resources: a cached model instance and flat-param
-/// scratch space, so steady-state rounds allocate nothing model-sized.
+/// Per-worker reusable resources: a cached model instance (which owns the
+/// layer `Workspace` scratch arena), a persistent logits-gradient buffer,
+/// and flat-param scratch space. Once warm, a worker's SGD iterations
+/// allocate nothing — see `crates/nn/tests/zero_alloc.rs`.
 pub struct ClientArena {
     /// The worker's model instance; overwritten with the round's global
     /// parameters before any client computation touches it.
@@ -43,6 +46,9 @@ pub struct ClientArena {
     /// Scratch for flat-parameter snapshots (profiling, eager sends, the
     /// final update).
     pub flat: Vec<f32>,
+    /// Persistent logits-gradient buffer for the SGD hot loop (resized in
+    /// place by `softmax_cross_entropy_into`).
+    pub grad: Tensor,
     /// Running count of heap allocations avoided by reusing this arena's
     /// scratch instead of materializing fresh vectors.
     pub allocs_avoided: usize,
@@ -60,6 +66,7 @@ impl ClientArena {
         ClientArena {
             model,
             flat,
+            grad: Tensor::zeros([0]),
             allocs_avoided: 0,
         }
     }

@@ -6,6 +6,7 @@
 
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
+use crate::workspace::Workspace;
 use fedca_tensor::Tensor;
 
 /// Result of a gradient check: worst relative error over all coordinates
@@ -43,12 +44,13 @@ pub fn check_param_grads(
     eps: f32,
     max_coords_per_param: usize,
 ) -> GradCheckReport {
+    let mut ws = Workspace::new();
     // Analytic gradients.
     layer.zero_grad();
-    let out = layer.forward(x);
+    let out = layer.forward(x, &mut ws);
     assert_eq!(out.shape().rank(), 2, "gradcheck expects [N, C] output");
     let (_, grad) = softmax_cross_entropy(&out, labels);
-    let _ = layer.backward(&grad);
+    let _ = layer.backward(&grad, &mut ws);
     let analytic: Vec<Vec<f32>> = layer
         .params()
         .iter()
@@ -68,15 +70,17 @@ pub fn check_param_grads(
                 let mut params = layer.params_mut();
                 params[pi].value.as_mut_slice()[idx] += eps;
             }
-            let out_p = layer.forward(x);
+            let out_p = layer.forward(x, &mut ws);
             let (loss_p, _) = softmax_cross_entropy(&out_p, labels);
+            ws.give(out_p);
             // f(w - eps)
             {
                 let mut params = layer.params_mut();
                 params[pi].value.as_mut_slice()[idx] -= 2.0 * eps;
             }
-            let out_m = layer.forward(x);
+            let out_m = layer.forward(x, &mut ws);
             let (loss_m, _) = softmax_cross_entropy(&out_m, labels);
+            ws.give(out_m);
             // restore
             {
                 let mut params = layer.params_mut();
@@ -103,10 +107,11 @@ pub fn check_input_grad(
     eps: f32,
     max_coords: usize,
 ) -> GradCheckReport {
+    let mut ws = Workspace::new();
     layer.zero_grad();
-    let out = layer.forward(x);
+    let out = layer.forward(x, &mut ws);
     let (_, grad) = softmax_cross_entropy(&out, labels);
-    let dx = layer.backward(&grad);
+    let dx = layer.backward(&grad, &mut ws);
     let analytic = dx.as_slice().to_vec();
 
     let mut max_rel = 0.0f64;
@@ -117,11 +122,13 @@ pub fn check_input_grad(
     let mut xp = x.clone();
     while idx < len {
         xp.as_mut_slice()[idx] += eps;
-        let out_p = layer.forward(&xp);
+        let out_p = layer.forward(&xp, &mut ws);
         let (loss_p, _) = softmax_cross_entropy(&out_p, labels);
+        ws.give(out_p);
         xp.as_mut_slice()[idx] -= 2.0 * eps;
-        let out_m = layer.forward(&xp);
+        let out_m = layer.forward(&xp, &mut ws);
         let (loss_m, _) = softmax_cross_entropy(&out_m, labels);
+        ws.give(out_m);
         xp.as_mut_slice()[idx] += eps;
         let numeric = (loss_p as f64 - loss_m as f64) / (2.0 * eps as f64);
         max_rel = max_rel.max(rel_err(analytic[idx] as f64, numeric));

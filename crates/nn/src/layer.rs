@@ -1,6 +1,7 @@
 //! The `Layer` trait: explicit forward/backward with named parameters.
 
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use fedca_tensor::Tensor;
 
 /// A differentiable module.
@@ -13,16 +14,19 @@ use fedca_tensor::Tensor;
 ///   gradients between optimizer steps via [`Layer::zero_grad`]) and returns
 ///   the gradient with respect to the layer's input.
 /// * Parameter traversal order is deterministic and identical between
-///   `params` and `params_mut`; the whole workspace relies on that order to
-///   map models onto flat update vectors.
+///   `params`, `params_mut`, and `for_each_param`; the whole workspace
+///   relies on that order to map models onto flat update vectors.
+/// * Output tensors are drawn from the caller's [`Workspace`]; callers give
+///   them back (directly or via `Model::recycle`) once consumed, so a
+///   warmed-up training iteration allocates nothing.
 pub trait Layer: Send {
     /// Forward pass on a batch. `x` layout is layer-specific but always
-    /// batch-major (`[N, ...]`).
-    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// batch-major (`[N, ...]`). Scratch and output buffers come from `ws`.
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor;
 
     /// Backward pass: consumes `d loss / d output`, accumulates parameter
-    /// gradients, returns `d loss / d input`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// gradients, returns `d loss / d input` (drawn from `ws`).
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor;
 
     /// Immutable views of the layer's parameters, in deterministic order.
     fn params(&self) -> Vec<&Parameter> {
@@ -35,15 +39,20 @@ pub trait Layer: Send {
         Vec::new()
     }
 
+    /// Visits every parameter mutably, in the same order as
+    /// [`Layer::params`], without allocating a `Vec` — the hot-path sibling
+    /// of `params_mut` used by `zero_grad` and the optimizer step.
+    ///
+    /// Layers with parameters must override this alongside `params`.
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+
     /// Switches train/eval behaviour (batch-norm statistics, etc.).
     /// Stateless layers ignore this.
     fn set_training(&mut self, _training: bool) {}
 
     /// Zeroes all parameter gradients.
     fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.for_each_param(&mut |p| p.zero_grad());
     }
 
     /// Total scalar parameter count.

@@ -2,9 +2,11 @@
 //!
 //! Each caches exactly what its backward needs (the forward *output* for
 //! tanh/sigmoid — their derivatives are cheapest in terms of the output —
-//! and the input sign pattern for ReLU).
+//! and the input sign pattern for ReLU). Caches are persistent slots
+//! resized in place; outputs come from the workspace.
 
 use crate::layer::Layer;
+use crate::workspace::{cache_resize, Workspace};
 use fedca_tensor::Tensor;
 
 /// Rectified linear unit.
@@ -22,30 +24,37 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut mask = Tensor::zeros(x.shape().clone());
-        let mut y = x.clone();
-        for (m, v) in mask
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mask = cache_resize(&mut self.mask, x.dims());
+        let mut y = ws.take(x.dims());
+        for ((m, v), &xi) in mask
             .as_mut_slice()
             .iter_mut()
             .zip(y.as_mut_slice().iter_mut())
+            .zip(x.as_slice())
         {
-            if *v > 0.0 {
+            if xi > 0.0 {
                 *m = 1.0;
+                *v = xi;
             } else {
+                *m = 0.0;
                 *v = 0.0;
             }
         }
-        self.mask = Some(mask);
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.as_ref().expect("Relu::backward before forward");
         assert_eq!(mask.len(), grad_out.len(), "grad shape mismatch");
-        let mut g = grad_out.clone();
-        for (gi, mi) in g.as_mut_slice().iter_mut().zip(mask.as_slice()) {
-            *gi *= mi;
+        let mut g = ws.take(grad_out.dims());
+        for ((gi, &go), mi) in g
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(mask.as_slice())
+        {
+            *gi = go * mi;
         }
         g
     }
@@ -65,17 +74,26 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = x.map(|v| v.tanh());
-        self.output = Some(y.clone());
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cached = cache_resize(&mut self.output, x.dims());
+        for (c, &xi) in cached.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *c = xi.tanh();
+        }
+        let mut y = ws.take(x.dims());
+        y.as_mut_slice().copy_from_slice(cached.as_slice());
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let y = self.output.as_ref().expect("Tanh::backward before forward");
-        let mut g = grad_out.clone();
-        for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
-            *gi *= 1.0 - yi * yi;
+        let mut g = ws.take(grad_out.dims());
+        for ((gi, &go), yi) in g
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(y.as_slice())
+        {
+            *gi = go * (1.0 - yi * yi);
         }
         g
     }
@@ -106,20 +124,29 @@ pub fn sigmoid_scalar(x: f32) -> f32 {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = x.map(sigmoid_scalar);
-        self.output = Some(y.clone());
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cached = cache_resize(&mut self.output, x.dims());
+        for (c, &xi) in cached.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *c = sigmoid_scalar(xi);
+        }
+        let mut y = ws.take(x.dims());
+        y.as_mut_slice().copy_from_slice(cached.as_slice());
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let y = self
             .output
             .as_ref()
             .expect("Sigmoid::backward before forward");
-        let mut g = grad_out.clone();
-        for (gi, yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
-            *gi *= yi * (1.0 - yi);
+        let mut g = ws.take(grad_out.dims());
+        for ((gi, &go), yi) in g
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(y.as_slice())
+        {
+            *gi = go * yi * (1.0 - yi);
         }
         g
     }
@@ -131,20 +158,22 @@ mod tests {
 
     #[test]
     fn relu_forward_and_mask() {
+        let mut ws = Workspace::new();
         let mut relu = Relu::new();
         let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -3.0]);
-        let y = relu.forward(&x);
+        let y = relu.forward(&x, &mut ws);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
-        let g = relu.backward(&Tensor::full([4], 1.0));
+        let g = relu.backward(&Tensor::full([4], 1.0), &mut ws);
         assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
     fn tanh_gradient_matches_derivative() {
+        let mut ws = Workspace::new();
         let mut t = Tanh::new();
         let x = Tensor::from_vec([3], vec![-0.5, 0.0, 1.2]);
-        let _y = t.forward(&x);
-        let g = t.backward(&Tensor::full([3], 1.0));
+        let _y = t.forward(&x, &mut ws);
+        let g = t.backward(&Tensor::full([3], 1.0), &mut ws);
         for (i, &xi) in x.as_slice().iter().enumerate() {
             let expected = 1.0 - xi.tanh().powi(2);
             assert!((g.as_slice()[i] - expected).abs() < 1e-6);
@@ -161,10 +190,11 @@ mod tests {
 
     #[test]
     fn sigmoid_gradient_matches_derivative() {
+        let mut ws = Workspace::new();
         let mut s = Sigmoid::new();
         let x = Tensor::from_vec([3], vec![-2.0, 0.0, 2.0]);
-        let _ = s.forward(&x);
-        let g = s.backward(&Tensor::full([3], 2.0));
+        let _ = s.forward(&x, &mut ws);
+        let g = s.backward(&Tensor::full([3], 2.0), &mut ws);
         for (i, &xi) in x.as_slice().iter().enumerate() {
             let y = sigmoid_scalar(xi);
             assert!((g.as_slice()[i] - 2.0 * y * (1.0 - y)).abs() < 1e-6);

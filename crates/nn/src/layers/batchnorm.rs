@@ -9,6 +9,7 @@
 
 use crate::layer::Layer;
 use crate::param::Parameter;
+use crate::workspace::{cache_resize, Workspace};
 use fedca_tensor::Tensor;
 
 /// Per-channel batch normalization with affine transform.
@@ -21,7 +22,7 @@ pub struct BatchNorm2d {
     eps: f32,
     channels: usize,
     training: bool,
-    // Backward cache.
+    // Backward cache (persistent, resized in place).
     xhat: Option<Tensor>,
     inv_std: Vec<f32>,
 }
@@ -45,7 +46,7 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().rank(),
             4,
@@ -63,8 +64,8 @@ impl Layer for BatchNorm2d {
         let m = (n * plane) as f32;
         let xd = x.as_slice();
 
-        let mut xhat = Tensor::zeros(x.shape().clone());
-        let mut out = Tensor::zeros(x.shape().clone());
+        let xhat = cache_resize(&mut self.xhat, x.dims());
+        let mut out = ws.take(x.dims());
         for ch in 0..c {
             let (mean, var) = if self.training {
                 let mut sum = 0.0f64;
@@ -101,11 +102,10 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.xhat = Some(xhat);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let xhat = self
             .xhat
             .as_ref()
@@ -117,7 +117,7 @@ impl Layer for BatchNorm2d {
         let m = (n * plane) as f32;
         let gd = grad_out.as_slice();
         let xh = xhat.as_slice();
-        let mut gin = Tensor::zeros(xhat.shape().clone());
+        let mut gin = ws.take(dims);
 
         for ch in 0..c {
             let mut sum_dy = 0.0f64;
@@ -166,6 +166,11 @@ impl Layer for BatchNorm2d {
         vec![&mut self.weight, &mut self.bias]
     }
 
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
     fn set_training(&mut self, training: bool) {
         self.training = training;
     }
@@ -180,9 +185,10 @@ mod tests {
     #[test]
     fn training_output_is_normalized_per_channel() {
         let mut rng = StdRng::seed_from_u64(31);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm2d::new("bn", 3);
         let x = Tensor::randn([4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 7.0);
-        let y = bn.forward(&x);
+        let y = bn.forward(&x, &mut ws);
         // Each channel of y should have ~zero mean and ~unit variance.
         for ch in 0..3 {
             let mut vals = Vec::new();
@@ -203,16 +209,18 @@ mod tests {
     #[test]
     fn eval_mode_uses_running_stats() {
         let mut rng = StdRng::seed_from_u64(32);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm2d::new("bn", 1);
         // Run several training batches so running stats converge toward the
         // data distribution (mean 5, std 2).
         for _ in 0..200 {
             let x = Tensor::randn([8, 1, 4, 4], 2.0, &mut rng).map(|v| v + 5.0);
-            let _ = bn.forward(&x);
+            let y = bn.forward(&x, &mut ws);
+            ws.give(y);
         }
         bn.set_training(false);
         let x = Tensor::full([2, 1, 4, 4], 5.0);
-        let y = bn.forward(&x);
+        let y = bn.forward(&x, &mut ws);
         // Input at the running mean should map near beta = 0.
         assert!(y.as_slice().iter().all(|v| v.abs() < 0.3), "{:?}", y);
     }
@@ -220,11 +228,12 @@ mod tests {
     #[test]
     fn gamma_beta_grads_match_definitions() {
         let mut rng = StdRng::seed_from_u64(33);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm2d::new("bn", 2);
         let x = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
-        let _y = bn.forward(&x);
+        let _y = bn.forward(&x, &mut ws);
         let g = Tensor::full([2, 2, 3, 3], 1.0);
-        let _ = bn.backward(&g);
+        let _ = bn.backward(&g, &mut ws);
         // dβ = Σ dy = N*H*W = 18 per channel.
         assert!((bn.bias.grad.as_slice()[0] - 18.0).abs() < 1e-4);
         // dγ = Σ dy·x̂ = Σ x̂ ≈ 0 (normalized batch sums to 0).

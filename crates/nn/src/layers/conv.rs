@@ -1,14 +1,18 @@
-//! 2-D convolution via im2col + matmul.
+//! 2-D convolution via batched im2col + one GEMM per batch.
 //!
 //! The weight layout is PyTorch's `[out_c, in_c, kh, kw]` flattened to
-//! `[out_c, in_c·kh·kw]` so both forward and backward reduce to the three
-//! matmul kernels in `fedca-tensor`. im2col buffers are reused across the
-//! batch (workhorse-buffer pattern from the perf guide) — the training loop
-//! calls forward/backward thousands of times per round.
+//! `[out_c, in_c·kh·kw]` so both forward and backward reduce to the packed
+//! GEMM kernels in `fedca-tensor`. The im2col buffer unrolls the **whole
+//! batch** into one `[in_c·k·k, N·oh·ow]` matrix (sample `s` occupies the
+//! column band `[s·oh·ow, (s+1)·oh·ow)`), so forward is a single
+//! `W · col` product instead of N small ones, and the buffer is cached
+//! across forward/backward — the backward pass reuses it for the weight
+//! gradient without re-unrolling, and no copy of the input is kept at all.
 
 use crate::init::kaiming_normal;
 use crate::layer::Layer;
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use fedca_tensor::{ops, Tensor};
 
 /// 2-D convolution with square kernel, configurable stride and zero padding.
@@ -20,10 +24,10 @@ pub struct Conv2d {
     k: usize,
     stride: usize,
     padding: usize,
-    cached_input: Option<Tensor>,
-    // Reused scratch: im2col buffer for one sample.
+    // Batched im2col buffer [in_c·k·k, N·oh·ow], persisted across
+    // forward/backward; plus the input geometry backward needs.
     col: Tensor,
-    col_dims_ready: bool,
+    cached_dims: Option<(usize, usize, usize, usize, usize)>, // (n, h, w, oh, ow)
 }
 
 impl Conv2d {
@@ -53,9 +57,8 @@ impl Conv2d {
             k,
             stride,
             padding,
-            cached_input: None,
-            col: Tensor::zeros([1]),
-            col_dims_ready: false,
+            col: Tensor::zeros([0]),
+            cached_dims: None,
         }
     }
 
@@ -79,9 +82,19 @@ impl Conv2d {
         )
     }
 
-    /// Unrolls one sample `x[n]` into `self.col` with layout
-    /// `[in_c·k·k, oh·ow]`.
-    fn im2col(&mut self, x: &[f32], h: usize, w: usize, oh: usize, ow: usize) {
+    /// Unrolls one sample into `self.col`'s column band starting at `col0`.
+    /// `ld` is the column stride of the batched buffer (`N·oh·ow`).
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_sample(
+        &mut self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        ld: usize,
+        col0: usize,
+    ) {
         let (k, s, p) = (self.k, self.stride, self.padding);
         let col = self.col.as_mut_slice();
         let mut row = 0usize;
@@ -89,7 +102,7 @@ impl Conv2d {
             let plane = &x[c * h * w..(c + 1) * h * w];
             for di in 0..k {
                 for dj in 0..k {
-                    let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                    let dst = &mut col[row * ld + col0..row * ld + col0 + oh * ow];
                     for i in 0..oh {
                         let src_i = (i * s + di) as isize - p as isize;
                         let dst_row = &mut dst[i * ow..(i + 1) * ow];
@@ -113,15 +126,27 @@ impl Conv2d {
         }
     }
 
-    /// Scatters a `[in_c·k·k, oh·ow]` gradient back onto one input sample.
-    fn col2im_acc(&self, dcol: &[f32], gx: &mut [f32], h: usize, w: usize, oh: usize, ow: usize) {
+    /// Scatters one sample's column band of a `[in_c·k·k, N·oh·ow]` gradient
+    /// back onto that input sample.
+    #[allow(clippy::too_many_arguments)]
+    fn col2im_acc(
+        &self,
+        dcol: &[f32],
+        gx: &mut [f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        ld: usize,
+        col0: usize,
+    ) {
         let (k, s, p) = (self.k, self.stride, self.padding);
         let mut row = 0usize;
         for c in 0..self.in_c {
             let plane = &mut gx[c * h * w..(c + 1) * h * w];
             for di in 0..k {
                 for dj in 0..k {
-                    let src = &dcol[row * oh * ow..(row + 1) * oh * ow];
+                    let src = &dcol[row * ld + col0..row * ld + col0 + oh * ow];
                     for i in 0..oh {
                         let dst_i = (i * s + di) as isize - p as isize;
                         if dst_i < 0 || dst_i >= h as isize {
@@ -143,7 +168,7 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().rank(),
             4,
@@ -159,70 +184,80 @@ impl Layer for Conv2d {
         );
         let (oh, ow) = self.out_size(h, w);
         let ck2 = self.in_c * self.k * self.k;
-        if !self.col_dims_ready || self.col.dims() != [ck2, oh * ow] {
-            self.col = Tensor::zeros([ck2, oh * ow]);
-            self.col_dims_ready = true;
-        }
-        let mut out = Tensor::zeros([n, self.out_c, oh, ow]);
-        let mut y_n = Tensor::zeros([self.out_c, oh * ow]);
+        let ohw = oh * ow;
+        let nohw = n * ohw;
+        self.col.resize(&[ck2, nohw]);
         for s in 0..n {
             let xs = &x.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-            self.im2col(xs, h, w, oh, ow);
-            ops::matmul_into(&self.weight.value, &self.col, &mut y_n);
-            // add bias per output channel
-            {
-                let b = self.bias.value.as_slice();
-                let yd = y_n.as_mut_slice();
-                for (oc, &bv) in b.iter().enumerate() {
-                    for cell in &mut yd[oc * oh * ow..(oc + 1) * oh * ow] {
-                        *cell += bv;
+            self.im2col_sample(xs, h, w, oh, ow, nohw, s * ohw);
+        }
+        // yt[out_c, N·oh·ow] = W · col — one GEMM for the whole batch.
+        let mut yt = ws.take(&[self.out_c, nohw]);
+        ops::matmul_into(&self.weight.value, &self.col, &mut yt);
+        // Scatter to batch-major [N, out_c, oh, ow], adding the bias.
+        let mut out = ws.take(&[n, self.out_c, oh, ow]);
+        {
+            let b = self.bias.value.as_slice();
+            let yd = yt.as_slice();
+            let od = out.as_mut_slice();
+            for (oc, &bv) in b.iter().enumerate() {
+                for s in 0..n {
+                    let src = &yd[oc * nohw + s * ohw..][..ohw];
+                    let dst = &mut od[(s * self.out_c + oc) * ohw..][..ohw];
+                    for (d, &v) in dst.iter_mut().zip(src) {
+                        *d = v + bv;
                     }
                 }
             }
-            out.as_mut_slice()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow]
-                .copy_from_slice(y_n.as_slice());
         }
-        self.cached_input = Some(x.clone());
+        ws.give(yt);
+        self.cached_dims = Some((n, h, w, oh, ow));
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Conv2d::backward before forward");
-        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        let (oh, ow) = self.out_size(h, w);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (n, h, w, oh, ow) = self.cached_dims.expect("Conv2d::backward before forward");
+        let c = self.in_c;
+        let ck2 = self.in_c * self.k * self.k;
+        let ohw = oh * ow;
+        let nohw = n * ohw;
         assert_eq!(
             grad_out.dims(),
             &[n, self.out_c, oh, ow],
             "Conv2d::backward grad shape mismatch"
         );
-        let mut gin = Tensor::zeros([n, c, h, w]);
-        let mut g_n = Tensor::zeros([self.out_c, oh * ow]);
-        for s in 0..n {
-            let gs = &grad_out.as_slice()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow];
-            g_n.as_mut_slice().copy_from_slice(gs);
-            // Rebuild this sample's im2col (cheaper than caching N buffers).
-            let xs = &x.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-            self.im2col(xs, h, w, oh, ow);
-            // dW += g · colᵀ
-            let dw = ops::matmul_transpose_b(&g_n, &self.col);
-            self.weight.grad.add_assign(&dw);
-            // db += row sums of g
-            {
-                let db = self.bias.grad.as_mut_slice();
-                let gd = g_n.as_slice();
-                for (oc, dbv) in db.iter_mut().enumerate() {
-                    *dbv += gd[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+        // Gather the gradient into column-band layout gt[out_c, N·oh·ow].
+        let mut gt = ws.take(&[self.out_c, nohw]);
+        {
+            let gd = grad_out.as_slice();
+            let td = gt.as_mut_slice();
+            for oc in 0..self.out_c {
+                for s in 0..n {
+                    td[oc * nohw + s * ohw..][..ohw]
+                        .copy_from_slice(&gd[(s * self.out_c + oc) * ohw..][..ohw]);
                 }
             }
-            // dcol = Wᵀ · g, then scatter back
-            let dcol = ops::matmul_transpose_a(&self.weight.value, &g_n);
-            let gx = &mut gin.as_mut_slice()[s * c * h * w..(s + 1) * c * h * w];
-            self.col2im_acc(dcol.as_slice(), gx, h, w, oh, ow);
         }
-        self.cached_input = Some(x);
+        // dW += gt · colᵀ — reuses the forward's cached im2col buffer.
+        ops::matmul_transpose_b_acc(&gt, &self.col, &mut self.weight.grad);
+        // db += row sums of gt
+        {
+            let db = self.bias.grad.as_mut_slice();
+            let gd = gt.as_slice();
+            for (oc, dbv) in db.iter_mut().enumerate() {
+                *dbv += gd[oc * nohw..(oc + 1) * nohw].iter().sum::<f32>();
+            }
+        }
+        // dcol = Wᵀ · gt, then scatter each sample's band back.
+        let mut dcol = ws.take(&[ck2, nohw]);
+        ops::matmul_transpose_a_into(&self.weight.value, &gt, &mut dcol);
+        ws.give(gt);
+        let mut gin = ws.take_zeroed(&[n, c, h, w]);
+        for s in 0..n {
+            let gx = &mut gin.as_mut_slice()[s * c * h * w..(s + 1) * c * h * w];
+            self.col2im_acc(dcol.as_slice(), gx, h, w, oh, ow, nohw, s * ohw);
+        }
+        ws.give(dcol);
         gin
     }
 
@@ -232,6 +267,11 @@ impl Layer for Conv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 
@@ -289,6 +329,7 @@ mod tests {
     #[test]
     fn forward_matches_naive_various_configs() {
         let mut rng = StdRng::seed_from_u64(21);
+        let mut ws = Workspace::new();
         for &(in_c, out_c, k, stride, pad, h, w) in &[
             (1usize, 1usize, 3usize, 1usize, 0usize, 5usize, 5usize),
             (2, 3, 3, 1, 1, 6, 6),
@@ -297,7 +338,7 @@ mod tests {
         ] {
             let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, &mut rng);
             let x = Tensor::randn([2, in_c, h, w], 1.0, &mut rng);
-            let got = conv.forward(&x);
+            let got = conv.forward(&x, &mut ws);
             let want = naive_conv(&x, &conv.weight.value, &conv.bias.value, k, stride, pad);
             assert_eq!(got.dims(), want.dims());
             for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
@@ -306,6 +347,7 @@ mod tests {
                     "{a} vs {b} (cfg {in_c},{out_c},{k},{stride},{pad})"
                 );
             }
+            ws.give(got);
         }
     }
 
@@ -323,11 +365,12 @@ mod tests {
     #[test]
     fn bias_gradient_is_output_grad_sum() {
         let mut rng = StdRng::seed_from_u64(23);
+        let mut ws = Workspace::new();
         let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, &mut rng);
         let x = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng);
-        let y = conv.forward(&x);
+        let y = conv.forward(&x, &mut ws);
         let g = Tensor::full(y.shape().clone(), 1.0);
-        let _ = conv.backward(&g);
+        let _ = conv.backward(&g, &mut ws);
         // Each output channel has 16 cells with grad 1.0.
         assert!((conv.bias.grad.as_slice()[0] - 16.0).abs() < 1e-4);
         assert!((conv.bias.grad.as_slice()[1] - 16.0).abs() < 1e-4);
@@ -336,12 +379,13 @@ mod tests {
     #[test]
     fn identity_kernel_passes_input_through() {
         let mut rng = StdRng::seed_from_u64(24);
+        let mut ws = Workspace::new();
         let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng);
         // kernel = delta at center
         conv.weight.value = Tensor::from_vec([1, 9], vec![0., 0., 0., 0., 1., 0., 0., 0., 0.]);
         conv.bias.value = Tensor::zeros([1]);
         let x = Tensor::randn([1, 1, 5, 5], 1.0, &mut rng);
-        let y = conv.forward(&x);
+        let y = conv.forward(&x, &mut ws);
         for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
             assert!((a - b).abs() < 1e-6);
         }

@@ -3,6 +3,7 @@
 use crate::init::kaiming_normal;
 use crate::layer::Layer;
 use crate::param::Parameter;
+use crate::workspace::{cache_copy, Workspace};
 use fedca_tensor::{ops, Tensor};
 
 /// Dense layer with weight `[out, in]` and bias `[out]`, named
@@ -46,7 +47,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().rank(),
             2,
@@ -61,9 +62,10 @@ impl Layer for Linear {
             self.in_features,
             x.dims()[1]
         );
-        // y[N, out] = x[N, in] · W[out, in]ᵀ
-        let mut y = ops::matmul_transpose_b(x, &self.weight.value);
         let n = x.dims()[0];
+        // y[N, out] = x[N, in] · W[out, in]ᵀ
+        let mut y = ws.take(&[n, self.out_features]);
+        ops::matmul_transpose_b_into(x, &self.weight.value, &mut y);
         let b = self.bias.value.as_slice();
         let ydata = y.as_mut_slice();
         for i in 0..n {
@@ -73,11 +75,11 @@ impl Layer for Linear {
                 &mut ydata[i * self.out_features..(i + 1) * self.out_features],
             );
         }
-        self.cached_input = Some(x.clone());
+        cache_copy(&mut self.cached_input, x);
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
@@ -104,7 +106,9 @@ impl Layer for Linear {
             }
         }
         // dx[N, in] = g[N, out] · W[out, in]
-        ops::matmul(grad_out, &self.weight.value)
+        let mut dx = ws.take(&[n, self.in_features]);
+        ops::matmul_into(grad_out, &self.weight.value, &mut dx);
+        dx
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -113,6 +117,11 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 
@@ -125,12 +134,13 @@ mod tests {
     #[test]
     fn forward_matches_manual_small_case() {
         let mut rng = StdRng::seed_from_u64(1);
+        let mut ws = Workspace::new();
         let mut lin = Linear::new("fc", 2, 3, &mut rng);
         // Overwrite with known values: W = [[1,2],[3,4],[5,6]], b = [0.5, -0.5, 1.0]
         lin.weight.value = Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]);
         lin.bias.value = Tensor::from_vec([3], vec![0.5, -0.5, 1.0]);
         let x = Tensor::from_vec([1, 2], vec![10.0, 20.0]);
-        let y = lin.forward(&x);
+        let y = lin.forward(&x, &mut ws);
         assert_eq!(y.as_slice(), &[50.5, 109.5, 171.0]);
     }
 
@@ -146,14 +156,15 @@ mod tests {
     #[test]
     fn backward_accumulates_grads() {
         let mut rng = StdRng::seed_from_u64(3);
+        let mut ws = Workspace::new();
         let mut lin = Linear::new("fc", 2, 2, &mut rng);
         let x = Tensor::from_vec([2, 2], vec![1., 0., 0., 1.]);
-        let _ = lin.forward(&x);
+        let _ = lin.forward(&x, &mut ws);
         let g = Tensor::from_vec([2, 2], vec![1., 1., 1., 1.]);
-        let _ = lin.backward(&g);
+        let _ = lin.backward(&g, &mut ws);
         let first = lin.weight.grad.clone();
-        let _ = lin.forward(&x);
-        let _ = lin.backward(&g);
+        let _ = lin.forward(&x, &mut ws);
+        let _ = lin.backward(&g, &mut ws);
         let mut expected = first.clone();
         expected.add_assign(&first);
         assert_eq!(lin.weight.grad, expected, "grads must accumulate");
@@ -165,7 +176,8 @@ mod tests {
     #[should_panic(expected = "input features")]
     fn forward_rejects_wrong_width() {
         let mut rng = StdRng::seed_from_u64(4);
+        let mut ws = Workspace::new();
         let mut lin = Linear::new("fc", 3, 2, &mut rng);
-        let _ = lin.forward(&Tensor::zeros([1, 5]));
+        let _ = lin.forward(&Tensor::zeros([1, 5]), &mut ws);
     }
 }

@@ -10,13 +10,19 @@
 //! Input is `[N, T, F]`; the public layer returns the final hidden state
 //! `[N, H]` of the top layer (the usual classification head for keyword
 //! spotting).
+//!
+//! The per-timestep BPTT caches are persistent slots resized in place, and
+//! every sequence/gate intermediate is drawn from the [`Workspace`], so a
+//! warmed-up forward+backward allocates nothing.
 
 use crate::layer::Layer;
 use crate::layers::activation::sigmoid_scalar;
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use fedca_tensor::{ops, Tensor};
 
-/// Per-timestep cache of one LSTM layer.
+/// Per-timestep cache of one LSTM layer. Slots persist across iterations
+/// and are re-dimensioned in place.
 struct StepCache {
     x: Tensor,      // [N, in]  input at t
     h_prev: Tensor, // [N, H]
@@ -28,6 +34,21 @@ struct StepCache {
     tanh_c: Tensor, // [N, H] tanh of the new cell state
 }
 
+impl StepCache {
+    fn empty() -> Self {
+        StepCache {
+            x: Tensor::zeros([0]),
+            h_prev: Tensor::zeros([0]),
+            c_prev: Tensor::zeros([0]),
+            i: Tensor::zeros([0]),
+            f: Tensor::zeros([0]),
+            g: Tensor::zeros([0]),
+            o: Tensor::zeros([0]),
+            tanh_c: Tensor::zeros([0]),
+        }
+    }
+}
+
 /// One LSTM layer (a "core"); the public [`Lstm`] stacks these.
 struct LstmCore {
     w_ih: Parameter, // [4H, in]
@@ -37,6 +58,9 @@ struct LstmCore {
     input_size: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    // Recurrent state buffers, reused across steps and iterations.
+    h: Tensor,
+    c: Tensor,
 }
 
 impl LstmCore {
@@ -70,12 +94,15 @@ impl LstmCore {
             input_size,
             hidden,
             cache: Vec::new(),
+            h: Tensor::zeros([0]),
+            c: Tensor::zeros([0]),
         }
     }
 
     /// Runs the layer over a sequence `[N, T, in]`, returning all hidden
-    /// states `[N, T, H]` and caching activations for BPTT.
-    fn forward_seq(&mut self, xs: &Tensor) -> Tensor {
+    /// states `[N, T, H]` (workspace-owned) and caching activations for
+    /// BPTT.
+    fn forward_seq(&mut self, xs: &Tensor, ws: &mut Workspace) -> Tensor {
         let (n, t, fin) = (xs.dims()[0], xs.dims()[1], xs.dims()[2]);
         assert_eq!(
             fin,
@@ -84,95 +111,105 @@ impl LstmCore {
             self.w_ih.name()
         );
         let hdim = self.hidden;
-        self.cache.clear();
-        self.cache.reserve(t);
-        let mut h = Tensor::zeros([n, hdim]);
-        let mut c = Tensor::zeros([n, hdim]);
-        let mut out = Tensor::zeros([n, t, hdim]);
+        let h4 = 4 * hdim;
+        self.cache.truncate(t);
+        while self.cache.len() < t {
+            self.cache.push(StepCache::empty());
+        }
+        self.h.resize(&[n, hdim]);
+        self.h.fill_zero();
+        self.c.resize(&[n, hdim]);
+        self.c.fill_zero();
+        let mut out = ws.take(&[n, t, hdim]);
+        let mut z = ws.take(&[n, h4]);
         for step in 0..t {
-            // Slice x_t out of the [N, T, F] tensor.
-            let mut x_t = Tensor::zeros([n, fin]);
+            let slot = &mut self.cache[step];
+            // Slice x_t out of the [N, T, F] tensor into the cache slot.
+            slot.x.resize(&[n, fin]);
             for s in 0..n {
                 let src = &xs.as_slice()[(s * t + step) * fin..(s * t + step + 1) * fin];
-                x_t.as_mut_slice()[s * fin..(s + 1) * fin].copy_from_slice(src);
+                slot.x.as_mut_slice()[s * fin..(s + 1) * fin].copy_from_slice(src);
             }
+            slot.h_prev.copy_from(&self.h);
+            slot.c_prev.copy_from(&self.c);
             // z = x_t·W_ihᵀ + h·W_hhᵀ + b_ih + b_hh : [N, 4H]
-            let mut z = ops::matmul_transpose_b(&x_t, &self.w_ih.value);
-            z.add_assign(&ops::matmul_transpose_b(&h, &self.w_hh.value));
+            ops::matmul_transpose_b_into(&slot.x, &self.w_ih.value, &mut z);
+            ops::matmul_transpose_b_acc(&self.h, &self.w_hh.value, &mut z);
             {
                 let zb = z.as_mut_slice();
                 let bi = self.b_ih.value.as_slice();
                 let bh = self.b_hh.value.as_slice();
                 for s in 0..n {
-                    let row = &mut zb[s * 4 * hdim..(s + 1) * 4 * hdim];
-                    for k in 0..4 * hdim {
+                    let row = &mut zb[s * h4..(s + 1) * h4];
+                    for k in 0..h4 {
                         row[k] += bi[k] + bh[k];
                     }
                 }
             }
-            let mut ig = Tensor::zeros([n, hdim]);
-            let mut fg = Tensor::zeros([n, hdim]);
-            let mut gg = Tensor::zeros([n, hdim]);
-            let mut og = Tensor::zeros([n, hdim]);
+            slot.i.resize(&[n, hdim]);
+            slot.f.resize(&[n, hdim]);
+            slot.g.resize(&[n, hdim]);
+            slot.o.resize(&[n, hdim]);
+            slot.tanh_c.resize(&[n, hdim]);
             {
                 let zd = z.as_slice();
                 for s in 0..n {
-                    let row = &zd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    let row = &zd[s * h4..(s + 1) * h4];
                     for k in 0..hdim {
-                        ig.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[k]);
-                        fg.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[hdim + k]);
-                        gg.as_mut_slice()[s * hdim + k] = row[2 * hdim + k].tanh();
-                        og.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[3 * hdim + k]);
+                        slot.i.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[k]);
+                        slot.f.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[hdim + k]);
+                        slot.g.as_mut_slice()[s * hdim + k] = row[2 * hdim + k].tanh();
+                        slot.o.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[3 * hdim + k]);
                     }
                 }
             }
-            let c_prev = c.clone();
-            let h_prev = h.clone();
-            // c = f*c_prev + i*g ; h = o*tanh(c)
-            let mut c_new = Tensor::zeros([n, hdim]);
-            let mut tanh_c = Tensor::zeros([n, hdim]);
-            let mut h_new = Tensor::zeros([n, hdim]);
-            for idx in 0..n * hdim {
-                let cv = fg.as_slice()[idx] * c_prev.as_slice()[idx]
-                    + ig.as_slice()[idx] * gg.as_slice()[idx];
-                c_new.as_mut_slice()[idx] = cv;
-                let tc = cv.tanh();
-                tanh_c.as_mut_slice()[idx] = tc;
-                h_new.as_mut_slice()[idx] = og.as_slice()[idx] * tc;
+            // c = f*c_prev + i*g ; h = o*tanh(c), updated in place (the
+            // previous state is already copied into the cache slot).
+            {
+                let cd = self.c.as_mut_slice();
+                let hd = self.h.as_mut_slice();
+                let tc_d = slot.tanh_c.as_mut_slice();
+                let (id, fd, gd, od) = (
+                    slot.i.as_slice(),
+                    slot.f.as_slice(),
+                    slot.g.as_slice(),
+                    slot.o.as_slice(),
+                );
+                let cp = slot.c_prev.as_slice();
+                for idx in 0..n * hdim {
+                    let cv = fd[idx] * cp[idx] + id[idx] * gd[idx];
+                    cd[idx] = cv;
+                    let tc = cv.tanh();
+                    tc_d[idx] = tc;
+                    hd[idx] = od[idx] * tc;
+                }
             }
             for s in 0..n {
                 let dst = &mut out.as_mut_slice()[(s * t + step) * hdim..(s * t + step + 1) * hdim];
-                dst.copy_from_slice(&h_new.as_slice()[s * hdim..(s + 1) * hdim]);
+                dst.copy_from_slice(&self.h.as_slice()[s * hdim..(s + 1) * hdim]);
             }
-            self.cache.push(StepCache {
-                x: x_t,
-                h_prev,
-                c_prev,
-                i: ig,
-                f: fg,
-                g: gg,
-                o: og,
-                tanh_c,
-            });
-            h = h_new;
-            c = c_new;
         }
+        ws.give(z);
         out
     }
 
     /// BPTT over the cached sequence. `dh_out` is `[N, T, H]` (gradient on
     /// every hidden state emitted). Returns `dx` as `[N, T, in]`.
-    fn backward_seq(&mut self, dh_out: &Tensor) -> Tensor {
+    fn backward_seq(&mut self, dh_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let t = self.cache.len();
         assert!(t > 0, "LstmCore::backward_seq before forward_seq");
         let n = self.cache[0].x.dims()[0];
         let hdim = self.hidden;
+        let h4 = 4 * hdim;
         let fin = self.input_size;
         assert_eq!(dh_out.dims(), &[n, t, hdim], "dh_out shape mismatch");
 
-        let mut dx = Tensor::zeros([n, t, fin]);
-        let mut dh = Tensor::zeros([n, hdim]); // carried recurrent gradient
-        let mut dc = Tensor::zeros([n, hdim]);
+        let mut dx = ws.take(&[n, t, fin]);
+        let mut dh = ws.take_zeroed(&[n, hdim]); // carried recurrent gradient
+        let mut dh_next = ws.take(&[n, hdim]);
+        let mut dc = ws.take_zeroed(&[n, hdim]);
+        let mut dz = ws.take(&[n, h4]);
+        let mut dx_t = ws.take(&[n, fin]);
         for step in (0..t).rev() {
             let cache = &self.cache[step];
             // dh += gradient flowing directly into h_t from the output.
@@ -180,7 +217,6 @@ impl LstmCore {
                 let src = &dh_out.as_slice()[(s * t + step) * hdim..(s * t + step + 1) * hdim];
                 fedca_tensor::axpy(1.0, src, &mut dh.as_mut_slice()[s * hdim..(s + 1) * hdim]);
             }
-            let mut dz = Tensor::zeros([n, 4 * hdim]);
             {
                 let dhd = dh.as_slice();
                 let dcd = dc.as_mut_slice();
@@ -198,7 +234,7 @@ impl LstmCore {
                     let df = dct * cache.c_prev.as_slice()[idx];
                     dcd[idx] = dct * f; // becomes dc_{t-1}
                     let (s, k) = (idx / hdim, idx % hdim);
-                    let row = &mut dzd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    let row = &mut dzd[s * h4..(s + 1) * h4];
                     row[k] = di * i * (1.0 - i);
                     row[hdim + k] = df * f * (1.0 - f);
                     row[2 * hdim + k] = dg * (1.0 - g * g);
@@ -213,19 +249,25 @@ impl LstmCore {
                 let dbi = self.b_ih.grad.as_mut_slice();
                 let dbh = self.b_hh.grad.as_mut_slice();
                 for s in 0..n {
-                    let row = &dzd[s * 4 * hdim..(s + 1) * 4 * hdim];
+                    let row = &dzd[s * h4..(s + 1) * h4];
                     fedca_tensor::axpy(1.0, row, dbi);
                     fedca_tensor::axpy(1.0, row, dbh);
                 }
             }
             // Input and recurrent gradients.
-            let dx_t = ops::matmul(&dz, &self.w_ih.value); // [N, in]
+            ops::matmul_into(&dz, &self.w_ih.value, &mut dx_t); // [N, in]
             for s in 0..n {
                 let dst = &mut dx.as_mut_slice()[(s * t + step) * fin..(s * t + step + 1) * fin];
                 dst.copy_from_slice(&dx_t.as_slice()[s * fin..(s + 1) * fin]);
             }
-            dh = ops::matmul(&dz, &self.w_hh.value); // dh_{t-1}
+            ops::matmul_into(&dz, &self.w_hh.value, &mut dh_next); // dh_{t-1}
+            std::mem::swap(&mut dh, &mut dh_next);
         }
+        ws.give(dh);
+        ws.give(dh_next);
+        ws.give(dc);
+        ws.give(dz);
+        ws.give(dx_t);
         dx
     }
 }
@@ -265,7 +307,7 @@ impl Lstm {
 }
 
 impl Layer for Lstm {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().rank(),
             3,
@@ -274,34 +316,44 @@ impl Layer for Lstm {
         );
         let (n, t) = (x.dims()[0], x.dims()[1]);
         self.seq_len = Some(t);
-        let mut seq = x.clone();
+        let mut cur: Option<Tensor> = None;
         for core in &mut self.layers {
-            seq = core.forward_seq(&seq);
+            let next = match &cur {
+                Some(seq) => core.forward_seq(seq, ws),
+                None => core.forward_seq(x, ws),
+            };
+            if let Some(prev) = cur.take() {
+                ws.give(prev);
+            }
+            cur = Some(next);
         }
+        let seq = cur.expect("LSTM has at least one layer");
         // Return last timestep of the top layer: [N, H].
         let hdim = self.hidden;
-        let mut out = Tensor::zeros([n, hdim]);
+        let mut out = ws.take(&[n, hdim]);
         for s in 0..n {
             let src = &seq.as_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
             out.as_mut_slice()[s * hdim..(s + 1) * hdim].copy_from_slice(src);
         }
+        ws.give(seq);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let t = self.seq_len.expect("Lstm::backward before forward");
         let n = grad_out.dims()[0];
         let hdim = self.hidden;
         assert_eq!(grad_out.dims(), &[n, hdim], "Lstm grad_out must be [N,H]");
         // Only the last timestep of the top layer receives output gradient.
-        let mut dh_seq = Tensor::zeros([n, t, hdim]);
+        let mut grad = ws.take_zeroed(&[n, t, hdim]);
         for s in 0..n {
-            let dst = &mut dh_seq.as_mut_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
+            let dst = &mut grad.as_mut_slice()[(s * t + (t - 1)) * hdim..(s * t + t) * hdim];
             dst.copy_from_slice(&grad_out.as_slice()[s * hdim..(s + 1) * hdim]);
         }
-        let mut grad = dh_seq;
         for core in self.layers.iter_mut().rev() {
-            grad = core.backward_seq(&grad);
+            let next = core.backward_seq(&grad, ws);
+            ws.give(grad);
+            grad = next;
         }
         grad
     }
@@ -318,6 +370,15 @@ impl Layer for Lstm {
             .iter_mut()
             .flat_map(|c| vec![&mut c.w_ih, &mut c.w_hh, &mut c.b_ih, &mut c.b_hh])
             .collect()
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for c in &mut self.layers {
+            f(&mut c.w_ih);
+            f(&mut c.w_hh);
+            f(&mut c.b_ih);
+            f(&mut c.b_hh);
+        }
     }
 }
 
@@ -350,11 +411,12 @@ mod tests {
     #[test]
     fn forward_shapes_and_determinism() {
         let mut rng = StdRng::seed_from_u64(42);
+        let mut ws = Workspace::new();
         let mut lstm = Lstm::new("rnn", 5, 7, 2, &mut rng);
         let x = Tensor::randn([3, 6, 5], 1.0, &mut StdRng::seed_from_u64(1));
-        let y1 = lstm.forward(&x);
+        let y1 = lstm.forward(&x, &mut ws);
         assert_eq!(y1.dims(), &[3, 7]);
-        let y2 = lstm.forward(&x);
+        let y2 = lstm.forward(&x, &mut ws);
         assert_eq!(y1, y2, "forward must be deterministic");
         assert!(y1.all_finite());
     }
@@ -363,6 +425,7 @@ mod tests {
     fn single_step_matches_hand_computation() {
         // 1 layer, H=1, F=1, T=1, all weights set by hand.
         let mut rng = StdRng::seed_from_u64(43);
+        let mut ws = Workspace::new();
         let mut lstm = Lstm::new("rnn", 1, 1, 1, &mut rng);
         {
             let core = &mut lstm.layers[0];
@@ -373,7 +436,7 @@ mod tests {
             core.b_hh.value = Tensor::zeros([4]);
         }
         let x = Tensor::from_vec([1, 1, 1], vec![2.0]);
-        let y = lstm.forward(&x);
+        let y = lstm.forward(&x, &mut ws);
         // h0 = c0 = 0: i = σ(1.0), g = tanh(2.0), o = σ(0.4); c = i*g; h = o*tanh(c)
         let i = sigmoid_scalar(1.0);
         let g = 2.0f32.tanh();
@@ -390,11 +453,12 @@ mod tests {
     #[test]
     fn gradients_flow_to_all_parameters() {
         let mut rng = StdRng::seed_from_u64(44);
+        let mut ws = Workspace::new();
         let mut lstm = Lstm::new("rnn", 4, 5, 2, &mut rng);
         let x = Tensor::randn([2, 5, 4], 1.0, &mut rng);
-        let _y = lstm.forward(&x);
+        let _y = lstm.forward(&x, &mut ws);
         let g = Tensor::full([2, 5], 1.0);
-        let dx = lstm.backward(&g);
+        let dx = lstm.backward(&g, &mut ws);
         assert_eq!(dx.dims(), &[2, 5, 4]);
         for p in lstm.params() {
             assert!(

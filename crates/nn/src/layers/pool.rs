@@ -1,6 +1,7 @@
 //! Spatial pooling over `[N, C, H, W]` feature maps.
 
 use crate::layer::Layer;
+use crate::workspace::Workspace;
 use fedca_tensor::Tensor;
 
 fn check_4d(x: &Tensor, what: &str) -> (usize, usize, usize, usize) {
@@ -18,8 +19,9 @@ fn check_4d(x: &Tensor, what: &str) -> (usize, usize, usize, usize) {
 /// LeNet/WRN configuration). Caches argmax indices for the backward pass.
 pub struct MaxPool2d {
     k: usize,
-    argmax: Option<Vec<usize>>, // flat input index of each output's max
-    input_dims: Option<Vec<usize>>,
+    argmax: Vec<usize>, // flat input index of each output's max (reused)
+    input_dims: Vec<usize>,
+    ready: bool,
 }
 
 impl MaxPool2d {
@@ -31,14 +33,15 @@ impl MaxPool2d {
         assert!(k > 0, "pool window must be positive");
         MaxPool2d {
             k,
-            argmax: None,
-            input_dims: None,
+            argmax: Vec::new(),
+            input_dims: Vec::new(),
+            ready: false,
         }
     }
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = check_4d(x, "MaxPool2d");
         let k = self.k;
         assert!(
@@ -46,8 +49,10 @@ impl Layer for MaxPool2d {
             "MaxPool2d({k}) needs H, W divisible by {k}, got {h}x{w}"
         );
         let (oh, ow) = (h / k, w / k);
-        let mut out = Tensor::zeros([n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut out = ws.take(&[n, c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.resize(n * c * oh * ow, 0);
+        let argmax = &mut self.argmax;
         let xd = x.as_slice();
         let od = out.as_mut_slice();
         for nc in 0..n * c {
@@ -71,21 +76,18 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.argmax = Some(argmax);
-        self.input_dims = Some(x.dims().to_vec());
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(x.dims());
+        self.ready = true;
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let argmax = self
-            .argmax
-            .as_ref()
-            .expect("MaxPool2d::backward before forward");
-        let dims = self.input_dims.as_ref().unwrap().clone();
-        assert_eq!(grad_out.len(), argmax.len(), "grad shape mismatch");
-        let mut gin = Tensor::zeros(dims);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert!(self.ready, "MaxPool2d::backward before forward");
+        assert_eq!(grad_out.len(), self.argmax.len(), "grad shape mismatch");
+        let mut gin = ws.take_zeroed(&self.input_dims);
         let gd = gin.as_mut_slice();
-        for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        for (g, &idx) in grad_out.as_slice().iter().zip(self.argmax.iter()) {
             gd[idx] += g;
         }
         gin
@@ -95,7 +97,8 @@ impl Layer for MaxPool2d {
 /// Global average pooling: `[N, C, H, W]` → `[N, C]`. Used as the WRN head.
 #[derive(Default)]
 pub struct AvgPool2d {
-    input_dims: Option<Vec<usize>>,
+    input_dims: Vec<usize>,
+    ready: bool,
 }
 
 impl AvgPool2d {
@@ -106,28 +109,26 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = check_4d(x, "AvgPool2d");
         let area = (h * w) as f32;
-        let mut out = Tensor::zeros([n, c]);
+        let mut out = ws.take(&[n, c]);
         let xd = x.as_slice();
         for (nc, o) in out.as_mut_slice().iter_mut().enumerate() {
             let base = nc * h * w;
             *o = xd[base..base + h * w].iter().sum::<f32>() / area;
         }
-        self.input_dims = Some(x.dims().to_vec());
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(x.dims());
+        self.ready = true;
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .as_ref()
-            .expect("AvgPool2d::backward before forward")
-            .clone();
-        let (h, w) = (dims[2], dims[3]);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert!(self.ready, "AvgPool2d::backward before forward");
+        let (h, w) = (self.input_dims[2], self.input_dims[3]);
         let area = (h * w) as f32;
-        let mut gin = Tensor::zeros(dims);
+        let mut gin = ws.take(&self.input_dims);
         let gd = gin.as_mut_slice();
         for (nc, &g) in grad_out.as_slice().iter().enumerate() {
             let v = g / area;
@@ -145,6 +146,7 @@ mod tests {
 
     #[test]
     fn maxpool_picks_window_max() {
+        let mut ws = Workspace::new();
         let mut p = MaxPool2d::new(2);
         #[rustfmt::skip]
         let x = Tensor::from_vec([1, 1, 4, 4], vec![
@@ -153,29 +155,31 @@ mod tests {
             9., 10., 13., 14.,
             11., 12., 15., 16.,
         ]);
-        let y = p.forward(&x);
+        let y = p.forward(&x, &mut ws);
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
     }
 
     #[test]
     fn maxpool_backward_routes_to_argmax() {
+        let mut ws = Workspace::new();
         let mut p = MaxPool2d::new(2);
         #[rustfmt::skip]
         let x = Tensor::from_vec([1, 1, 2, 2], vec![
             1., 9.,
             3., 4.,
         ]);
-        let _ = p.forward(&x);
-        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]));
+        let _ = p.forward(&x, &mut ws);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]), &mut ws);
         assert_eq!(g.as_slice(), &[0., 5., 0., 0.]);
     }
 
     #[test]
     fn maxpool_multichannel_batches() {
+        let mut ws = Workspace::new();
         let mut p = MaxPool2d::new(2);
         let x = Tensor::from_vec([2, 3, 4, 4], (0..96).map(|i| i as f32).collect());
-        let y = p.forward(&x);
+        let y = p.forward(&x, &mut ws);
         assert_eq!(y.dims(), &[2, 3, 2, 2]);
         // In a monotone ramp, each window max is its bottom-right element.
         assert_eq!(y.at(&[0, 0, 0, 0]), 5.0);
@@ -185,18 +189,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn maxpool_rejects_indivisible() {
+        let mut ws = Workspace::new();
         let mut p = MaxPool2d::new(2);
-        let _ = p.forward(&Tensor::zeros([1, 1, 3, 4]));
+        let _ = p.forward(&Tensor::zeros([1, 1, 3, 4]), &mut ws);
     }
 
     #[test]
     fn avgpool_averages_and_spreads_gradient() {
+        let mut ws = Workspace::new();
         let mut p = AvgPool2d::new();
         let x = Tensor::from_vec([1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
-        let y = p.forward(&x);
+        let y = p.forward(&x, &mut ws);
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
-        let g = p.backward(&Tensor::from_vec([1, 2], vec![4.0, 8.0]));
+        let g = p.backward(&Tensor::from_vec([1, 2], vec![4.0, 8.0]), &mut ws);
         assert_eq!(g.as_slice(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
     }
 }

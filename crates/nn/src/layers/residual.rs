@@ -8,6 +8,7 @@ use crate::layer::Layer;
 use crate::layers::conv::Conv2d;
 use crate::layers::sequential::Sequential;
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use fedca_tensor::Tensor;
 
 /// A residual block with an optional projection shortcut.
@@ -43,10 +44,14 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut y = self.body.forward(x);
+    fn forward(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut y = self.body.forward(x, ws);
         match &mut self.shortcut {
-            Some(proj) => y.add_assign(&proj.forward(x)),
+            Some(proj) => {
+                let s = proj.forward(x, ws);
+                y.add_assign(&s);
+                ws.give(s);
+            }
             None => {
                 assert_eq!(
                     y.dims(),
@@ -59,10 +64,14 @@ impl Layer for ResidualBlock {
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut gx = self.body.backward(grad_out);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut gx = self.body.backward(grad_out, ws);
         match &mut self.shortcut {
-            Some(proj) => gx.add_assign(&proj.backward(grad_out)),
+            Some(proj) => {
+                let gs = proj.backward(grad_out, ws);
+                gx.add_assign(&gs);
+                ws.give(gs);
+            }
             None => gx.add_assign(grad_out),
         }
         gx
@@ -82,6 +91,13 @@ impl Layer for ResidualBlock {
             p.extend(proj.params_mut());
         }
         p
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.body.for_each_param(f);
+        if let Some(proj) = &mut self.shortcut {
+            proj.for_each_param(f);
+        }
     }
 
     fn set_training(&mut self, training: bool) {
@@ -104,20 +120,21 @@ mod tests {
         // A body whose conv weights are zero makes F(x) = 0 (bias also 0),
         // so y must equal x exactly.
         let mut rng = StdRng::seed_from_u64(61);
+        let mut ws = Workspace::new();
         let mut conv = Conv2d::new("c", 2, 2, 3, 1, 1, &mut rng);
         for p in conv.params_mut() {
             p.value.fill_zero();
         }
         let mut block = ResidualBlock::identity(Sequential::new().push(conv));
         let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
-        let y = block.forward(&x);
+        let y = block.forward(&x, &mut ws);
         for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
             assert!((a - b).abs() < 1e-6);
         }
         // Gradient splits into both branches; with zero weights the body
         // contributes nothing to dx, so dx == grad_out.
         let g = Tensor::full([1, 2, 4, 4], 1.0);
-        let dx = block.backward(&g);
+        let dx = block.backward(&g, &mut ws);
         for (a, b) in dx.as_slice().iter().zip(g.as_slice()) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -126,15 +143,16 @@ mod tests {
     #[test]
     fn projected_block_changes_channels() {
         let mut rng = StdRng::seed_from_u64(62);
+        let mut ws = Workspace::new();
         let body = Sequential::new()
             .push(Conv2d::new("0", 2, 4, 3, 2, 1, &mut rng))
             .push(BatchNorm2d::new("1", 4))
             .push(Relu::new());
         let mut block = ResidualBlock::projected(body, "proj", 2, 4, 2, &mut rng);
         let x = Tensor::randn([2, 2, 8, 8], 1.0, &mut rng);
-        let y = block.forward(&x);
+        let y = block.forward(&x, &mut ws);
         assert_eq!(y.dims(), &[2, 4, 4, 4]);
-        let dx = block.backward(&Tensor::full([2, 4, 4, 4], 1.0));
+        let dx = block.backward(&Tensor::full([2, 4, 4, 4], 1.0), &mut ws);
         assert_eq!(dx.dims(), &[2, 2, 8, 8]);
         // Projection weights get gradients too.
         let names: Vec<_> = block
@@ -149,8 +167,9 @@ mod tests {
     #[should_panic(expected = "shape-preserving")]
     fn identity_block_rejects_shape_change() {
         let mut rng = StdRng::seed_from_u64(63);
+        let mut ws = Workspace::new();
         let body = Sequential::new().push(Conv2d::new("0", 2, 4, 3, 1, 1, &mut rng));
         let mut block = ResidualBlock::identity(body);
-        let _ = block.forward(&Tensor::zeros([1, 2, 4, 4]));
+        let _ = block.forward(&Tensor::zeros([1, 2, 4, 4]), &mut ws);
     }
 }

@@ -28,9 +28,11 @@ pub mod model;
 pub mod models;
 pub mod optim;
 pub mod param;
+pub mod workspace;
 
 pub use layer::Layer;
-pub use loss::{mse_loss, softmax_cross_entropy};
+pub use loss::{mse_loss, softmax_cross_entropy, softmax_cross_entropy_into};
 pub use model::Model;
 pub use optim::Sgd;
 pub use param::Parameter;
+pub use workspace::Workspace;

@@ -10,11 +10,24 @@ use fedca_tensor::Tensor;
 /// # Panics
 /// Panics if the shapes disagree or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let mut grad = Tensor::zeros([0]);
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free variant of [`softmax_cross_entropy`]: writes the logits
+/// gradient into `grad` (resized in place, reusing its buffer) and returns
+/// the mean loss. The training hot loop keeps one persistent `grad` tensor
+/// across iterations.
+///
+/// # Panics
+/// Panics if the shapes disagree or a label is out of range.
+pub fn softmax_cross_entropy_into(logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
     assert_eq!(logits.shape().rank(), 2, "logits must be [N, C]");
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(n, labels.len(), "batch size mismatch");
     assert!(n > 0, "empty batch");
-    let mut grad = Tensor::zeros([n, c]);
+    grad.resize(&[n, c]);
     let ld = logits.as_slice();
     let gd = grad.as_mut_slice();
     let mut total = 0.0f64;
@@ -36,7 +49,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
             *cell = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
         }
     }
-    ((total / n as f64) as f32, grad)
+    (total / n as f64) as f32
 }
 
 /// Mean-squared-error over `[N, C]` predictions and targets, mean-reduced
@@ -116,6 +129,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_label() {
         let _ = softmax_cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        let mut buf = Tensor::zeros([2, 3]); // warm buffer of the right size
+        let cap = buf.capacity();
+        let loss2 = softmax_cross_entropy_into(&logits, &[2, 0], &mut buf);
+        assert_eq!(loss, loss2);
+        assert_eq!(buf, grad);
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
     }
 
     #[test]

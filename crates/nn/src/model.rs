@@ -4,8 +4,15 @@
 //! `Model` owns the canonical mapping between the layer graph's named
 //! parameters and those flat vectors; everything in `fedca-core` (progress
 //! metrics, aggregation, eager transmission) operates on the flat form.
+//!
+//! `Model` also owns the [`Workspace`] scratch arena threaded through every
+//! layer's forward/backward. Callers keep the plain `forward(&x)` /
+//! `backward(&g)` API; tensors those calls return should be handed back via
+//! [`Model::recycle`] once consumed so the warm pool covers the next
+//! iteration without heap traffic.
 
 use crate::layer::Layer;
+use crate::workspace::Workspace;
 use fedca_tensor::Tensor;
 use std::ops::Range;
 
@@ -23,6 +30,7 @@ pub struct Model {
     net: Box<dyn Layer>,
     spans: Vec<ParamSpan>,
     total: usize,
+    ws: Workspace,
 }
 
 impl Model {
@@ -43,17 +51,32 @@ impl Model {
             net,
             spans,
             total: offset,
+            ws: Workspace::new(),
         }
     }
 
-    /// Forward pass.
+    /// Forward pass. Recycle the returned tensor with [`Model::recycle`]
+    /// when done with it.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.net.forward(x)
+        self.net.forward(x, &mut self.ws)
     }
 
-    /// Backward pass (gradients accumulate into the parameters).
+    /// Backward pass (gradients accumulate into the parameters). Recycle
+    /// the returned input-gradient when done with it.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        self.net.backward(grad_out)
+        self.net.backward(grad_out, &mut self.ws)
+    }
+
+    /// Returns a tensor produced by [`Model::forward`]/[`Model::backward`]
+    /// to the internal scratch pool for reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.give(t);
+    }
+
+    /// `(takes, misses)` counters of the internal scratch pool; in steady
+    /// state `misses` stops growing.
+    pub fn workspace_stats(&self) -> (u64, u64) {
+        self.ws.stats()
     }
 
     /// Zeroes all parameter gradients.
@@ -101,13 +124,14 @@ impl Model {
     pub fn set_flat_params(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.total, "flat parameter length mismatch");
         let mut offset = 0usize;
-        for p in self.net.params_mut() {
+        self.net.for_each_param(&mut |p| {
             let n = p.len();
             p.value
                 .as_mut_slice()
                 .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
-        }
+        });
+        debug_assert_eq!(offset, self.total);
     }
 
     /// Copies all gradients into one flat vector (traversal order).
@@ -119,10 +143,21 @@ impl Model {
         out
     }
 
-    /// Applies one optimizer step.
+    /// Applies one optimizer step without collecting parameters into a
+    /// temporary `Vec` (the visitor walks them in traversal order, tracking
+    /// the flat offset for the FedProx anchor).
     pub fn step(&mut self, opt: &crate::optim::Sgd, anchor: Option<&[f32]>) {
-        let mut params = self.net.params_mut();
-        opt.step(&mut params, anchor);
+        if opt.prox_mu > 0.0 {
+            let anchor = anchor.expect("FedProx step requires the round-start anchor weights");
+            assert_eq!(anchor.len(), self.total, "anchor length mismatch");
+        }
+        let mut offset = 0usize;
+        self.net.for_each_param(&mut |p| {
+            let n = p.len();
+            opt.step_param(p, anchor.map(|a| &a[offset..offset + n]));
+            offset += n;
+        });
+        debug_assert_eq!(offset, self.total);
     }
 
     /// Direct access to the wrapped layer graph.
@@ -210,6 +245,25 @@ mod tests {
         let after = m.flat_params();
         assert_ne!(before, after);
         assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    fn recycled_tensors_feed_the_next_iteration() {
+        let mut m = tiny_model(6);
+        let x = Tensor::randn([4, 3], 1.0, &mut StdRng::seed_from_u64(10));
+        for _ in 0..3 {
+            let y = m.forward(&x);
+            let dx = m.backward(&y);
+            m.recycle(y);
+            m.recycle(dx);
+        }
+        let (_, misses_before) = m.workspace_stats();
+        let y = m.forward(&x);
+        let dx = m.backward(&y);
+        m.recycle(y);
+        m.recycle(dx);
+        let (_, misses_after) = m.workspace_stats();
+        assert_eq!(misses_before, misses_after, "warm pass must not miss");
     }
 
     #[test]

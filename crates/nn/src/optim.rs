@@ -45,8 +45,7 @@ impl Sgd {
     /// Panics if a proximal term is configured without an anchor, or if the
     /// anchor length does not match the parameter count.
     pub fn step(&self, params: &mut [&mut Parameter], anchor: Option<&[f32]>) {
-        let use_prox = self.prox_mu > 0.0;
-        if use_prox {
+        if self.prox_mu > 0.0 {
             let total: usize = params.iter().map(|p| p.len()).sum();
             let anchor = anchor.expect("FedProx step requires the round-start anchor weights");
             assert_eq!(anchor.len(), total, "anchor length mismatch");
@@ -54,21 +53,35 @@ impl Sgd {
         let mut offset = 0usize;
         for p in params.iter_mut() {
             let n = p.len();
-            let w = p.value.as_mut_slice();
-            let g = p.grad.as_slice();
-            if use_prox {
-                let a = &anchor.unwrap()[offset..offset + n];
-                for i in 0..n {
-                    let grad = g[i] + self.weight_decay * w[i] + self.prox_mu * (w[i] - a[i]);
-                    w[i] -= self.lr * grad;
-                }
-            } else {
-                for i in 0..n {
-                    let grad = g[i] + self.weight_decay * w[i];
-                    w[i] -= self.lr * grad;
-                }
-            }
+            self.step_param(p, anchor.map(|a| &a[offset..offset + n]));
             offset += n;
+        }
+    }
+
+    /// Updates a single parameter. `anchor_slice` is this parameter's slice
+    /// of the round-start flat vector (required iff `prox_mu > 0`). This is
+    /// the building block `Model::step` drives through its parameter
+    /// visitor, avoiding the per-step `Vec<&mut Parameter>` collection.
+    ///
+    /// # Panics
+    /// Panics if a proximal term is configured without an anchor, or if the
+    /// anchor slice length does not match the parameter length.
+    pub fn step_param(&self, p: &mut Parameter, anchor_slice: Option<&[f32]>) {
+        let n = p.len();
+        let w = p.value.as_mut_slice();
+        let g = p.grad.as_slice();
+        if self.prox_mu > 0.0 {
+            let a = anchor_slice.expect("FedProx step requires the round-start anchor weights");
+            assert_eq!(a.len(), n, "anchor length mismatch");
+            for i in 0..n {
+                let grad = g[i] + self.weight_decay * w[i] + self.prox_mu * (w[i] - a[i]);
+                w[i] -= self.lr * grad;
+            }
+        } else {
+            for i in 0..n {
+                let grad = g[i] + self.weight_decay * w[i];
+                w[i] -= self.lr * grad;
+            }
         }
     }
 }

@@ -1,0 +1,192 @@
+//! Scratch-tensor arena threaded through `Layer::forward`/`backward`.
+//!
+//! Every layer activation, gradient, and intermediate buffer in a training
+//! iteration is drawn from a [`Workspace`] and returned to it, so a
+//! steady-state iteration (after one or two warm-up passes at a fixed batch
+//! shape) performs **zero heap allocations** — pinned by the
+//! counting-allocator test in `crates/nn/tests/zero_alloc.rs`.
+//!
+//! The pool recycles whole [`Tensor`]s rather than raw buffers: a tensor's
+//! shape is itself heap-backed (`Shape` wraps a `Vec<usize>`), so handing
+//! out complete tensors and re-dimensioning them in place via
+//! [`Tensor::resize`] reuses both allocations. Selection is best-fit by
+//! capacity, which converges to a stable take/give cycle once the pool has
+//! seen every shape the model needs.
+//!
+//! Ownership story: each [`crate::Model`] owns one `Workspace` (so each
+//! `ClientArena` in the round executor owns one transitively), keeping
+//! scratch memory per-worker with no cross-thread sharing.
+
+use fedca_tensor::Tensor;
+
+/// A pool of recycled tensors.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Tensor>,
+    takes: u64,
+    misses: u64,
+}
+
+impl Workspace {
+    /// An empty workspace. Buffers accrete on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Hands out a tensor with the given dimensions and **unspecified
+    /// contents** — the caller must fully overwrite it (use
+    /// [`Workspace::take_zeroed`] when accumulating). Picks the pooled
+    /// tensor with the smallest sufficient capacity; allocates only when
+    /// nothing fits.
+    pub fn take(&mut self, dims: &[usize]) -> Tensor {
+        self.takes += 1;
+        let need: usize = dims.iter().product();
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, t) in self.pool.iter().enumerate() {
+            let cap = t.capacity();
+            if cap >= need && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        let mut t = match best {
+            Some((i, _)) => self.pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Tensor::zeros([0])
+            }
+        };
+        t.resize(dims);
+        t
+    }
+
+    /// Hands out a zero-filled tensor with the given dimensions.
+    pub fn take_zeroed(&mut self, dims: &[usize]) -> Tensor {
+        let mut t = self.take(dims);
+        t.fill_zero();
+        t
+    }
+
+    /// Returns a tensor to the pool for reuse. Capacity-less tensors are
+    /// dropped — pooling them would never satisfy a take.
+    pub fn give(&mut self, t: Tensor) {
+        if t.capacity() > 0 {
+            self.pool.push(t);
+        }
+    }
+
+    /// Number of pooled (idle) tensors.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `(takes, misses)` counters: a miss is a `take` that had to allocate.
+    /// In steady state the miss count stops growing.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.takes, self.misses)
+    }
+}
+
+/// Re-dimensions an `Option<Tensor>` cache slot in place, creating the
+/// tensor on first use. Returns the (contents-unspecified) cached tensor.
+/// This is the layer-local sibling of [`Workspace::take`] for buffers that
+/// must *persist across* forward/backward rather than flow between layers.
+pub fn cache_resize<'a>(slot: &'a mut Option<Tensor>, dims: &[usize]) -> &'a mut Tensor {
+    match slot {
+        Some(t) => {
+            t.resize(dims);
+            t
+        }
+        None => {
+            *slot = Some(Tensor::zeros(dims));
+            slot.as_mut().expect("just filled")
+        }
+    }
+}
+
+/// Copies `src` into an `Option<Tensor>` cache slot, reusing its
+/// allocations. Replaces the `slot = Some(x.clone())` idiom that allocated
+/// every call.
+pub fn cache_copy(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(t) => t.copy_from(src),
+        None => *slot = Some(src.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_requested_shape() {
+        let mut ws = Workspace::new();
+        let t = ws.take(&[3, 4]);
+        assert_eq!(t.dims(), &[3, 4]);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn give_then_take_reuses_the_buffer() {
+        let mut ws = Workspace::new();
+        let t = ws.take(&[8, 8]);
+        ws.give(t);
+        let (_, misses_before) = ws.stats();
+        // Smaller request fits in the recycled capacity: no new allocation.
+        let t2 = ws.take(&[4, 4]);
+        assert_eq!(t2.dims(), &[4, 4]);
+        let (_, misses_after) = ws.stats();
+        assert_eq!(misses_before, misses_after, "reuse must not miss");
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_capacity() {
+        let mut ws = Workspace::new();
+        let big = ws.take(&[100]);
+        let small = ws.take(&[10]);
+        ws.give(big);
+        ws.give(small);
+        let t = ws.take(&[10]);
+        assert!(t.capacity() < 100, "picked the big buffer for a small job");
+        ws.give(t);
+    }
+
+    #[test]
+    fn take_zeroed_is_zeroed_even_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut t = ws.take(&[5]);
+        t.as_mut_slice().fill(7.0);
+        ws.give(t);
+        let z = ws.take_zeroed(&[5]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn steady_state_stops_missing() {
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let a = ws.take(&[16, 16]);
+            let b = ws.take_zeroed(&[4, 64]);
+            ws.give(a);
+            ws.give(b);
+        }
+        let (_, misses) = ws.stats();
+        for _ in 0..10 {
+            let a = ws.take(&[16, 16]);
+            let b = ws.take_zeroed(&[4, 64]);
+            ws.give(a);
+            ws.give(b);
+        }
+        assert_eq!(ws.stats().1, misses, "warmed-up cycle must not allocate");
+    }
+
+    #[test]
+    fn cache_helpers_reuse_slots() {
+        let mut slot = None;
+        cache_resize(&mut slot, &[2, 3]).as_mut_slice().fill(1.0);
+        assert_eq!(slot.as_ref().unwrap().dims(), &[2, 3]);
+        let src = Tensor::full([2, 2], 5.0);
+        cache_copy(&mut slot, &src);
+        assert_eq!(slot.as_ref().unwrap(), &src);
+    }
+}

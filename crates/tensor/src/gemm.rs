@@ -1,0 +1,422 @@
+//! Packed, cache-blocked GEMM with a register-tiled microkernel.
+//!
+//! This is the single matrix-multiply engine behind every `ops::matmul*`
+//! variant (and, through im2col, the convolution layers). The structure is
+//! the classic BLIS/GotoBLAS decomposition:
+//!
+//! * an `MR`×`NR` (8×4) f32 **microkernel** that keeps the output tile in a
+//!   local accumulator array — small enough for registers, shaped so LLVM
+//!   auto-vectorizes the inner update on the SSE2 baseline;
+//! * **packing**: before use, panels of A and B are copied into contiguous
+//!   strip-major scratch buffers (`MR`- resp. `NR`-wide strips, depth-major)
+//!   so the microkernel streams both operands with unit stride regardless of
+//!   the logical transpose;
+//! * **cache blocking** with `MC`×`KC` blocks of A (sized for L2) and
+//!   `KC`×`NC` panels of B (L1-resident strips), amortizing each pack across
+//!   many microkernel invocations.
+//!
+//! Edge tiles (when `m`/`n` are not multiples of the tile sizes) are packed
+//! zero-padded, computed with the full-width kernel, and only the real
+//! `mr`×`nr` region is written back — the padding never contributes to a
+//! stored element's dot product, so edge tiles see the *same summation
+//! order* as interior ones.
+//!
+//! # Accumulation policy
+//!
+//! All matmul variants accumulate in **f32** inside the microkernel
+//! (previously `matmul_transpose_b` accumulated in f64 while the other
+//! kernels used f32 axpy — an inconsistency this module resolves). Rounding
+//! error grows like `O(√k · ε)` for random data (`O(k · ε)` worst case),
+//! which is well inside training noise for the layer sizes this workspace
+//! simulates; `ops` carries a large-`k` regression test against an f64
+//! reference pinning this. The *statistical progress* metric (FedCA Eq. 1)
+//! still uses `linalg::dot`'s f64 accumulation — that path aggregates entire
+//! flattened models, where precision is load-bearing.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of thread count**. The depth (`k`)
+//! loop is strictly sequential, and parallelism only ever splits the output
+//! rows at `MR`-tile boundaries, so every output element is produced by the
+//! exact same sequence of f32 additions no matter how the tiles are
+//! distributed. The 1-vs-4-worker golden-trace and chaos suites rely on
+//! this, and `tests/gemm_parity.rs` checks it property-style.
+
+use std::cell::RefCell;
+
+/// Microkernel tile height (output rows per register tile).
+pub const MR: usize = 8;
+/// Microkernel tile width (output columns per register tile).
+pub const NR: usize = 4;
+/// Rows of A packed per L2-resident block (multiple of `MR`).
+pub const MC: usize = 64;
+/// Depth (k extent) of each packed panel.
+pub const KC: usize = 256;
+/// Columns of B packed per panel (multiple of `NR`).
+pub const NC: usize = 512;
+
+thread_local! {
+    // Reusable pack scratch. Thread-local so the persistent executor workers
+    // and the main thread each keep a warm buffer: after the first few
+    // calls at a given shape, packing performs zero heap allocations.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C += op(A) · op(B)` with the thread count chosen by the shared min-par
+/// heuristic ([`crate::parallel::matmul_thread_count`]).
+///
+/// Logical dims are `op(A): [m,k]`, `op(B): [k,n]`, `C: [m,n]`, all
+/// row-major and densely packed. `trans_a` means A is *stored* `[k,m]`;
+/// `trans_b` means B is *stored* `[n,k]`.
+///
+/// # Panics
+/// Panics if a slice length does not match its logical dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_acc(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let threads = crate::parallel::matmul_thread_count(m * n * k);
+    gemm_acc_with_threads(trans_a, trans_b, m, n, k, a, b, c, threads);
+}
+
+/// [`gemm_acc`] with an explicit thread count. Public so tests can prove
+/// bit-identity across thread counts without re-configuring the process-wide
+/// `FEDCA_THREADS` setting (which is latched on first use).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_acc_with_threads(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
+    assert_eq!(c.len(), m * n, "gemm out length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, m.div_ceil(MR));
+    PACK_B.with(|cell| {
+        let mut bp = cell.borrow_mut();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for p0 in (0..k).step_by(KC) {
+                let kc = KC.min(k - p0);
+                let need = nc.div_ceil(NR) * kc * NR;
+                if bp.len() < need {
+                    bp.resize(need, 0.0);
+                }
+                pack_b_block(&mut bp[..need], b, trans_b, k, n, p0, kc, jc, nc);
+                let b_pack: &[f32] = &bp[..need];
+                if threads == 1 {
+                    compute_rows(c, 0, m, a, trans_a, m, k, b_pack, jc, nc, p0, kc, n);
+                } else {
+                    // Split the output rows into contiguous, MR-aligned
+                    // ranges. The per-element summation order is fixed by
+                    // the tile schedule, so any split yields the same bits.
+                    let tiles_per = m.div_ceil(MR).div_ceil(threads);
+                    let rows_per = tiles_per * MR;
+                    crossbeam::scope(|s| {
+                        let mut rest: &mut [f32] = c;
+                        let mut r0 = 0usize;
+                        while !rest.is_empty() {
+                            let rows = rows_per.min(m - r0);
+                            let (head, tail) = rest.split_at_mut(rows * n);
+                            let start = r0;
+                            s.spawn(move |_| {
+                                compute_rows(
+                                    head, start, rows, a, trans_a, m, k, b_pack, jc, nc, p0, kc, n,
+                                );
+                            });
+                            r0 += rows;
+                            rest = tail;
+                        }
+                    })
+                    .expect("gemm worker panicked");
+                }
+            }
+        }
+    });
+}
+
+/// Processes output rows `[r0, r0 + rows)` against one packed B panel:
+/// packs A in `MC`-row blocks (into this thread's scratch) and runs the
+/// microkernel grid. `c_rows` is exactly those rows of C (`rows * n` long).
+#[allow(clippy::too_many_arguments)]
+fn compute_rows(
+    c_rows: &mut [f32],
+    r0: usize,
+    rows: usize,
+    a: &[f32],
+    trans_a: bool,
+    m: usize,
+    k: usize,
+    b_pack: &[f32],
+    jc: usize,
+    nc: usize,
+    p0: usize,
+    kc: usize,
+    n: usize,
+) {
+    PACK_A.with(|cell| {
+        let mut ap = cell.borrow_mut();
+        for ic in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - ic);
+            let need = mc.div_ceil(MR) * kc * MR;
+            if ap.len() < need {
+                ap.resize(need, 0.0);
+            }
+            pack_a_block(&mut ap[..need], a, trans_a, m, k, r0 + ic, mc, p0, kc);
+            let n_strips = nc.div_ceil(NR);
+            let m_strips = mc.div_ceil(MR);
+            for js in 0..n_strips {
+                let bs = &b_pack[js * kc * NR..(js + 1) * kc * NR];
+                let nr = NR.min(nc - js * NR);
+                for is in 0..m_strips {
+                    let asl = &ap[is * kc * MR..(is + 1) * kc * MR];
+                    let mr = MR.min(mc - is * MR);
+                    let acc = micro_kernel(asl, bs);
+                    let base = (ic + is * MR) * n + jc + js * NR;
+                    store_tile(&acc, &mut c_rows[base..], n, mr, nr);
+                }
+            }
+        }
+    });
+}
+
+/// The register tile: `acc[i][j] += Σ_p a[p*MR+i] * b[p*NR+j]` over the full
+/// packed depth. Both operands stream with unit stride; the accumulator
+/// array is small enough to live in registers and the fixed-trip inner
+/// loops auto-vectorize.
+#[inline(always)]
+fn micro_kernel(a: &[f32], b: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        for i in 0..MR {
+            let av = ap[i];
+            for j in 0..NR {
+                acc[i][j] += av * bp[j];
+            }
+        }
+    }
+    acc
+}
+
+/// Adds the live `mr`×`nr` region of a register tile into C. `c` starts at
+/// the tile's top-left element; `ldc` is C's row stride.
+#[inline(always)]
+fn store_tile(acc: &[[f32; NR]; MR], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+    for (i, acc_row) in acc.iter().enumerate().take(mr) {
+        let row = &mut c[i * ldc..i * ldc + nr];
+        for (out, &v) in row.iter_mut().zip(acc_row.iter()) {
+            *out += v;
+        }
+    }
+}
+
+/// Packs rows `[i0, i0+mc)` × depth `[p0, p0+kc)` of logical-`[m,k]` A into
+/// `MR`-row strips, depth-major within each strip, zero-padding the last
+/// strip's missing rows.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    dst: &mut [f32],
+    a: &[f32],
+    trans: bool,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let strips = mc.div_ceil(MR);
+    for s in 0..strips {
+        let strip = &mut dst[s * kc * MR..(s + 1) * kc * MR];
+        let rows = MR.min(mc - s * MR);
+        if trans {
+            // A stored [k, m]: element (i, p) = a[p*m + i]; rows are
+            // adjacent in memory, so copy them per depth step.
+            for p in 0..kc {
+                let src = &a[(p0 + p) * m + i0 + s * MR..];
+                let d = &mut strip[p * MR..(p + 1) * MR];
+                d[..rows].copy_from_slice(&src[..rows]);
+                d[rows..].fill(0.0);
+            }
+        } else {
+            // A stored [m, k]: read each row contiguously, scatter into the
+            // strip's interleaved layout.
+            for r in 0..rows {
+                let src = &a[(i0 + s * MR + r) * k + p0..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    strip[p * MR + r] = v;
+                }
+            }
+            for r in rows..MR {
+                for p in 0..kc {
+                    strip[p * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs depth `[p0, p0+kc)` × columns `[j0, j0+nc)` of logical-`[k,n]` B
+/// into `NR`-column strips, depth-major within each strip, zero-padding the
+/// last strip's missing columns.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_block(
+    dst: &mut [f32],
+    b: &[f32],
+    trans: bool,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let strips = nc.div_ceil(NR);
+    for s in 0..strips {
+        let strip = &mut dst[s * kc * NR..(s + 1) * kc * NR];
+        let cols = NR.min(nc - s * NR);
+        if trans {
+            // B stored [n, k]: element (p, j) = b[j*k + p]; read each
+            // column's depth run contiguously.
+            for c in 0..cols {
+                let src = &b[(j0 + s * NR + c) * k + p0..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    strip[p * NR + c] = v;
+                }
+            }
+            for c in cols..NR {
+                for p in 0..kc {
+                    strip[p * NR + c] = 0.0;
+                }
+            }
+        } else {
+            // B stored [k, n]: columns are adjacent per depth step.
+            for p in 0..kc {
+                let src = &b[(p0 + p) * n + j0 + s * NR..];
+                let d = &mut strip[p * NR..(p + 1) * NR];
+                d[..cols].copy_from_slice(&src[..cols]);
+                d[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    let av = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                    let bv = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                    c[i * n + j] += av as f64 * bv as f64;
+                }
+            }
+        }
+        c.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic values; exact in f32 products for short k.
+        (0..len)
+            .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 17) as f32 - 8.0)
+            .collect()
+    }
+
+    #[test]
+    fn all_transpose_combos_match_naive() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (8, 4, 16), (13, 9, 21), (70, 41, 33)] {
+            for &ta in &[false, true] {
+                for &tb in &[false, true] {
+                    let a = fill(m * k, 1);
+                    let b = fill(k * n, 2);
+                    let mut c = vec![0.0f32; m * n];
+                    gemm_acc(ta, tb, m, n, k, &a, &b, &mut c);
+                    let want = naive(ta, tb, m, n, k, &a, &b);
+                    for (i, (&x, &y)) in c.iter().zip(want.iter()).enumerate() {
+                        let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+                        assert!(
+                            (x - y).abs() <= tol,
+                            "({m},{n},{k}) ta={ta} tb={tb} [{i}]: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        let (m, n, k) = (5, 6, 7);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let mut c = vec![1.0f32; m * n];
+        gemm_acc(false, false, m, n, k, &a, &b, &mut c);
+        let want = naive(false, false, m, n, k, &a, &b);
+        for (&x, &y) in c.iter().zip(want.iter()) {
+            assert!((x - (y + 1.0)).abs() <= 1e-3, "{x} vs {}", y + 1.0);
+        }
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_bits() {
+        // Spans multiple MR tiles and KC blocks so the parallel split is real.
+        let (m, n, k) = (67, 35, 300);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 % 997) as f32 - 498.0) * 1e-3)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 % 991) as f32 - 495.0) * 1e-3)
+            .collect();
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut c1, 1);
+        for threads in [2, 3, 4, 7] {
+            let mut ct = vec![0.0f32; m * n];
+            gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut ct, threads);
+            assert_eq!(c1, ct, "threads={threads} changed the bits");
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c = vec![7.0f32; 6];
+        gemm_acc(false, false, 2, 3, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![7.0; 6]);
+        gemm_acc(false, false, 0, 3, 2, &[], &[0.0; 6], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length mismatch")]
+    fn rejects_bad_lengths() {
+        let mut c = vec![0.0f32; 4];
+        gemm_acc(false, false, 2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

@@ -1,29 +1,41 @@
 //! Matrix multiplication kernels.
 //!
-//! Three variants cover everything the NN layers need without ever
+//! The variants cover everything the NN layers need without ever
 //! materializing a transpose:
 //!
 //! * `matmul(a, b)`              — `C = A · B`       (forward pass)
-//! * `matmul_transpose_b(a, b)`  — `C = A · Bᵀ`      (input gradients)
+//! * `matmul_transpose_b(a, b)`  — `C = A · Bᵀ`      (Linear/LSTM forward)
 //! * `matmul_transpose_a(a, b)`  — `C = Aᵀ · B`      (weight gradients)
 //!
-//! The plain kernel is an i-k-j loop (unit-stride inner loop over the output
-//! row, the standard cache-friendly ordering for row-major data) with the
-//! output rows optionally distributed across scoped threads.
+//! plus `_into` (overwrite) and `_acc` (accumulate) forms that write into
+//! caller-provided tensors so hot loops allocate nothing.
+//!
+//! Every variant routes through the packed, register-blocked engine in
+//! [`crate::gemm`] — one kernel, one blocking scheme, one parallel schedule.
+//! Parallelism uses the shared [`crate::parallel::matmul_thread_count`]
+//! heuristic (including the weight-gradient path, which historically stayed
+//! single-threaded), and results are bit-identical across thread counts.
+//!
+//! # Accumulation policy
+//!
+//! All variants accumulate in **f32** inside the microkernel's register
+//! tile. Before the unification, `matmul_transpose_b` accumulated in f64
+//! while the other kernels used f32 axpy — gradients and activations saw
+//! different rounding. The single policy is f32: error grows `O(√k · ε)`
+//! on real data (see `large_k_accumulation_stays_close_to_f64` below),
+//! which is negligible against SGD noise at these layer sizes. The FedCA
+//! progress metric (Eq. 1) keeps f64 accumulation via `linalg::dot`, where
+//! whole-model reductions make precision load-bearing.
 
-use crate::parallel::par_chunks_mut;
+use crate::gemm::gemm_acc;
 use crate::tensor::Tensor;
-
-/// Below this many multiply-adds the kernels stay single-threaded: thread
-/// spawn latency exceeds the compute for small FL-scale layers.
-const PAR_FLOPS_THRESHOLD: usize = 1 << 20;
 
 fn check_2d(t: &Tensor, what: &str) -> (usize, usize) {
     assert_eq!(t.shape().rank(), 2, "{what} must be 2-D, got {}", t.shape());
     (t.shape().dim(0), t.shape().dim(1))
 }
 
-/// `C = A · B` for row-major 2-D tensors, writing into an existing output
+/// `C += A · B` for row-major 2-D tensors, writing into an existing output
 /// buffer (which must be zeroed or otherwise pre-filled by the caller —
 /// values are *accumulated*).
 ///
@@ -35,31 +47,16 @@ pub fn matmul_acc_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
     let (m2, n2) = check_2d(out, "matmul out");
     assert_eq!((m, n), (m2, n2), "matmul out shape mismatch");
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD {
-        0
-    } else {
-        usize::MAX
-    };
-    par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
-        let row0 = start / n;
-        for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
-            let i = row0 + local_i;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue; // ReLU backward produces many exact zeros
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                crate::linalg::axpy(a_ik, b_row, c_row);
-            }
-        }
-    });
+    gemm_acc(
+        false,
+        false,
+        m,
+        n,
+        k,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+    );
 }
 
 /// `C = A · B`, allocating the output.
@@ -71,43 +68,43 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
-/// `C = A · B` into a caller-provided, pre-zeroed tensor. Alias of
-/// [`matmul_acc_into`] kept for call-site clarity in the layer code.
+/// `C = A · B` into a caller-provided tensor (overwritten).
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     out.fill_zero();
     matmul_acc_into(a, b, out);
 }
 
-/// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, producing `C: [m,n]`.
-///
-/// Both operands are read with unit stride (each output element is a dot of
-/// two contiguous rows), so no transpose copy is needed.
-pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+/// `C += A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, accumulating into `C: [m,n]`.
+pub fn matmul_transpose_b_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (m, k) = check_2d(a, "matmul_transpose_b lhs");
     let (n, k2) = check_2d(b, "matmul_transpose_b rhs");
     assert_eq!(k, k2, "matmul_transpose_b inner dims differ: {k} vs {k2}");
+    let (m2, n2) = check_2d(out, "matmul_transpose_b out");
+    assert_eq!((m, n), (m2, n2), "matmul_transpose_b out shape mismatch");
+    gemm_acc(
+        false,
+        true,
+        m,
+        n,
+        k,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+    );
+}
+
+/// `C = A · Bᵀ` into a caller-provided tensor (overwritten).
+pub fn matmul_transpose_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    out.fill_zero();
+    matmul_transpose_b_acc(a, b, out);
+}
+
+/// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, producing `C: [m,n]`.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = check_2d(a, "matmul_transpose_b lhs");
+    let (n, _) = check_2d(b, "matmul_transpose_b rhs");
     let mut out = Tensor::zeros([m, n]);
-    if m == 0 || n == 0 || k == 0 {
-        return out;
-    }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let min_par = if m * n * k >= PAR_FLOPS_THRESHOLD {
-        0
-    } else {
-        usize::MAX
-    };
-    par_chunks_mut(out.as_mut_slice(), n, min_par, |start, c_rows| {
-        let row0 = start / n;
-        for (local_i, c_row) in c_rows.chunks_mut(n).enumerate() {
-            let i = row0 + local_i;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (j, c_ij) in c_row.iter_mut().enumerate() {
-                let b_row = &b_data[j * k..(j + 1) * k];
-                *c_ij = crate::linalg::dot(a_row, b_row) as f32;
-            }
-        }
-    });
+    matmul_transpose_b_acc(a, b, &mut out);
     out
 }
 
@@ -120,24 +117,22 @@ pub fn matmul_transpose_a_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul_transpose_a inner dims differ: {k} vs {k2}");
     let (m2, n2) = check_2d(out, "matmul_transpose_a out");
     assert_eq!((m, n), (m2, n2), "matmul_transpose_a out shape mismatch");
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // Loop order kk-i-j: for each sample kk, rank-1 update C += a_kkᵀ b_kk.
-    // The inner j loop is unit-stride over both B's row and C's row.
-    let c = out.as_mut_slice();
-    for kk in 0..k {
-        let a_row = &a_data[kk * m..(kk + 1) * m];
-        let b_row = &b_data[kk * n..(kk + 1) * n];
-        for (i, &a_ki) in a_row.iter().enumerate() {
-            if a_ki == 0.0 {
-                continue;
-            }
-            crate::linalg::axpy(a_ki, b_row, &mut c[i * n..(i + 1) * n]);
-        }
-    }
+    gemm_acc(
+        true,
+        false,
+        m,
+        n,
+        k,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+    );
+}
+
+/// `C = Aᵀ · B` into a caller-provided tensor (overwritten).
+pub fn matmul_transpose_a_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    out.fill_zero();
+    matmul_transpose_a_acc(a, b, out);
 }
 
 /// `C = Aᵀ · B`, allocating the output.
@@ -258,6 +253,31 @@ mod tests {
     }
 
     #[test]
+    fn transpose_b_acc_and_into_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn([4, 7], 1.0, &mut rng);
+        let b = Tensor::randn([5, 7], 1.0, &mut rng);
+        let base = matmul_transpose_b(&a, &b);
+
+        let mut into = Tensor::full([4, 5], 3.0); // stale contents overwritten
+        matmul_transpose_b_into(&a, &b, &mut into);
+        assert_eq!(into, base);
+
+        let mut acc = base.clone();
+        matmul_transpose_b_acc(&a, &b, &mut acc);
+        let mut expected = base.clone();
+        expected.add_assign(&base);
+        assert_close(&acc, &expected, 1e-5);
+
+        let a_tall = Tensor::randn([7, 4], 1.0, &mut rng); // [k=7, m=4]
+        let b2 = Tensor::randn([7, 5], 1.0, &mut rng);
+        let ta = matmul_transpose_a(&a_tall, &b2);
+        let mut ta_into = Tensor::full([4, 5], -2.0);
+        matmul_transpose_a_into(&a_tall, &b2, &mut ta_into);
+        assert_eq!(ta_into, ta);
+    }
+
+    #[test]
     #[should_panic(expected = "inner dims differ")]
     fn matmul_rejects_dim_mismatch() {
         let _ = matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
@@ -270,5 +290,45 @@ mod tests {
         let a = Tensor::randn([128, 96], 1.0, &mut rng);
         let b = Tensor::randn([96, 112], 1.0, &mut rng);
         assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn large_k_accumulation_stays_close_to_f64() {
+        // Pins the documented f32 accumulation policy: at k = 8192 the
+        // blocked f32 sums must stay within O(√k·ε) of an f64 reference,
+        // for every transpose variant.
+        let k = 8192;
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::randn([2, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, 3], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-4);
+
+        // A·Bᵀ with B: [3, k] equals A·(explicit Bᵀ).
+        let bt_rows = Tensor::randn([3, k], 1.0, &mut rng);
+        let mut bt = Tensor::zeros([k, 3]);
+        for i in 0..3 {
+            for j in 0..k {
+                *bt.at_mut(&[j, i]) = bt_rows.at(&[i, j]);
+            }
+        }
+        assert_close(
+            &matmul_transpose_b(&a, &bt_rows),
+            &naive_matmul(&a, &bt),
+            1e-4,
+        );
+
+        // Aᵀ·B with A: [k, 2].
+        let a_tall = Tensor::randn([k, 2], 1.0, &mut rng);
+        let mut at = Tensor::zeros([2, k]);
+        for i in 0..k {
+            for j in 0..2 {
+                *at.at_mut(&[j, i]) = a_tall.at(&[i, j]);
+            }
+        }
+        assert_close(
+            &matmul_transpose_a(&a_tall, &b),
+            &naive_matmul(&at, &b),
+            1e-4,
+        );
     }
 }

@@ -30,6 +30,29 @@ pub fn num_threads() -> usize {
     })
 }
 
+/// Minimum number of multiply-add operations before a matmul-shaped kernel
+/// goes parallel. Thread dispatch costs microseconds, which dwarfs the small
+/// matmuls of a 60K-parameter federated model.
+///
+/// This constant used to be copy-pasted into each kernel in `ops.rs`; it now
+/// lives here as the single source of truth, consumed via
+/// [`matmul_thread_count`].
+pub const PAR_FLOPS_THRESHOLD: usize = 1 << 20;
+
+/// The one min-par heuristic shared by every matmul variant (including the
+/// weight-gradient kernel, which historically never parallelized): returns
+/// how many threads a kernel with `flops` multiply-adds should use.
+///
+/// Returns 1 below [`PAR_FLOPS_THRESHOLD`], otherwise [`num_threads`].
+#[inline]
+pub fn matmul_thread_count(flops: usize) -> usize {
+    if flops >= PAR_FLOPS_THRESHOLD {
+        num_threads()
+    } else {
+        1
+    }
+}
+
 /// Applies `f` to disjoint mutable chunks of `data`, in parallel when the
 /// buffer is large enough and more than one thread is configured.
 ///
@@ -124,5 +147,12 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn matmul_thread_count_heuristic() {
+        assert_eq!(matmul_thread_count(0), 1);
+        assert_eq!(matmul_thread_count(PAR_FLOPS_THRESHOLD - 1), 1);
+        assert_eq!(matmul_thread_count(PAR_FLOPS_THRESHOLD), num_threads());
     }
 }

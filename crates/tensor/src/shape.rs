@@ -88,6 +88,23 @@ impl Shape {
     pub fn same_volume(&self, other: &Shape) -> bool {
         self.num_elements() == other.num_elements()
     }
+
+    /// Rewrites the dimension list in place, reusing the existing
+    /// allocation when capacity allows. This is what lets pooled tensors
+    /// (see `fedca-nn`'s workspace) change shape without heap traffic.
+    ///
+    /// # Panics
+    /// Panics if the element count overflows `usize`.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        let mut n: usize = 1;
+        for &d in dims {
+            n = n
+                .checked_mul(d)
+                .expect("shape element count overflows usize");
+        }
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
 }
 
 impl fmt::Debug for Shape {

@@ -127,6 +127,32 @@ impl Tensor {
         self.data
     }
 
+    /// Capacity (in elements) of the underlying buffer. Used by buffer
+    /// pools to pick the best-fitting recycled tensor.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Re-dimensions the tensor in place, reusing both the data and the
+    /// shape allocations. Unlike [`Tensor::reshape`] the element count may
+    /// change: grown regions are zero-filled, the surviving prefix keeps
+    /// its old contents. No heap traffic occurs once capacity suffices.
+    pub fn resize(&mut self, dims: &[usize]) {
+        self.shape.set_dims(dims);
+        let n = self.shape.num_elements();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Overwrites `self` with `src`'s shape and contents, reusing the
+    /// existing allocations (no zero-fill, no reallocation once capacity
+    /// suffices).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.set_dims(src.dims());
+        self.data.clear();
+        self.data.extend_from_slice(src.as_slice());
+    }
+
     /// Element at a multi-dimensional index.
     #[inline]
     pub fn at(&self, index: &[usize]) -> f32 {

@@ -1,0 +1,169 @@
+//! Parity suite for the packed register-blocked GEMM.
+//!
+//! Checks every transpose variant against a naive f64 reference over random
+//! shapes — including zero dims, non-tile-multiple m/n/k, and degenerate
+//! 1×1 / single-row / single-column cases — plus the thread-count-invariance
+//! property: the fixed tile schedule must produce the *same bits* no matter
+//! how many threads compute the output.
+
+use fedca_tensor::gemm::{gemm_acc_with_threads, KC, MR, NR};
+use fedca_tensor::{ops, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Naive f64-accumulating reference for `op(A)·op(B)`.
+fn naive(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                let av = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                let bv = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                c[i * n + j] += av as f64 * bv as f64;
+            }
+        }
+    }
+    c.into_iter().map(|x| x as f32).collect()
+}
+
+fn assert_close(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (&x, &y)) in got.iter().zip(want.iter()).enumerate() {
+        let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+        assert!((x - y).abs() <= tol, "{ctx}[{i}]: {x} vs {y}");
+    }
+}
+
+fn randn(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    Tensor::randn([len], 1.0, rng).into_vec()
+}
+
+/// Shapes that exercise the interesting structural cases: degenerate 1×1,
+/// single row / single column, exact tile multiples, off-by-one around the
+/// MR/NR/KC boundaries, and zero dims.
+fn structural_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 1, 513),          // long dot product, crosses KC
+        (1, 37, 5),           // single output row
+        (29, 1, 5),           // single output column
+        (MR, NR, 8),          // exactly one tile
+        (MR - 1, NR - 1, 3),  // strictly inside one tile
+        (MR + 1, NR + 1, 9),  // one past the tile edge
+        (3 * MR, 5 * NR, KC), // exact multiples, exact KC
+        (17, 13, KC + 7),     // non-multiples, k crosses a KC boundary
+        (0, 4, 3),            // zero dims: empty output / empty depth
+        (4, 0, 3),
+        (4, 3, 0),
+    ]
+}
+
+#[test]
+fn structural_shapes_match_f64_reference_all_variants() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for (m, n, k) in structural_shapes() {
+        for ta in [false, true] {
+            for tb in [false, true] {
+                let a = randn(m * k, &mut rng);
+                let b = randn(k * n, &mut rng);
+                let mut c = vec![0.0f32; m * n];
+                gemm_acc_with_threads(ta, tb, m, n, k, &a, &b, &mut c, 1);
+                let want = naive(ta, tb, m, n, k, &a, &b);
+                assert_close(&c, &want, &format!("({m},{n},{k}) ta={ta} tb={tb}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_invariance_on_structural_shapes() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for (m, n, k) in structural_shapes() {
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut c1, 1);
+        for threads in [2, 4, 5] {
+            let mut ct = vec![0.0f32; m * n];
+            gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut ct, threads);
+            assert_eq!(c1, ct, "({m},{n},{k}) threads={threads} changed bits");
+        }
+    }
+}
+
+#[test]
+fn ops_wrappers_route_through_the_same_kernel() {
+    // The Tensor-level wrappers must agree bitwise with the raw engine —
+    // they are thin shims, not separate implementations.
+    let mut rng = StdRng::seed_from_u64(44);
+    let (m, n, k) = (19, 11, 23);
+    let a = Tensor::randn([m, k], 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 1.0, &mut rng);
+    let mut raw = vec![0.0f32; m * n];
+    gemm_acc_with_threads(
+        false,
+        false,
+        m,
+        n,
+        k,
+        a.as_slice(),
+        b.as_slice(),
+        &mut raw,
+        1,
+    );
+    assert_eq!(ops::matmul(&a, &b).as_slice(), &raw[..]);
+}
+
+proptest! {
+    #[test]
+    fn random_shapes_match_f64_reference(
+        m in 0usize..40,
+        n in 0usize..40,
+        k in 0usize..80,
+        ta_bit in 0u8..2,
+        tb_bit in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let mut c = vec![0.0f32; m * n];
+        gemm_acc_with_threads(ta, tb, m, n, k, &a, &b, &mut c, 1);
+        let want = naive(ta, tb, m, n, k, &a, &b);
+        for (i, (&x, &y)) in c.iter().zip(want.iter()).enumerate() {
+            let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+            prop_assert!((x - y).abs() <= tol, "[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn random_shapes_are_thread_count_invariant(
+        m in 1usize..50,
+        n in 1usize..30,
+        k in 1usize..60,
+        threads in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut c1, 1);
+        let mut ct = vec![0.0f32; m * n];
+        gemm_acc_with_threads(false, false, m, n, k, &a, &b, &mut ct, threads);
+        prop_assert_eq!(c1, ct);
+    }
+}

@@ -22,3 +22,6 @@ scripts/chaos.sh "${CHAOS_SEEDS:-32}"
 
 echo "== trace check"
 scripts/trace_check.sh
+
+echo "== perf check"
+scripts/perf_check.sh
