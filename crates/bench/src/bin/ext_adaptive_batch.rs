@@ -6,8 +6,8 @@
 //! Output CSV: `config,virtual_time_s,accuracy`; stderr: mean executed
 //! iterations per client-round and mean round time.
 
-use fedca_bench::{fl_config, note, seed_from_env, workload_by_name, ExpScale};
-use fedca_core::{FedCaOptions, Scheme, Trainer};
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::{FedCaOptions, Scheme};
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -32,8 +32,7 @@ fn main() {
     println!("config,virtual_time_s,accuracy");
     for (label, scheme) in configs {
         note(&format!("ext_adaptive_batch: {label} for {rounds} rounds"));
-        let mut t = Trainer::new(fl.clone(), scheme, w.clone());
-        let out = t.run(rounds);
+        let out = run_rounds(scheme, &w, &fl, rounds, 1);
         for (time, acc) in out.accuracy_series() {
             println!("{label},{time:.1},{acc:.4}");
         }

@@ -13,9 +13,9 @@
 //! Output CSV: `config,virtual_time_s,accuracy`, stderr: per-config mean
 //! round time and upload bytes.
 
-use fedca_bench::{fl_config, note, seed_from_env, workload_by_name, ExpScale};
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
 use fedca_compress::Compression;
-use fedca_core::{FedCaOptions, Scheme, Trainer};
+use fedca_core::{FedCaOptions, Scheme};
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -57,8 +57,7 @@ fn main() {
         let mut fl = base_fl.clone();
         fl.compression = compression;
         note(&format!("ext_compression: {label} for {rounds} rounds"));
-        let mut t = Trainer::new(fl, scheme, w.clone());
-        let out = t.run(rounds);
+        let out = run_rounds(scheme, &w, &fl, rounds, 1);
         for (time, acc) in out.accuracy_series() {
             println!("{label},{time:.1},{acc:.4}");
         }

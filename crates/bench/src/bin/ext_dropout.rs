@@ -8,8 +8,8 @@
 //! Output CSV: `scheme,dropout,virtual_time_s,accuracy`; stderr: per-config
 //! lost-update counts.
 
-use fedca_bench::{fl_config, note, seed_from_env, workload_by_name, ExpScale};
-use fedca_core::{Scheme, Trainer};
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::Scheme;
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -28,8 +28,7 @@ fn main() {
             let mut fl = base_fl.clone();
             fl.dropout_prob = dropout;
             note(&format!("ext_dropout: {name} @ dropout {dropout}"));
-            let mut t = Trainer::new(fl, scheme, w.clone());
-            let out = t.run(rounds);
+            let out = run_rounds(scheme, &w, &fl, rounds, 1);
             for (time, acc) in out.accuracy_series() {
                 println!("{name},{dropout},{time:.1},{acc:.4}");
             }

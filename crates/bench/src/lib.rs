@@ -14,7 +14,10 @@ pub mod study;
 
 use fedca_core::trace::JsonlSink;
 use fedca_core::workload::Scale;
-use fedca_core::{FlConfig, Scheme, TraceConfig, Trainer, TrainerOutput, Workload};
+use fedca_core::{
+    CheckpointConfig, CheckpointStore, FlConfig, Scheme, TraceConfig, Trainer, TrainerOutput,
+    Workload,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -118,8 +121,52 @@ pub fn trace_spec() -> Option<PathBuf> {
     std::env::var_os("FEDCA_TRACE").map(Into::into)
 }
 
+/// Checkpoint directory requested for this process: `--checkpoint-dir PATH`
+/// / `--checkpoint-dir=PATH` on the command line, else the
+/// `FEDCA_CHECKPOINT` environment variable. `None` means durability stays
+/// off (the zero-cost default).
+pub fn checkpoint_spec() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--checkpoint-dir" {
+            return Some(
+                args.next()
+                    .expect("--checkpoint-dir requires a directory path")
+                    .into(),
+            );
+        }
+        if let Some(p) = a.strip_prefix("--checkpoint-dir=") {
+            return Some(p.into());
+        }
+    }
+    std::env::var_os("FEDCA_CHECKPOINT").map(Into::into)
+}
+
+/// Whether `--resume` was passed: start from the newest valid generation in
+/// the configured checkpoint directory instead of from scratch.
+pub fn resume_requested() -> bool {
+    std::env::args().any(|a| a == "--resume")
+}
+
 /// Counts traced runs within the process so each gets its own file.
 static TRACE_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// Counts checkpointed runs within the process so each run of a
+/// multi-study binary gets its own generation directory.
+static CHECKPOINT_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// The `n`-th run's checkpoint directory: the base directory as given for
+/// the first run, `base.N` for subsequent ones.
+fn numbered_checkpoint_dir(base: &Path, n: usize) -> PathBuf {
+    if n == 0 {
+        return base.to_path_buf();
+    }
+    let name = base
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    base.with_file_name(format!("{name}.{n}"))
+}
 
 /// The `n`-th run's trace file: the base path as given for the first run,
 /// `stem.N.ext` for subsequent runs (figure binaries run many studies).
@@ -152,7 +199,40 @@ fn build_trainer(fl: &FlConfig, scheme: Scheme, workload: &Workload) -> Trainer 
     if spec.is_some() && !fl.trace.enabled {
         fl.trace = TraceConfig::enabled();
     }
-    let t = Trainer::new(fl, scheme, workload.clone());
+    if let Some(base) = checkpoint_spec() {
+        let dir = numbered_checkpoint_dir(&base, CHECKPOINT_RUN.fetch_add(1, Ordering::Relaxed));
+        fl.checkpoint = CheckpointConfig::to_dir(dir.to_string_lossy().into_owned());
+    }
+    // Resume only once this run's directory holds at least one generation:
+    // in a multi-study binary killed during study N, studies > N never
+    // wrote anything and must start fresh. A directory with generations
+    // that are *all* corrupt is still a hard error inside resume().
+    let has_generations = fl.checkpoint.is_enabled()
+        && CheckpointStore::new(&fl.checkpoint)
+            .generations()
+            .map(|g| !g.is_empty())
+            .unwrap_or(false);
+    let t = if resume_requested() && has_generations {
+        match Trainer::resume(fl.clone(), scheme.clone(), workload.clone()) {
+            Ok(t) => {
+                note(&format!(
+                    "resumed from {} at round {}",
+                    fl.checkpoint.dir,
+                    t.records().len()
+                ));
+                t
+            }
+            Err(e) => panic!("--resume failed: {e}"),
+        }
+    } else {
+        if resume_requested() && fl.checkpoint.is_enabled() {
+            note(&format!(
+                "no generations in {}; starting fresh",
+                fl.checkpoint.dir
+            ));
+        }
+        Trainer::new(fl, scheme, workload.clone())
+    };
     if let Some(base) = spec {
         let path = numbered_trace_path(&base, TRACE_RUN.fetch_add(1, Ordering::Relaxed));
         match JsonlSink::create(&path) {
@@ -166,7 +246,10 @@ fn build_trainer(fl: &FlConfig, scheme: Scheme, workload: &Workload) -> Trainer 
     t
 }
 
-/// Runs a scheme on a workload for a fixed number of rounds.
+/// Runs a scheme on a workload for a fixed number of rounds. `rounds` is
+/// the experiment's total: a trainer resumed from a round-`k` checkpoint
+/// runs only the remaining `rounds - k`, and the output still covers all
+/// `rounds` records.
 pub fn run_rounds(
     scheme: Scheme,
     workload: &Workload,
@@ -176,7 +259,8 @@ pub fn run_rounds(
 ) -> TrainerOutput {
     let mut t = build_trainer(fl, scheme, workload);
     t.eval_every = eval_every;
-    t.run(rounds)
+    let remaining = rounds.saturating_sub(t.records().len());
+    t.run(remaining)
 }
 
 /// Runs a scheme until the target accuracy (or `max_rounds`).

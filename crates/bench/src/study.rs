@@ -129,6 +129,7 @@ pub fn progress_study(
         compression: Default::default(),
         faults: Default::default(),
         trace: Default::default(),
+        checkpoint: Default::default(),
     };
     let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload.clone());
     trainer.eval_every = 0; // no accuracy needed; keep the study fast
@@ -166,9 +167,11 @@ pub fn progress_study(
     let n_crashed: usize = trainer.records().iter().map(|r| r.n_crashed).sum();
     let n_dropped: usize = trainer.records().iter().map(|r| r.n_dropped).sum();
     let n_missed: usize = trainer.records().iter().map(|r| r.n_deadline_missed).sum();
+    let n_rejected: usize = trainer.records().iter().map(|r| r.n_rejected).sum();
     note(&format!(
         "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s); \
-         faults: {n_crashed} crashed, {n_dropped} dropped, {n_missed} deadline-missed",
+         faults: {n_crashed} crashed, {n_dropped} dropped, {n_missed} deadline-missed, \
+         {n_rejected} rejected",
         host_ms,
         rounds_run as f64 / (host_ms / 1e3).max(1e-9),
     ));

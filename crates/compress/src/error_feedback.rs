@@ -41,6 +41,16 @@ impl ErrorFeedback {
         }
     }
 
+    /// The raw residual vector, for checkpointing (empty until first use).
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.residual.clone()
+    }
+
+    /// Restores a residual captured by [`ErrorFeedback::snapshot`].
+    pub fn restore(&mut self, residual: Vec<f32>) {
+        self.residual = residual;
+    }
+
     /// Current residual energy (for tests/telemetry).
     pub fn residual_norm(&self) -> f32 {
         self.residual.iter().map(|v| v * v).sum::<f32>().sqrt()

@@ -456,12 +456,33 @@ pub fn run_client_round(
         final_payload_bytes *= ratio;
     }
 
+    // --- Injected in-flight corruption: the payload the server receives is
+    // NaN-poisoned (the upload itself still arrives on time); the server's
+    // non-finite aggregation guard must reject it.
+    let corrupted = faults.corrupt_update && !dropped && !crashed;
+    if corrupted {
+        for v in reported.as_mut_slice() {
+            *v = f32::NAN;
+        }
+    }
+
     let upload_done = if dropped || crashed {
         // The client vanished: nothing else reaches the server this round.
         f64::INFINITY
     } else {
         bytes_uploaded += final_payload_bytes;
         let sent = state.uplink.transmit(compute_done, final_payload_bytes);
+        if tracing && corrupted {
+            trace.push(
+                sent,
+                TraceEvent::FaultFired {
+                    round: plan.round,
+                    client: state.id,
+                    kind: "corrupt_update".to_string(),
+                    iter: 0,
+                },
+            );
+        }
         if faults.lose_result {
             // The upload left the client but the message never arrived.
             if tracing {
@@ -493,7 +514,7 @@ pub fn run_client_round(
     };
 
     debug_assert!(
-        reported.as_slice().iter().all(|v| v.is_finite()),
+        corrupted || reported.as_slice().iter().all(|v| v.is_finite()),
         "client {} produced a non-finite update",
         state.id
     );

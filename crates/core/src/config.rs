@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 pub use fedca_sim::faults::FaultConfig;
 
+pub use crate::checkpoint::CheckpointConfig;
 pub use crate::trace::TraceConfig;
 
 /// Federation-level configuration shared by all schemes.
@@ -53,6 +54,11 @@ pub struct FlConfig {
     /// pays a single branch.
     #[serde(default)]
     pub trace: TraceConfig,
+    /// Durable checkpoint/restore (`core::checkpoint`). Disabled by
+    /// default (no directory configured); when off the training loop never
+    /// touches the filesystem and trajectories are unchanged.
+    #[serde(default)]
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for FlConfig {
@@ -73,6 +79,7 @@ impl Default for FlConfig {
             compression: Compression::None,
             faults: FaultConfig::none(),
             trace: TraceConfig::disabled(),
+            checkpoint: CheckpointConfig::disabled(),
         }
     }
 }

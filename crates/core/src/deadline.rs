@@ -69,6 +69,22 @@ impl DurationEstimator {
     pub fn predict(&self, client: usize) -> SimTime {
         self.ema[client].unwrap_or(self.default)
     }
+
+    /// The per-client EMA table, for checkpointing. Alpha and the default
+    /// are config-derived and excluded.
+    pub fn snapshot(&self) -> Vec<Option<SimTime>> {
+        self.ema.clone()
+    }
+
+    /// Restores an EMA table captured by [`DurationEstimator::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the table length differs from this estimator's client
+    /// count.
+    pub fn restore(&mut self, ema: Vec<Option<SimTime>>) {
+        assert_eq!(ema.len(), self.ema.len(), "client count changed");
+        self.ema = ema;
+    }
 }
 
 #[cfg(test)]

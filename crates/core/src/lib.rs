@@ -33,6 +33,7 @@
 //! [Lyu et al., ICPP '24]: https://doi.org/10.1145/3673038.3673049
 
 pub mod algorithms;
+pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod deadline;
@@ -49,6 +50,7 @@ pub mod trace;
 pub mod workload;
 
 pub use algorithms::{FedCaOptions, Scheme};
+pub use checkpoint::{CheckpointConfig, CheckpointEnvelope, CheckpointError, CheckpointStore};
 pub use config::{FedCaConfig, FlConfig};
 pub use metrics::TrainerOutput;
 pub use params::UpdateVec;

@@ -46,6 +46,10 @@ pub struct RoundRecord {
     /// (stragglers whose update was discarded, including delayed results).
     #[serde(default)]
     pub n_deadline_missed: usize,
+    /// Reports rejected by the server's non-finite guard (NaN/Inf in the
+    /// update or weight — e.g. an injected `corrupt_update` fault).
+    #[serde(default)]
+    pub n_rejected: usize,
     /// Iterations actually executed per selected client.
     pub iters_done: Vec<usize>,
     /// Iterations planned per selected client (differs from K under FedAda).
@@ -209,6 +213,7 @@ mod tests {
             n_dropped: 0,
             n_crashed: 0,
             n_deadline_missed: 0,
+            n_rejected: 0,
             iters_done: vec![10; 4],
             iters_planned: vec![10; 4],
             early_stops: vec![false; 4],

@@ -19,11 +19,12 @@ use crate::params::ModelLayout;
 use crate::progress::progress_curve;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::Arc;
 
 /// Progress curves profiled at an anchor round.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProfiledCurves {
     /// The round the curves were profiled at.
     pub anchor_round: usize,
@@ -193,6 +194,12 @@ impl SampledProfiler {
     /// The most recently profiled curves, if any anchor round has finished.
     pub fn curves(&self) -> Option<&ProfiledCurves> {
         self.curves.as_ref()
+    }
+
+    /// Overwrites the stored curves (checkpoint/restore). Sample indices
+    /// are deterministic per `(seed, layout)` and never restored.
+    pub fn restore_curves(&mut self, curves: Option<ProfiledCurves>) {
+        self.curves = curves;
     }
 }
 

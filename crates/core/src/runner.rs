@@ -12,6 +12,9 @@
 //! regardless of which worker finishes first.
 
 use crate::algorithms::Scheme;
+use crate::checkpoint::{
+    fnv1a, CheckpointEnvelope, CheckpointError, CheckpointStore, ClientSnapshot,
+};
 use crate::client::{ClientOptions, ClientState, RoundPlan};
 use crate::config::FlConfig;
 use crate::executor::{ClientDone, ClientWork, RoundCtx, RoundExecutor};
@@ -505,6 +508,7 @@ impl Trainer {
             n_dropped: reports.iter().flatten().filter(|r| r.dropped).count(),
             n_crashed,
             n_deadline_missed,
+            n_rejected: agg.n_rejected,
             iters_done: reports
                 .iter()
                 .map(|r| r.as_ref().map_or(0, |r| r.iters_done))
@@ -551,10 +555,13 @@ impl Trainer {
         (correct / seen.max(1) as f64) as f32
     }
 
-    /// Runs `rounds` rounds, returning the full output.
+    /// Runs `rounds` rounds, returning the full output. When
+    /// `FlConfig::checkpoint` is enabled, a generation is written after
+    /// every `every`-th completed round.
     pub fn run(&mut self, rounds: usize) -> TrainerOutput {
         for _ in 0..rounds {
             self.run_round();
+            self.auto_checkpoint();
         }
         self.output()
     }
@@ -563,7 +570,9 @@ impl Trainer {
     pub fn run_until_accuracy(&mut self, target: f32, max_rounds: usize) -> TrainerOutput {
         for _ in 0..max_rounds {
             let rec = self.run_round();
-            if rec.accuracy.is_some_and(|a| a >= target) {
+            let done = rec.accuracy.is_some_and(|a| a >= target);
+            self.auto_checkpoint();
+            if done {
                 break;
             }
         }
@@ -577,6 +586,206 @@ impl Trainer {
             workload: self.workload.name.clone(),
             rounds: self.records.clone(),
         }
+    }
+
+    /// Fingerprint of the run identity a checkpoint belongs to: the full
+    /// `FlConfig` with the durability and trace sections neutralized (so a
+    /// resume may use a different checkpoint directory or tracing setup),
+    /// plus the scheme and workload. Restore refuses envelopes from a
+    /// different identity before any component-level restore runs.
+    fn run_fingerprint(&self) -> u64 {
+        let mut neutral = self.fl.clone();
+        neutral.checkpoint = Default::default();
+        neutral.trace = Default::default();
+        let mut text = serde_json::to_string(&neutral).expect("config serializes");
+        text.push('|');
+        text.push_str(&serde_json::to_string(&self.scheme).expect("scheme serializes"));
+        text.push('|');
+        text.push_str(&self.workload.name);
+        fnv1a(text.as_bytes())
+    }
+
+    /// Captures the full cross-round training state. Only valid between
+    /// rounds (every client slot is home); `run_round` upholds that.
+    pub fn snapshot(&self) -> CheckpointEnvelope {
+        let clients: Vec<ClientSnapshot> = self
+            .clients
+            .iter()
+            .map(|slot| {
+                let c = slot
+                    .as_ref()
+                    .expect("snapshot runs between rounds, all clients home");
+                let (sampler_indices, sampler_cursor) = c.sampler.snapshot();
+                ClientSnapshot {
+                    id: c.id,
+                    sampler_indices,
+                    sampler_cursor,
+                    device: c.device.snapshot(),
+                    uplink_busy_until: c.uplink.busy_until(),
+                    downlink_busy_until: c.downlink.busy_until(),
+                    curves: c.profiler.curves().cloned(),
+                    error_feedback: c.error_feedback.snapshot(),
+                }
+            })
+            .collect();
+        CheckpointEnvelope {
+            fingerprint: self.run_fingerprint(),
+            rounds_done: self.records.len(),
+            clock: self.clock,
+            selection_rng: self.rng.state().to_vec(),
+            global: self.server.global().as_slice().to_vec(),
+            estimator_ema: self.server.estimator().snapshot(),
+            participations: self.participations.clone(),
+            clients,
+            records: self.records.clone(),
+        }
+    }
+
+    /// Overwrites this trainer's mutable state with a snapshot taken by an
+    /// identically-configured run. Everything config-derived (partition,
+    /// speed classes, fault plan, profiler sample indices) was already
+    /// rebuilt by the constructor and is left untouched.
+    pub fn restore(&mut self, env: &CheckpointEnvelope) -> Result<(), CheckpointError> {
+        let actual = self.run_fingerprint();
+        if env.fingerprint != actual {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: env.fingerprint,
+                actual,
+            });
+        }
+        if env.clients.len() != self.fl.n_clients
+            || env.participations.len() != self.fl.n_clients
+            || env.records.len() != env.rounds_done
+        {
+            return Err(CheckpointError::Corrupt(format!(
+                "envelope shape mismatch: {} clients / {} participations / {} records \
+                 for rounds_done={}",
+                env.clients.len(),
+                env.participations.len(),
+                env.records.len(),
+                env.rounds_done
+            )));
+        }
+        let rng_state: [u64; 4] =
+            env.selection_rng.as_slice().try_into().map_err(|_| {
+                CheckpointError::Corrupt("selection RNG state must be 4 words".into())
+            })?;
+        self.rng = StdRng::from_state(rng_state);
+        self.clock = env.clock;
+        self.records = env.records.clone();
+        self.participations = env.participations.clone();
+        self.server.restore_global(env.global.clone());
+        self.server
+            .estimator_mut()
+            .restore(env.estimator_ema.clone());
+        for (slot, snap) in self.clients.iter_mut().zip(&env.clients) {
+            let c = slot
+                .as_mut()
+                .expect("restore runs between rounds, all clients home");
+            debug_assert_eq!(c.id, snap.id, "client snapshots are ordered by id");
+            c.sampler
+                .restore(snap.sampler_indices.clone(), snap.sampler_cursor);
+            c.device.restore(&snap.device);
+            c.uplink.restore_busy_until(snap.uplink_busy_until);
+            c.downlink.restore_busy_until(snap.downlink_busy_until);
+            c.profiler.restore_curves(snap.curves.clone());
+            c.error_feedback.restore(snap.error_feedback.clone());
+            c.participations = env.participations[snap.id];
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint generation now (independent of the periodic
+    /// cadence). Requires `FlConfig::checkpoint` to be enabled.
+    pub fn checkpoint(&self) -> Result<std::path::PathBuf, CheckpointError> {
+        if !self.fl.checkpoint.is_enabled() {
+            return Err(CheckpointError::Disabled);
+        }
+        let store = CheckpointStore::new(&self.fl.checkpoint);
+        let env = self.snapshot();
+        let path = store.write(&env)?;
+        self.tracer.emit(
+            self.clock,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::CheckpointWritten {
+                round: env.rounds_done,
+                path: path.display().to_string(),
+            },
+        );
+        Ok(path)
+    }
+
+    /// Periodic durability hook called after each completed round. A write
+    /// failure (full disk, permissions) is reported but never aborts
+    /// training — the run degrades to fewer generations, not a crash.
+    fn auto_checkpoint(&mut self) {
+        let cfg = &self.fl.checkpoint;
+        if !cfg.is_enabled() || !self.records.len().is_multiple_of(cfg.effective_every()) {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            eprintln!(
+                "warning: checkpoint after round {} failed: {e}",
+                self.records.len()
+            );
+        }
+    }
+
+    /// Builds a trainer and restores it from the newest valid generation in
+    /// `fl.checkpoint.dir`. Corrupt generations are skipped (with a
+    /// `CheckpointCorruptSkipped` trace event each) in favour of the one
+    /// before; if no valid generation exists this is a hard error, never a
+    /// hang. On success the trainer continues exactly where the
+    /// checkpointed run left off: the remaining rounds' records, final
+    /// parameters, and canonical trace events are bit-identical to an
+    /// uninterrupted run.
+    pub fn resume(
+        fl: FlConfig,
+        scheme: Scheme,
+        workload: Workload,
+    ) -> Result<Self, CheckpointError> {
+        let n_workers = fl.clients_per_round.clamp(
+            1,
+            std::thread::available_parallelism().map_or(8, |n| n.get()),
+        );
+        Self::resume_with_workers(fl, scheme, workload, n_workers)
+    }
+
+    /// Like [`resume`](Self::resume) with an explicit worker-pool size.
+    pub fn resume_with_workers(
+        fl: FlConfig,
+        scheme: Scheme,
+        workload: Workload,
+        n_workers: usize,
+    ) -> Result<Self, CheckpointError> {
+        if !fl.checkpoint.is_enabled() {
+            return Err(CheckpointError::Disabled);
+        }
+        let store = CheckpointStore::new(&fl.checkpoint);
+        let mut skipped: Vec<(String, String)> = Vec::new();
+        let (path, env) =
+            store.load_latest(|p, why| skipped.push((p.display().to_string(), why.to_string())))?;
+        let mut trainer = Self::new_with_workers(fl, scheme, workload, n_workers);
+        for (path, reason) in skipped {
+            trainer.tracer.emit(
+                env.clock,
+                SERVER_ORD,
+                0.0,
+                TraceEvent::CheckpointCorruptSkipped { path, reason },
+            );
+        }
+        trainer.restore(&env)?;
+        trainer.tracer.emit(
+            trainer.clock,
+            SERVER_ORD,
+            0.0,
+            TraceEvent::CheckpointRecovered {
+                round: env.rounds_done,
+                path: path.display().to_string(),
+            },
+        );
+        Ok(trainer)
     }
 }
 
@@ -639,6 +848,7 @@ mod tests {
             compression: Default::default(),
             faults: FaultConfig::none(),
             trace: Default::default(),
+            checkpoint: Default::default(),
         }
     }
 

@@ -27,6 +27,9 @@ pub struct AggregationResult {
     /// Uploads that actually arrived (finite arrival times), collected or
     /// not — the trace layer journals this next to the cut decision.
     pub n_finite: usize,
+    /// Reports rejected by the non-finite guard (NaN/Inf in the update or
+    /// weight) and routed through the failure path instead of aggregated.
+    pub n_rejected: usize,
 }
 
 impl Server {
@@ -48,6 +51,26 @@ impl Server {
     /// The current global parameters.
     pub fn global(&self) -> &UpdateVec {
         &self.global
+    }
+
+    /// Overwrites the global parameters (checkpoint/restore).
+    ///
+    /// # Panics
+    /// Panics if `data` does not match the model layout.
+    pub fn restore_global(&mut self, data: Vec<f32>) {
+        let layout = Arc::clone(self.global.layout());
+        assert_eq!(data.len(), layout.total_params(), "global size changed");
+        self.global = UpdateVec::from_vec(layout, data);
+    }
+
+    /// The per-client duration estimator (checkpoint/restore).
+    pub fn estimator(&self) -> &DurationEstimator {
+        &self.estimator
+    }
+
+    /// Mutable access to the duration estimator (checkpoint/restore).
+    pub fn estimator_mut(&mut self) -> &mut DurationEstimator {
+        &mut self.estimator
     }
 
     /// Uniform-random client selection without replacement.
@@ -109,6 +132,7 @@ impl Server {
             cut: ArrivalCut::new(self.aggregation_fraction),
             reports: (0..n_selected).map(|_| None).collect(),
             fallback_completion: None,
+            n_rejected: 0,
         }
     }
 
@@ -148,16 +172,30 @@ pub struct StreamingAggregator {
     cut: ArrivalCut,
     reports: Vec<Option<ClientRoundReport>>,
     fallback_completion: Option<SimTime>,
+    n_rejected: usize,
 }
 
 impl StreamingAggregator {
     /// Ingests the report at ordinal `ord` (its position in the round's
     /// selection list).
     ///
+    /// A report whose update or weight contains NaN/Inf would poison the
+    /// global model through the weighted fold; such reports are rejected
+    /// through the same path as [`mark_failed`](Self::mark_failed) — the
+    /// cut sees a `+inf` arrival, nothing is stored, and the rejection is
+    /// counted in [`AggregationResult::n_rejected`].
+    ///
     /// # Panics
     /// Panics if `ord` is out of range or was already ingested.
     pub fn ingest(&mut self, ord: usize, report: ClientRoundReport) {
         assert!(self.reports[ord].is_none(), "report {ord} ingested twice");
+        let poisoned =
+            !report.weight.is_finite() || report.update.as_slice().iter().any(|v| !v.is_finite());
+        if poisoned {
+            self.n_rejected += 1;
+            self.cut.observe(f64::INFINITY);
+            return;
+        }
         self.cut.observe(report.upload_done);
         self.reports[ord] = Some(report);
     }
@@ -242,6 +280,7 @@ impl StreamingAggregator {
                 completion,
                 collected,
                 n_finite: self.cut.finite_count(),
+                n_rejected: self.n_rejected,
             },
             reports,
         )
@@ -433,6 +472,59 @@ mod tests {
         assert!(!res.collected.contains(&9));
         assert!((s.global().as_slice()[0] - 0.1).abs() < 1e-5);
         assert!((res.completion - 1.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_updates_are_rejected_not_aggregated() {
+        // A NaN update must behave exactly like a failed client: excluded
+        // from the fold, counted in n_rejected, global model clean.
+        let clean = vec![
+            report(0, 1.0, vec![1.0, 0.0], 1.0),
+            report(1, 2.0, vec![3.0, 0.0], 1.0),
+        ];
+        let mut baseline = server();
+        let _ = baseline.aggregate_round(0.0, &clean);
+
+        let mut s = server();
+        let mut agg = s.begin_round(0.0, 3);
+        agg.ingest(0, report(0, 1.0, vec![1.0, 0.0], 1.0));
+        agg.ingest(2, report(2, 0.5, vec![f32::NAN, 7.0], 1.0));
+        agg.ingest(1, report(1, 2.0, vec![3.0, 0.0], 1.0));
+        let (res, back) = agg.close(&mut s);
+        assert_eq!(res.n_rejected, 1);
+        assert!(!res.collected.contains(&2));
+        assert!(back[2].is_none(), "rejected report must not be stored");
+        assert_eq!(baseline.global().as_slice(), s.global().as_slice());
+
+        // Infinite weights are rejected too.
+        let mut agg = s.begin_round(10.0, 1);
+        agg.set_deadline(5.0);
+        agg.ingest(0, report(0, 11.0, vec![1.0, 1.0], f64::INFINITY));
+        let (res, _) = agg.close(&mut s);
+        assert_eq!(res.n_rejected, 1);
+        assert!(res.collected.is_empty());
+    }
+
+    #[test]
+    fn server_state_snapshot_restores_exactly() {
+        let mut a = server();
+        let _ = a.aggregate_round(
+            0.0,
+            &[
+                report(0, 1.0, vec![1.0, -1.0], 1.0),
+                report(1, 2.0, vec![0.5, 0.5], 2.0),
+            ],
+        );
+        let global = a.global().as_slice().to_vec();
+        let ema = a.estimator().snapshot();
+
+        let mut b = server();
+        b.restore_global(global.clone());
+        b.estimator_mut().restore(ema);
+        assert_eq!(a.global().as_slice(), b.global().as_slice());
+        for c in 0..8 {
+            assert_eq!(a.estimator().predict(c), b.estimator().predict(c));
+        }
     }
 
     #[test]

@@ -232,6 +232,30 @@ pub enum TraceEvent {
         /// Span name (`round`, `evaluate`, `aggregate_close`, …).
         name: String,
     },
+    /// A durable checkpoint generation was written and fsync-renamed into
+    /// place. Excluded from the canonical stream (durability is an
+    /// operational concern; the trajectory is unchanged by it).
+    CheckpointWritten {
+        /// Rounds completed at the time of the snapshot.
+        round: usize,
+        /// Path of the generation file.
+        path: String,
+    },
+    /// Training state was restored from a checkpoint generation.
+    CheckpointRecovered {
+        /// Rounds completed in the recovered snapshot.
+        round: usize,
+        /// Path of the generation file recovery loaded.
+        path: String,
+    },
+    /// A checkpoint generation failed its checksum (truncated or bit-flipped)
+    /// and recovery fell back to the previous generation.
+    CheckpointCorruptSkipped {
+        /// Path of the rejected generation file.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -251,13 +275,25 @@ impl TraceEvent {
             TraceEvent::AggregationCut { .. } => "aggregation_cut",
             TraceEvent::RoundClose { .. } => "round_close",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
+            TraceEvent::CheckpointRecovered { .. } => "checkpoint_recovered",
+            TraceEvent::CheckpointCorruptSkipped { .. } => "checkpoint_corrupt_skipped",
         }
     }
 
     /// Whether the event belongs to the canonical (worker-count-invariant)
-    /// stream. `RunStart` names the pool size and is excluded.
+    /// stream. `RunStart` names the pool size and is excluded; checkpoint
+    /// events name host paths and depend on the durability schedule, not
+    /// the trajectory, so a resumed run's canonical suffix stays
+    /// byte-identical to the uninterrupted run's.
     pub fn is_canonical(&self) -> bool {
-        !matches!(self, TraceEvent::RunStart { .. })
+        !matches!(
+            self,
+            TraceEvent::RunStart { .. }
+                | TraceEvent::CheckpointWritten { .. }
+                | TraceEvent::CheckpointRecovered { .. }
+                | TraceEvent::CheckpointCorruptSkipped { .. }
+        )
     }
 }
 

@@ -49,6 +49,7 @@ fn tiny_fl(seed: u64, faults: FaultConfig) -> FlConfig {
         compression: Default::default(),
         faults,
         trace: Default::default(),
+        checkpoint: Default::default(),
     }
 }
 
@@ -281,7 +282,7 @@ proptest! {
             0usize..64,
             0usize..256,
             1usize..200,
-            prop::collection::vec(0.0f64..1.0, 6),
+            prop::collection::vec(0.0f64..1.0, 7),
         ))
     ) {
         let cfg = FaultConfig {
@@ -295,6 +296,7 @@ proptest! {
             bandwidth_floor: 0.25,
             deadline_slip_prob: probs[5],
             deadline_slip_max: 10.0,
+            corrupt_update_prob: probs[6],
         };
         let plan = FaultPlan::new(cfg.clone());
         let draw = plan.draw(round, client, k);

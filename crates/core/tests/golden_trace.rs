@@ -37,6 +37,7 @@ fn traced_fl() -> FlConfig {
         compression: Default::default(),
         faults: FaultConfig::chaos(SEED),
         trace: TraceConfig::enabled(),
+        checkpoint: Default::default(),
     }
 }
 

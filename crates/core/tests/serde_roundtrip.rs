@@ -3,8 +3,13 @@
 //! JSON serialization exactly, and `#[serde(default)]` fields deserialize
 //! from documents that predate them (the drift a new field would introduce).
 
+use fedca_core::checkpoint::{
+    decode_envelope, encode_envelope, CheckpointEnvelope, ClientSnapshot,
+};
 use fedca_core::metrics::{EagerEvent, RoundRecord};
+use fedca_core::profiler::ProfiledCurves;
 use fedca_core::trace::TraceEvent;
+use fedca_sim::device::DeviceSpeedSnapshot;
 use proptest::prelude::*;
 use serde::Deserialize;
 
@@ -51,6 +56,7 @@ proptest! {
             n_dropped: base.5.min(n),
             n_crashed: base.6.min(n),
             n_deadline_missed: (base.4 + base.5).min(n),
+            n_rejected: base.6.min(n),
             iters_done: per_client.iter().map(|c| c.0).collect(),
             iters_planned: per_client.iter().map(|c| c.1).collect(),
             early_stops: per_client.iter().map(|c| c.2 == 1).collect(),
@@ -173,6 +179,7 @@ fn round_record_tolerates_pre_fault_documents() {
         n_dropped: 2,
         n_crashed: 1,
         n_deadline_missed: 1,
+        n_rejected: 1,
         iters_done: vec![6, 6, 4, 0],
         iters_planned: vec![6; 4],
         early_stops: vec![false, false, true, false],
@@ -182,10 +189,11 @@ fn round_record_tolerates_pre_fault_documents() {
         host_ms: 12.0,
         allocs_avoided: 9,
     };
-    const DEFAULTED: [&str; 5] = [
+    const DEFAULTED: [&str; 6] = [
         "n_dropped",
         "n_crashed",
         "n_deadline_missed",
+        "n_rejected",
         "host_ms",
         "allocs_avoided",
     ];
@@ -201,8 +209,158 @@ fn round_record_tolerates_pre_fault_documents() {
     assert_eq!(back.n_dropped, 0);
     assert_eq!(back.n_crashed, 0);
     assert_eq!(back.n_deadline_missed, 0);
+    assert_eq!(back.n_rejected, 0);
     assert_eq!(back.host_ms, 0.0);
     assert_eq!(back.allocs_avoided, 0);
     assert_eq!(back.iters_done, record.iters_done);
     assert_eq!(back.accuracy, record.accuracy);
+}
+
+proptest! {
+    /// The checkpoint container round-trips arbitrary envelopes bit-exactly
+    /// (encode → decode → equal), including full-range `u64` RNG words and
+    /// negative/small floats — the property bit-identical resume rests on.
+    #[test]
+    fn checkpoint_envelope_round_trips_bit_exactly(
+        (fingerprint, rounds_done, clock, rng_words, global, ema_raw, clients_raw) in (
+            0u64..u64::MAX,
+            0usize..1000,
+            0.0f64..1e6,
+            prop::collection::vec(0u64..u64::MAX, 4),
+            prop::collection::vec(-1e3f32..1e3, 0..8),
+            prop::collection::vec((0u8..2, 0.0f64..1e4), 0..6),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(0u64..u64::MAX, 4),
+                    prop::collection::vec(0usize..64, 1..8),
+                    0.0f64..1e5,
+                    (0u8..2, prop::collection::vec(0.0f32..1.0, 1..6)),
+                    prop::collection::vec(-1.0f32..1.0, 0..5),
+                ),
+                0..4,
+            ),
+        )
+    ) {
+        let clients: Vec<ClientSnapshot> = clients_raw
+            .into_iter()
+            .enumerate()
+            .map(|(id, (rng, indices, busy, (has_curves, curve), feedback))| ClientSnapshot {
+                id,
+                sampler_cursor: indices.len() - 1,
+                sampler_indices: indices,
+                device: DeviceSpeedSnapshot {
+                    rng,
+                    segments: vec![(busy * 0.5, 1.25), (busy, 0.75)],
+                    horizon: busy,
+                    next_is_fast: has_curves == 1,
+                },
+                uplink_busy_until: busy,
+                downlink_busy_until: busy * 0.25,
+                curves: (has_curves == 1).then(|| ProfiledCurves {
+                    anchor_round: id,
+                    k: curve.len(),
+                    model: curve.clone(),
+                    layers: vec![curve.clone()],
+                }),
+                error_feedback: feedback,
+            })
+            .collect();
+        let participations: Vec<usize> = clients.iter().map(|c| c.id).collect();
+        let env = CheckpointEnvelope {
+            fingerprint,
+            rounds_done,
+            clock,
+            selection_rng: rng_words,
+            global,
+            estimator_ema: ema_raw
+                .into_iter()
+                .map(|(present, v)| (present == 1).then_some(v))
+                .collect(),
+            participations,
+            clients,
+            records: Vec::new(),
+        };
+        let bytes = encode_envelope(&env);
+        let back = decode_envelope(&bytes).expect("valid container");
+        prop_assert_eq!(back, env);
+    }
+}
+
+/// `#[serde(default)]`-drift guard for the checkpoint envelope: a payload
+/// written before the defaulted fields existed (no `records` on the
+/// envelope, no `curves`/`error_feedback` on a client) still deserializes,
+/// with those fields at their defaults.
+#[test]
+fn checkpoint_envelope_tolerates_missing_defaulted_fields() {
+    let env = CheckpointEnvelope {
+        fingerprint: 7,
+        rounds_done: 2,
+        clock: 100.5,
+        selection_rng: vec![1, 2, 3, 4],
+        global: vec![0.5, -0.25],
+        estimator_ema: vec![None, Some(3.5)],
+        participations: vec![1, 1],
+        clients: vec![ClientSnapshot {
+            id: 0,
+            sampler_indices: vec![1, 0],
+            sampler_cursor: 1,
+            device: DeviceSpeedSnapshot {
+                rng: vec![5, 6, 7, 8],
+                segments: vec![(2.0, 1.5)],
+                horizon: 2.0,
+                next_is_fast: true,
+            },
+            uplink_busy_until: 9.0,
+            downlink_busy_until: 0.0,
+            curves: Some(ProfiledCurves {
+                anchor_round: 0,
+                k: 1,
+                model: vec![1.0],
+                layers: vec![vec![1.0]],
+            }),
+            error_feedback: vec![0.125],
+        }],
+        records: Vec::new(),
+    };
+    let serde::Value::Object(pairs) = serde_json::to_value(&env).expect("to_value") else {
+        panic!("CheckpointEnvelope must serialize to an object");
+    };
+    let stripped: Vec<(String, serde::Value)> = pairs
+        .into_iter()
+        .filter(|(k, _)| k != "records")
+        .map(|(k, v)| {
+            if k != "clients" {
+                return (k, v);
+            }
+            let serde::Value::Array(items) = v else {
+                panic!("clients must serialize to an array");
+            };
+            let cleaned = items
+                .into_iter()
+                .map(|item| {
+                    let serde::Value::Object(fields) = item else {
+                        panic!("a client snapshot must serialize to an object");
+                    };
+                    serde::Value::Object(
+                        fields
+                            .into_iter()
+                            .filter(|(k, _)| k != "curves" && k != "error_feedback")
+                            .collect(),
+                    )
+                })
+                .collect();
+            (k, serde::Value::Array(cleaned))
+        })
+        .collect();
+    let back = CheckpointEnvelope::from_value(&serde::Value::Object(stripped))
+        .expect("defaulted fields must be optional");
+    assert!(back.records.is_empty());
+    assert_eq!(back.clients[0].curves, None);
+    assert!(back.clients[0].error_feedback.is_empty());
+    assert_eq!(
+        back.clients[0].sampler_indices,
+        env.clients[0].sampler_indices
+    );
+    assert_eq!(back.selection_rng, env.selection_rng);
+    assert_eq!(back.rounds_done, env.rounds_done);
 }

@@ -50,6 +50,25 @@ impl BatchSampler {
         self.batch_size = batch_size;
     }
 
+    /// The current index permutation and epoch cursor, for checkpointing.
+    /// Batch size is excluded: callers reapply it each round.
+    pub fn snapshot(&self) -> (Vec<usize>, usize) {
+        (self.indices.clone(), self.cursor)
+    }
+
+    /// Restores a permutation and cursor captured by
+    /// [`BatchSampler::snapshot`] onto a sampler over the same shard.
+    ///
+    /// # Panics
+    /// Panics if the permutation length differs from this sampler's shard
+    /// or the cursor is out of range.
+    pub fn restore(&mut self, indices: Vec<usize>, cursor: usize) {
+        assert_eq!(indices.len(), self.indices.len(), "shard size changed");
+        assert!(cursor < self.indices.len(), "cursor out of range");
+        self.indices = indices;
+        self.cursor = cursor;
+    }
+
     /// Returns the next batch of indices, reshuffling at epoch boundaries.
     /// Batches never span an epoch boundary; the tail batch of an epoch may
     /// be short (matching PyTorch's default `drop_last=False`).

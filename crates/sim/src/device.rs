@@ -64,6 +64,21 @@ struct Segment {
     speed: f64,
 }
 
+/// Serializable position of a [`DeviceSpeed`] process: the RNG stream
+/// state plus every segment generated so far. Restoring it onto a device
+/// rebuilt from the same config resumes the identical timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpeedSnapshot {
+    /// Raw xoshiro256++ state of the segment-generation stream.
+    pub rng: Vec<u64>,
+    /// Generated segments as `(end, speed)` pairs, in order.
+    pub segments: Vec<(SimTime, f64)>,
+    /// Virtual time up to which segments have been generated.
+    pub horizon: SimTime,
+    /// Whether the next generated segment is a fast period.
+    pub next_is_fast: bool,
+}
+
 /// A deterministic per-client speed process.
 ///
 /// Segments are generated lazily from the client's own RNG stream, so two
@@ -100,6 +115,39 @@ impl DeviceSpeed {
     /// The device's base speed multiplier.
     pub fn base_speed(&self) -> f64 {
         self.base
+    }
+
+    /// Captures the process position for checkpointing. Base speed and
+    /// dynamics are excluded: they are config-derived and the restore
+    /// target supplies them.
+    pub fn snapshot(&self) -> DeviceSpeedSnapshot {
+        DeviceSpeedSnapshot {
+            rng: self.rng.state().to_vec(),
+            segments: self.segments.iter().map(|s| (s.end, s.speed)).collect(),
+            horizon: self.horizon,
+            next_is_fast: self.next_is_fast,
+        }
+    }
+
+    /// Restores a position captured by [`DeviceSpeed::snapshot`] onto a
+    /// device rebuilt with the same base speed and dynamics.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's RNG state is not 4 words.
+    pub fn restore(&mut self, snap: &DeviceSpeedSnapshot) {
+        let s: [u64; 4] = snap
+            .rng
+            .as_slice()
+            .try_into()
+            .expect("device RNG state must be 4 words");
+        self.rng = StdRng::from_state(s);
+        self.segments = snap
+            .segments
+            .iter()
+            .map(|&(end, speed)| Segment { end, speed })
+            .collect();
+        self.horizon = snap.horizon;
+        self.next_is_fast = snap.next_is_fast;
     }
 
     fn extend_to(&mut self, t: SimTime) {

@@ -74,6 +74,11 @@ pub struct FaultConfig {
     /// has beyond the server's true deadline.
     #[serde(default)]
     pub deadline_slip_max: SimTime,
+    /// Probability the client's final update is corrupted in flight
+    /// (NaN-poisoned payload): the upload arrives on time but the server's
+    /// non-finite guard must reject it instead of aggregating it.
+    #[serde(default)]
+    pub corrupt_update_prob: f64,
 }
 
 impl Default for FaultConfig {
@@ -96,6 +101,7 @@ impl FaultConfig {
             bandwidth_floor: 1.0,
             deadline_slip_prob: 0.0,
             deadline_slip_max: 0.0,
+            corrupt_update_prob: 0.0,
         }
     }
 
@@ -113,6 +119,9 @@ impl FaultConfig {
             bandwidth_floor: 0.2,
             deadline_slip_prob: 0.20,
             deadline_slip_max: 10.0,
+            // Kept off in the chaos mix: the PR 2/3 golden-trace fixtures
+            // pin chaos() schedules, and corruption has its own sweeps.
+            corrupt_update_prob: 0.0,
         }
     }
 
@@ -124,6 +133,7 @@ impl FaultConfig {
             && self.result_delay_prob == 0.0
             && self.bandwidth_degrade_prob == 0.0
             && self.deadline_slip_prob == 0.0
+            && self.corrupt_update_prob == 0.0
     }
 
     fn validate(&self) {
@@ -134,6 +144,7 @@ impl FaultConfig {
             ("result_delay_prob", self.result_delay_prob),
             ("bandwidth_degrade_prob", self.bandwidth_degrade_prob),
             ("deadline_slip_prob", self.deadline_slip_prob),
+            ("corrupt_update_prob", self.corrupt_update_prob),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -171,6 +182,10 @@ pub struct ClientFaults {
     pub bandwidth_factor: f64,
     /// Extra time the client *believes* it has beyond the true deadline.
     pub deadline_slip: SimTime,
+    /// The final update payload is NaN-poisoned in flight; the server's
+    /// non-finite guard must reject it.
+    #[serde(default)]
+    pub corrupt_update: bool,
 }
 
 impl Default for ClientFaults {
@@ -189,6 +204,7 @@ impl ClientFaults {
             lose_result: false,
             bandwidth_factor: 1.0,
             deadline_slip: 0.0,
+            corrupt_update: false,
         }
     }
 
@@ -219,6 +235,9 @@ impl ClientFaults {
         }
         if self.deadline_slip > 0.0 {
             kinds.push("deadline_slip".to_string());
+        }
+        if self.corrupt_update {
+            kinds.push("corrupt_update".to_string());
         }
         kinds
     }
@@ -283,6 +302,9 @@ impl FaultPlan {
             self.cfg.bandwidth_floor + rng.gen_range(0.0..1.0) * (1.0 - self.cfg.bandwidth_floor);
         let slip_roll = rng.gen_range(0.0..1.0);
         let slip = rng.gen_range(0.0..1.0) * self.cfg.deadline_slip_max;
+        // Appended last: adding this class must not reshuffle the draws of
+        // the classes above (golden chaos schedules are seed-pinned).
+        let corrupt_roll = rng.gen_range(0.0..1.0);
         ClientFaults {
             crash_at_iter: (crash_roll < self.cfg.crash_prob).then_some(crash_iter),
             panic_at_iter: (panic_roll < self.cfg.panic_prob).then_some(panic_iter),
@@ -302,6 +324,7 @@ impl FaultPlan {
             } else {
                 0.0
             },
+            corrupt_update: corrupt_roll < self.cfg.corrupt_update_prob,
         }
     }
 }
@@ -400,6 +423,7 @@ mod tests {
             bandwidth_floor: 0.25,
             deadline_slip_prob: 1.0,
             deadline_slip_max: 4.0,
+            corrupt_update_prob: 1.0,
         });
         for client in 0..100 {
             let f = plan.draw(1, client, 6);
@@ -411,6 +435,7 @@ mod tests {
             assert!((0.0..=2.0).contains(&f.result_delay));
             assert!((0.25..=1.0).contains(&f.bandwidth_factor));
             assert!((0.0..=4.0).contains(&f.deadline_slip));
+            assert!(f.corrupt_update);
         }
     }
 

@@ -108,6 +108,17 @@ impl Link {
         self.busy_until
     }
 
+    /// Restores the FIFO queue head (checkpoint/restore). The transfer log
+    /// is observational and not restored; rate scale is reapplied per round
+    /// by fault injection.
+    ///
+    /// # Panics
+    /// Panics if `t < 0`.
+    pub fn restore_busy_until(&mut self, t: SimTime) {
+        assert!(t >= 0.0, "negative time");
+        self.busy_until = t;
+    }
+
     /// All transfers carried so far, in enqueue order.
     pub fn log(&self) -> &[Transfer] {
         &self.log

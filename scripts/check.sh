@@ -23,5 +23,8 @@ scripts/chaos.sh "${CHAOS_SEEDS:-32}"
 echo "== trace check"
 scripts/trace_check.sh
 
+echo "== recovery check"
+scripts/recovery_check.sh
+
 echo "== perf check"
 scripts/perf_check.sh

@@ -24,6 +24,7 @@ fn fl(seed: u64) -> FlConfig {
         compression: Default::default(),
         faults: Default::default(),
         trace: Default::default(),
+        checkpoint: Default::default(),
     }
 }
 

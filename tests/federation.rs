@@ -20,6 +20,7 @@ fn tiny_fl(seed: u64) -> FlConfig {
         compression: Default::default(),
         faults: Default::default(),
         trace: Default::default(),
+        checkpoint: Default::default(),
     }
 }
 

@@ -208,6 +208,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state so callers can persist the
+        /// generator's exact stream position (checkpoint/restore).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++
