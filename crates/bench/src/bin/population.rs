@@ -1,0 +1,125 @@
+//! Virtual-population scaling probe: trains a fixed-cohort FedAvg study on
+//! `tiny_mlp` over an arbitrarily large client population and reports
+//! throughput plus peak memory as one JSON object on stdout.
+//!
+//! The lazy client store derives clients on demand from `(seed, id)`, so
+//! the resident set — and therefore peak RSS — scales with the cohort, not
+//! the population. `scripts/population_check.sh` runs this binary once per
+//! population size (peak RSS is process-monotone) and gates the numbers
+//! against `BENCH_population.json`.
+//!
+//! ```text
+//! cargo run --release -p fedca-bench --bin population -- \
+//!     --n-clients 1000000 [--cohort 128] [--rounds 20]
+//! ```
+
+use fedca_bench::{apply_population, note, seed_from_env};
+use fedca_core::{FlConfig, Scheme, Trainer, Workload};
+use serde::Serialize;
+
+/// The probe's single stdout line (consumed by
+/// `scripts/population_check.sh` via `jq`).
+#[derive(Serialize)]
+struct PopulationReport {
+    n_clients: usize,
+    cohort: usize,
+    rounds: usize,
+    cache_clients: usize,
+    setup_s: f64,
+    rounds_per_sec: f64,
+    peak_rss_mib: f64,
+    n_hydrated: usize,
+    n_evicted: usize,
+    n_resident: usize,
+    n_dirty: usize,
+}
+
+/// Process-lifetime peak resident set size in MiB, from `VmHWM` in
+/// `/proc/self/status` (0.0 where procfs is unavailable).
+fn peak_rss_mib() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    let eq = format!("{name}=");
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn usize_arg(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} requires a positive integer, got {v:?}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_clients = usize_arg("--n-clients", 1_000_000);
+    let cohort = usize_arg("--cohort", 128);
+    let rounds = usize_arg("--rounds", 20);
+    let seed = seed_from_env();
+
+    let workload = Workload::tiny_mlp(seed);
+    let mut fl = FlConfig {
+        clients_per_round: cohort,
+        local_iters: 6,
+        batch_size: 8,
+        lr: workload.lr,
+        weight_decay: workload.weight_decay,
+        seed,
+        ..FlConfig::default()
+    };
+    apply_population(&mut fl, n_clients);
+
+    note(&format!(
+        "population study: {n_clients} clients, cohort {}, {rounds} rounds, \
+         residency cap {}",
+        fl.clients_per_round, fl.population.cache_clients
+    ));
+
+    let t0 = std::time::Instant::now();
+    let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload);
+    let setup_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    trainer.eval_every = 0;
+    trainer.run(rounds);
+    let train_s = t1.elapsed().as_secs_f64();
+
+    let report = PopulationReport {
+        n_clients: fl.n_clients,
+        cohort: fl.clients_per_round,
+        rounds,
+        cache_clients: fl.population.cache_clients,
+        setup_s,
+        rounds_per_sec: rounds as f64 / train_s.max(1e-9),
+        peak_rss_mib: peak_rss_mib(),
+        n_hydrated: trainer.records().iter().map(|r| r.n_hydrated).sum(),
+        n_evicted: trainer.records().iter().map(|r| r.n_evicted).sum(),
+        n_resident: trainer.store().n_resident(),
+        n_dirty: trainer.store().n_dirty(),
+    };
+    println!("{}", serde_json::to_string(&report).expect("serialize"));
+}

@@ -83,11 +83,51 @@ pub fn fl_config(workload: &Workload, scale: ExpScale, seed: u64) -> FlConfig {
         },
         ExpScale::Paper => FlConfig::default(),
     };
-    FlConfig {
+    let mut fl = FlConfig {
         lr: workload.lr,
         weight_decay: workload.weight_decay,
         seed,
         ..base
+    };
+    if let Some(n) = n_clients_override() {
+        apply_population(&mut fl, n);
+    }
+    fl
+}
+
+/// Population-size override for this process: `--n-clients N` /
+/// `--n-clients=N` on the command line, else the `FEDCA_N_CLIENTS`
+/// environment variable. `None` keeps each experiment's own federation
+/// size.
+pub fn n_clients_override() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--n-clients" {
+            return Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--n-clients requires a positive integer"),
+            );
+        }
+        if let Some(v) = a.strip_prefix("--n-clients=") {
+            return Some(v.parse().expect("--n-clients requires a positive integer"));
+        }
+    }
+    std::env::var("FEDCA_N_CLIENTS")
+        .ok()
+        .map(|v| v.parse().expect("FEDCA_N_CLIENTS must be an integer"))
+}
+
+/// Resizes a federation to `n` virtual clients: the cohort is clamped to
+/// the population, and large populations get a bounded residency cache
+/// (the lazy client store derives everyone else on demand) so memory
+/// scales with the cohort, not the population.
+pub fn apply_population(fl: &mut FlConfig, n: usize) {
+    assert!(n > 0, "population must be non-empty");
+    fl.n_clients = n;
+    fl.clients_per_round = fl.clients_per_round.min(n);
+    if n > 4096 {
+        fl.population.cache_clients = (4 * fl.clients_per_round).max(256);
     }
 }
 
@@ -308,6 +348,21 @@ mod tests {
             numbered_trace_path(Path::new("trace"), 1),
             Path::new("trace.1")
         );
+    }
+
+    #[test]
+    fn population_override_clamps_cohort_and_bounds_residency() {
+        let w = Workload::tiny_mlp(1);
+        let mut fl = fl_config(&w, ExpScale::Smoke, 9);
+        apply_population(&mut fl, 2);
+        assert_eq!(fl.n_clients, 2);
+        assert_eq!(fl.clients_per_round, 2);
+        assert_eq!(fl.population.cache_clients, 0, "small stays eager");
+        let mut big = fl_config(&w, ExpScale::Scaled, 9);
+        apply_population(&mut big, 1_000_000);
+        assert_eq!(big.n_clients, 1_000_000);
+        assert_eq!(big.clients_per_round, 8);
+        assert_eq!(big.population.cache_clients, 256);
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub fn progress_study(
         faults: Default::default(),
         trace: Default::default(),
         checkpoint: Default::default(),
+        population: Default::default(),
     };
     let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload.clone());
     trainer.eval_every = 0; // no accuracy needed; keep the study fast
@@ -168,12 +169,17 @@ pub fn progress_study(
     let n_dropped: usize = trainer.records().iter().map(|r| r.n_dropped).sum();
     let n_missed: usize = trainer.records().iter().map(|r| r.n_deadline_missed).sum();
     let n_rejected: usize = trainer.records().iter().map(|r| r.n_rejected).sum();
+    let n_hydrated: usize = trainer.records().iter().map(|r| r.n_hydrated).sum();
+    let n_evicted: usize = trainer.records().iter().map(|r| r.n_evicted).sum();
+    let hydrate_us: f64 = trainer.records().iter().map(|r| r.hydrate_host_us).sum();
     note(&format!(
         "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s); \
          faults: {n_crashed} crashed, {n_dropped} dropped, {n_missed} deadline-missed, \
-         {n_rejected} rejected",
+         {n_rejected} rejected; store: {n_hydrated} hydrated, {n_evicted} evicted, \
+         {:.0} µs hydrating",
         host_ms,
         rounds_run as f64 / (host_ms / 1e3).max(1e-9),
+        hydrate_us,
     ));
     out
 }

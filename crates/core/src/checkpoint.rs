@@ -2,18 +2,24 @@
 //!
 //! A checkpoint is a complete snapshot of the cross-round training state:
 //! rounds completed, virtual clock, the selection RNG's stream position,
-//! global parameters, the server's duration-estimator table, and every
-//! client's mutable state (epoch sampler position, device-speed process,
-//! link queues, profiled curves, participation count, compression
-//! residual). Everything else a [`Trainer`](crate::Trainer) holds is a pure
-//! function of the configuration — the partition, device speed classes,
-//! profiler sample indices, and the fault plan all derive from `fl.seed` —
-//! so resume rebuilds the trainer from config and overwrites only the state
-//! captured here. Intra-round transients (eager-transmission snapshots,
-//! early-stop decisions, an anchor round's recording buffer) never cross a
-//! round boundary and therefore never appear in a checkpoint; the
-//! fault-plan "cursor" is simply the round index, because fault draws are a
-//! pure function of `(fault_seed, round, client)`.
+//! global parameters, the server's duration-estimator table, and the
+//! mutable state of every client that ever *participated* (epoch sampler
+//! position, device-speed process, link queues, profiled curves,
+//! participation count, compression residual). Everything else a
+//! [`Trainer`](crate::Trainer) holds is a pure function of the
+//! configuration — the partition, device speed classes, profiler sample
+//! indices, and the fault plan all derive from `fl.seed` — so resume
+//! rebuilds the trainer from config and overwrites only the state captured
+//! here. The envelope is *sparse* over the population (format v2): clients
+//! that never participated are omitted entirely, and the estimator and
+//! participation tables store `(id, value)` pairs, so a checkpoint of a
+//! million-client federation costs memory proportional to the clients
+//! actually touched, not the population. Intra-round transients
+//! (eager-transmission snapshots, early-stop decisions, an anchor round's
+//! recording buffer) never cross a round boundary and therefore never
+//! appear in a checkpoint; the fault-plan "cursor" is simply the round
+//! index, because fault draws are a pure function of
+//! `(fault_seed, round, client)`.
 //!
 //! # On-disk format
 //!
@@ -53,8 +59,11 @@ use std::path::{Path, PathBuf};
 /// File magic of a checkpoint generation.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FEDCACKP";
 
-/// Current on-disk format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current on-disk format version. v2 made the envelope sparse over the
+/// client population (dirty clients only, `(id, value)` tables); v1
+/// envelopes are rejected as an unsupported version and skipped by
+/// recovery like any other invalid generation.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Header bytes before the payload (magic + version + length + checksum).
 pub const CHECKPOINT_HEADER_LEN: usize = 8 + 4 + 8 + 8;
@@ -150,12 +159,21 @@ pub struct ClientSnapshot {
 }
 
 /// The full serialized training state (the checkpoint payload).
+///
+/// Sparse over the population: `clients` holds only the *dirty* set —
+/// clients whose mutable state diverged from its config-derived initial
+/// value (i.e. they participated at least once) — and the estimator and
+/// participation tables are `(id, value)` pairs sorted by id. A client
+/// absent from every table is rederived from `(fl.seed, id)` on demand.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointEnvelope {
     /// Fingerprint of `(FlConfig minus durability/trace, scheme, workload)`;
     /// restore refuses an envelope whose fingerprint does not match the
     /// rebuilt trainer's.
     pub fingerprint: u64,
+    /// Population size the envelope was written against; restore refuses a
+    /// mismatch (sparse ids would silently alias otherwise).
+    pub n_clients: usize,
     /// Rounds completed when the snapshot was taken (the resume point).
     pub rounds_done: usize,
     /// Virtual clock at the end of the last completed round.
@@ -164,11 +182,12 @@ pub struct CheckpointEnvelope {
     pub selection_rng: Vec<u64>,
     /// Global model parameters.
     pub global: Vec<f32>,
-    /// Server-side per-client duration EMA table.
-    pub estimator_ema: Vec<Option<f64>>,
-    /// Trainer-side participation counts (also each client's own counter).
-    pub participations: Vec<usize>,
-    /// Per-client mutable state, one entry per federation client.
+    /// Server-side duration EMA table, `(client, ema)` sorted by client.
+    pub estimator_ema: Vec<(usize, f64)>,
+    /// Participation counts of clients that participated, `(client, count)`
+    /// sorted by client.
+    pub participations: Vec<(usize, usize)>,
+    /// Mutable state of the dirty client set, sorted by id.
     pub clients: Vec<ClientSnapshot>,
     /// All completed round records, in order.
     #[serde(default)]
@@ -193,6 +212,10 @@ pub enum CheckpointError {
         /// Fingerprint of the trainer attempting the restore.
         actual: u64,
     },
+    /// The trainer's client store rejected a snapshot or restore (a client
+    /// was still checked out to a worker, or an id fell outside the
+    /// population).
+    Trainer(crate::population::TrainerError),
 }
 
 impl fmt::Display for CheckpointError {
@@ -211,6 +234,7 @@ impl fmt::Display for CheckpointError {
                 "checkpoint belongs to a different run configuration \
                  (envelope fingerprint {expected:#018x}, trainer {actual:#018x})"
             ),
+            CheckpointError::Trainer(e) => write!(f, "client store rejected the operation: {e}"),
         }
     }
 }
@@ -220,6 +244,12 @@ impl std::error::Error for CheckpointError {}
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl From<crate::population::TrainerError> for CheckpointError {
+    fn from(e: crate::population::TrainerError) -> Self {
+        CheckpointError::Trainer(e)
     }
 }
 
@@ -403,12 +433,13 @@ mod tests {
     fn tiny_envelope(rounds_done: usize) -> CheckpointEnvelope {
         CheckpointEnvelope {
             fingerprint: 0xABCD_EF01_2345_6789,
+            n_clients: 1_000_000,
             rounds_done,
             clock: 12.5 + rounds_done as f64,
             selection_rng: vec![1, u64::MAX, 3, 0x9E37_79B9_7F4A_7C15],
             global: vec![0.1, -2.5e-8, 3.0e7],
-            estimator_ema: vec![None, Some(4.25)],
-            participations: vec![2, 0],
+            estimator_ema: vec![(1, 4.25), (999_999, 0.75)],
+            participations: vec![(0, 2)],
             clients: vec![ClientSnapshot {
                 id: 0,
                 sampler_indices: vec![3, 1, 2, 0],

@@ -59,6 +59,27 @@ pub struct FlConfig {
     /// touches the filesystem and trajectories are unchanged.
     #[serde(default)]
     pub checkpoint: CheckpointConfig,
+    /// Virtual-population residency policy (`core::population`). Purely
+    /// operational — it bounds how many hydrated clients stay in memory and
+    /// never affects the trajectory, so (like trace/checkpoint) it is
+    /// excluded from the run fingerprint.
+    #[serde(default)]
+    pub population: PopulationConfig,
+}
+
+/// Residency policy for the lazy client store.
+///
+/// Client state is rederivable on demand from `(seed, id)` counter streams,
+/// so only the selected cohort ever *needs* to be resident; this section
+/// controls how much of it is cached between rounds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Maximum hydrated clients kept resident after a round; least-recently
+    /// selected clients are evicted first (their mutated state moves to a
+    /// compact snapshot overlay). 0 means unbounded — every hydrated client
+    /// stays resident, matching the old eager path's memory behaviour.
+    #[serde(default)]
+    pub cache_clients: usize,
 }
 
 impl Default for FlConfig {
@@ -80,6 +101,7 @@ impl Default for FlConfig {
             faults: FaultConfig::none(),
             trace: TraceConfig::disabled(),
             checkpoint: CheckpointConfig::disabled(),
+            population: PopulationConfig::default(),
         }
     }
 }

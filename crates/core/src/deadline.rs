@@ -36,54 +36,67 @@ pub fn compute_deadline(predicted: &[SimTime]) -> SimTime {
 /// Server-side per-client duration predictor: exponential moving average of
 /// observed round durations, with an optimistic default for never-seen
 /// clients.
+///
+/// The table is sparse: only clients that have actually been observed hold
+/// an entry, so memory scales with the *participating* set, not the
+/// population — a 1,000,000-client federation sampling 128/round holds at
+/// most `rounds × 128` entries.
 #[derive(Clone, Debug)]
 pub struct DurationEstimator {
-    ema: Vec<Option<SimTime>>,
+    ema: std::collections::HashMap<usize, SimTime>,
     alpha: f64,
     default: SimTime,
 }
 
 impl DurationEstimator {
-    /// Creates an estimator for `n` clients with smoothing `alpha` and a
-    /// `default` prediction for unobserved clients.
-    pub fn new(n: usize, alpha: f64, default: SimTime) -> Self {
+    /// Creates an estimator with smoothing `alpha` and a `default`
+    /// prediction for unobserved clients.
+    pub fn new(alpha: f64, default: SimTime) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
         assert!(default > 0.0, "default duration must be positive");
         DurationEstimator {
-            ema: vec![None; n],
+            ema: std::collections::HashMap::new(),
             alpha,
             default,
         }
     }
 
-    /// Records an observed full-round duration for a client.
+    /// Records an observed full-round duration for a client. The first
+    /// observation seeds the EMA exactly; later ones blend with `alpha`.
     pub fn observe(&mut self, client: usize, duration: SimTime) {
-        let e = &mut self.ema[client];
-        *e = Some(match *e {
-            Some(prev) => (1.0 - self.alpha) * prev + self.alpha * duration,
-            None => duration,
-        });
+        match self.ema.entry(client) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let prev = *o.get();
+                *o.get_mut() = (1.0 - self.alpha) * prev + self.alpha * duration;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(duration);
+            }
+        }
     }
 
     /// Predicted duration for a client.
     pub fn predict(&self, client: usize) -> SimTime {
-        self.ema[client].unwrap_or(self.default)
+        self.ema.get(&client).copied().unwrap_or(self.default)
     }
 
-    /// The per-client EMA table, for checkpointing. Alpha and the default
-    /// are config-derived and excluded.
-    pub fn snapshot(&self) -> Vec<Option<SimTime>> {
-        self.ema.clone()
+    /// Observed clients in the table.
+    pub fn n_observed(&self) -> usize {
+        self.ema.len()
     }
 
-    /// Restores an EMA table captured by [`DurationEstimator::snapshot`].
-    ///
-    /// # Panics
-    /// Panics if the table length differs from this estimator's client
-    /// count.
-    pub fn restore(&mut self, ema: Vec<Option<SimTime>>) {
-        assert_eq!(ema.len(), self.ema.len(), "client count changed");
-        self.ema = ema;
+    /// The sparse `(client, ema)` table sorted by client id, for
+    /// checkpointing. Alpha and the default are config-derived and excluded.
+    pub fn snapshot(&self) -> Vec<(usize, SimTime)> {
+        let mut out: Vec<(usize, SimTime)> = self.ema.iter().map(|(&c, &e)| (c, e)).collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
+    }
+
+    /// Restores a table captured by [`DurationEstimator::snapshot`],
+    /// replacing any current entries.
+    pub fn restore(&mut self, ema: Vec<(usize, SimTime)>) {
+        self.ema = ema.into_iter().collect();
     }
 }
 
@@ -122,7 +135,7 @@ mod tests {
 
     #[test]
     fn estimator_defaults_then_tracks() {
-        let mut e = DurationEstimator::new(2, 0.5, 10.0);
+        let mut e = DurationEstimator::new(0.5, 10.0);
         assert_eq!(e.predict(0), 10.0);
         e.observe(0, 20.0);
         assert_eq!(e.predict(0), 20.0);
@@ -135,5 +148,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_non_positive_durations() {
         let _ = compute_deadline(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn estimator_table_is_sparse_and_round_trips() {
+        let mut e = DurationEstimator::new(0.3, 10.0);
+        // Only observed clients occupy memory — ids far apart cost 2 slots,
+        // not max(id) slots.
+        e.observe(999_983, 4.0);
+        e.observe(7, 6.0);
+        assert_eq!(e.n_observed(), 2);
+        let snap = e.snapshot();
+        assert_eq!(snap, vec![(7, 6.0), (999_983, 4.0)], "sorted by id");
+        let mut f = DurationEstimator::new(0.3, 10.0);
+        f.restore(snap);
+        assert_eq!(f.predict(7), 6.0);
+        assert_eq!(f.predict(999_983), 4.0);
+        assert_eq!(f.predict(0), 10.0, "unseen clients keep the default");
     }
 }

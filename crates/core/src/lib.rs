@@ -42,6 +42,7 @@ pub mod early_stop;
 pub mod executor;
 pub mod metrics;
 pub mod params;
+pub mod population;
 pub mod profiler;
 pub mod progress;
 pub mod runner;
@@ -51,9 +52,11 @@ pub mod workload;
 
 pub use algorithms::{FedCaOptions, Scheme};
 pub use checkpoint::{CheckpointConfig, CheckpointEnvelope, CheckpointError, CheckpointStore};
+pub use config::PopulationConfig;
 pub use config::{FedCaConfig, FlConfig};
 pub use metrics::TrainerOutput;
 pub use params::UpdateVec;
+pub use population::{ClientFactory, ClientStore, TrainerError};
 pub use progress::statistical_progress;
 pub use runner::Trainer;
 pub use trace::{TraceConfig, TraceEvent, TraceRecord, TraceSink, Tracer};

@@ -70,6 +70,17 @@ pub struct RoundRecord {
     /// (cached model builds plus flat-parameter scratch refills).
     #[serde(default)]
     pub allocs_avoided: usize,
+    /// Clients derived fresh from `(seed, id)` this round (lazy client
+    /// store). Operational, like `host_ms` — excluded from bit-identity
+    /// comparisons.
+    #[serde(default)]
+    pub n_hydrated: usize,
+    /// Clients evicted from residency at the end of this round.
+    #[serde(default)]
+    pub n_evicted: usize,
+    /// Host wall-clock microseconds spent hydrating this round's cohort.
+    #[serde(default)]
+    pub hydrate_host_us: f64,
 }
 
 impl RoundRecord {
@@ -222,6 +233,9 @@ mod tests {
             is_anchor: false,
             host_ms: 0.0,
             allocs_avoided: 0,
+            n_hydrated: 0,
+            n_evicted: 0,
+            hydrate_host_us: 0.0,
         }
     }
 

@@ -12,25 +12,22 @@
 //! regardless of which worker finishes first.
 
 use crate::algorithms::Scheme;
-use crate::checkpoint::{
-    fnv1a, CheckpointEnvelope, CheckpointError, CheckpointStore, ClientSnapshot,
-};
+use crate::checkpoint::{fnv1a, CheckpointEnvelope, CheckpointError, CheckpointStore};
 use crate::client::{ClientOptions, ClientState, RoundPlan};
 use crate::config::FlConfig;
 use crate::executor::{ClientDone, ClientWork, RoundCtx, RoundExecutor};
 use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
 use crate::params::ModelLayout;
-use crate::profiler::SampledProfiler;
+use crate::population::{ClientFactory, ClientStore, TrainerError};
 use crate::server::Server;
 use crate::trace::{PendingEvent, TraceEvent, Tracer, SERVER_ORD};
 use crate::workload::Workload;
-use fedca_data::{dirichlet_partition, BatchSampler};
+use fedca_data::PartitionSpec;
 use fedca_nn::loss::accuracy;
 use fedca_nn::Model;
-use fedca_sim::device::{DeviceSpeed, DynamicsConfig};
+use fedca_sim::device::DynamicsConfig;
 use fedca_sim::faults::FaultPlan;
 use fedca_sim::network::Link;
-use fedca_sim::trace::fedscale_like;
 use fedca_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,34 +35,20 @@ use std::sync::Arc;
 
 pub use crate::metrics::TrainerOutput as Output;
 
-/// Everything needed to reconstruct a client whose in-flight state was
-/// destroyed by a worker panic: the immutable assignment (data shard, device
-/// speed class) plus shared federation settings. Mutable cross-round state
-/// (profiler history, error feedback, link queues) is genuinely lost — a
-/// panicked client rejoins as a fresh device, which is exactly the paper's
-/// availability-churn semantics.
-struct ClientBlueprint {
-    shard: Vec<usize>,
-    speed: f64,
-}
-
 /// Drives one `(scheme, workload)` experiment.
+///
+/// Client state is held by a lazy [`ClientStore`]: any client's initial
+/// state is a pure function of `(fl.seed, id)`, so only the selected cohort
+/// is ever materialized — a million-client population costs memory
+/// proportional to the residency cap, not the population.
 pub struct Trainer {
     fl: FlConfig,
     scheme: Scheme,
     workload: Workload,
     layout: Arc<ModelLayout>,
     server: Server,
-    /// Client state; a slot is `None` only while that client is checked out
-    /// to a worker mid-round.
-    clients: Vec<Option<ClientState>>,
-    /// Rebuild recipes for clients destroyed by injected worker panics.
-    blueprints: Vec<ClientBlueprint>,
-    /// Trainer-side participation counts, kept in lockstep with each
-    /// client's own counter so a rebuilt client resumes its anchor cadence.
-    participations: Vec<usize>,
-    dynamics: DynamicsConfig,
-    max_samples: usize,
+    /// The lazy, rederivable client population.
+    store: ClientStore,
     fault_plan: FaultPlan,
     executor: RoundExecutor,
     tracer: Tracer,
@@ -77,6 +60,13 @@ pub struct Trainer {
     pub eval_every: usize,
     /// Test samples per evaluation (subsampled from the test set).
     pub eval_samples: usize,
+}
+
+/// Hydration/checkout invariants are upheld by the round loop itself, so a
+/// violation mid-round is a bug, not a recoverable condition — but it now
+/// carries a typed, descriptive error instead of a bare `expect`.
+fn invariant<T>(r: Result<T, TrainerError>) -> T {
+    r.unwrap_or_else(|e| panic!("client-store invariant violated: {e}"))
 }
 
 impl Trainer {
@@ -110,18 +100,6 @@ impl Trainer {
         let layout = Arc::new(ModelLayout::from_spans(model.spans()));
         let initial = model.flat_params();
 
-        let mut rng = StdRng::seed_from_u64(fl.seed);
-        let shards = dirichlet_partition(
-            workload.train.labels(),
-            fl.n_clients,
-            fl.dirichlet_alpha,
-            &mut rng,
-        );
-        let speeds = if fl.heterogeneity {
-            fedscale_like(fl.n_clients, &mut rng)
-        } else {
-            vec![1.0; fl.n_clients]
-        };
         let dynamics = if fl.dynamicity {
             DynamicsConfig::paper()
         } else {
@@ -131,26 +109,22 @@ impl Trainer {
             Scheme::FedCa(o) => o.config.max_samples_per_layer,
             _ => 100,
         };
-        let blueprints: Vec<ClientBlueprint> = shards
-            .iter()
-            .enumerate()
-            .map(|(id, shard)| ClientBlueprint {
-                shard: shard.clone(),
-                speed: speeds[id],
-            })
-            .collect();
-        let clients: Vec<Option<ClientState>> = (0..fl.n_clients)
-            .map(|id| {
-                Some(build_client(
-                    id,
-                    &blueprints[id],
-                    &dynamics,
-                    &layout,
-                    max_samples,
-                    &fl,
-                ))
-            })
-            .collect();
+        // Derive-at-id population: no per-client table is built here. Any
+        // client's shard, speed class, and RNG streams are pure functions of
+        // `(fl.seed, id)`, hydrated on first selection.
+        let partition = PartitionSpec::new(
+            workload.train.labels(),
+            fl.n_clients,
+            fl.dirichlet_alpha,
+            fl.seed,
+        );
+        let store = ClientStore::new(ClientFactory {
+            fl: fl.clone(),
+            dynamics,
+            layout: layout.clone(),
+            max_samples,
+            partition,
+        });
 
         // Optimistic default duration: nominal compute + both transfers.
         let link = Link::paper_client();
@@ -159,7 +133,6 @@ impl Trainer {
         let server = Server::new(
             layout.clone(),
             initial,
-            fl.n_clients,
             fl.aggregation_fraction,
             default_duration,
         );
@@ -185,37 +158,17 @@ impl Trainer {
             executor: RoundExecutor::new(n_workers),
             tracer,
             fault_plan: FaultPlan::new(fl.faults.clone()),
-            participations: vec![0; fl.n_clients],
             fl,
             scheme,
             workload,
             layout,
             server,
-            clients,
-            blueprints,
-            dynamics,
-            max_samples,
+            store,
             clock: 0.0,
             records: Vec::new(),
             eval_every: 1,
             eval_samples: 512,
         }
-    }
-
-    /// Reconstructs a client destroyed by an injected worker panic from its
-    /// blueprint; participation count carries over (the server still knows
-    /// the client), everything else restarts fresh.
-    fn rebuild_client(&self, id: usize) -> ClientState {
-        let mut client = build_client(
-            id,
-            &self.blueprints[id],
-            &self.dynamics,
-            &self.layout,
-            self.max_samples,
-            &self.fl,
-        );
-        client.participations = self.participations[id];
-        client
     }
 
     /// The virtual clock (end of the last completed round).
@@ -240,11 +193,21 @@ impl Trainer {
         &self.tracer
     }
 
-    /// Read access to a client (tests, examples).
-    pub fn client(&self, id: usize) -> &ClientState {
-        self.clients[id]
-            .as_ref()
-            .expect("client is checked out to a worker")
+    /// Access to a client (tests, examples), hydrating it on demand —
+    /// which is why this takes `&mut self` now.
+    pub fn client(&mut self, id: usize) -> &ClientState {
+        &*invariant(self.store.client_mut(id))
+    }
+
+    /// The lazy client store (residency stats, direct hydration).
+    pub fn store(&self) -> &ClientStore {
+        &self.store
+    }
+
+    /// Hydrates the entire population up front — the eager path. Only
+    /// sensible for small federations (parity tests, examples).
+    pub fn hydrate_all(&mut self) -> Result<(), TrainerError> {
+        self.store.hydrate_all()
     }
 
     /// Current global parameters.
@@ -272,9 +235,11 @@ impl Trainer {
         let round_span = self.tracer.start_span("round");
         let tracing = self.tracer.is_enabled();
         let round = self.records.len();
+        self.store.begin_round();
         let selected =
             self.server
                 .select_clients(self.fl.n_clients, self.fl.clients_per_round, &mut self.rng);
+
         let deadline = self.server.round_deadline(&selected);
         let plans = self
             .server
@@ -297,14 +262,44 @@ impl Trainer {
                 deadline,
             },
         );
+
+        // Hydrate the cohort: derive any client not already resident from
+        // `(fl.seed, id)` (applying its dirty overlay if it was evicted
+        // earlier). Hydration is trajectory-neutral — the per-client events
+        // are non-canonical and the host time is tracked separately — but
+        // the span itself is emitted identically on the eager and lazy
+        // paths, so it stays in the canonical stream.
+        let hydrate_t0 = std::time::Instant::now();
+        let hydrate_span = self.tracer.start_span("hydrate");
+        for &cid in &selected {
+            let fresh = invariant(self.store.hydrate(cid));
+            if tracing {
+                self.tracer.emit(
+                    self.clock,
+                    SERVER_ORD,
+                    0.0,
+                    TraceEvent::ClientHydrated {
+                        round,
+                        client: cid,
+                        fresh,
+                    },
+                );
+            }
+        }
+        self.tracer.end_span(hydrate_span, self.clock);
+        let hydrate_host_us = hydrate_t0.elapsed().as_secs_f64() * 1e6;
+
         let mut plan_for: Vec<RoundPlan> = Vec::with_capacity(selected.len());
         for (ord, &cid) in selected.iter().enumerate() {
-            let client = self.clients[cid]
-                .as_mut()
-                .expect("client is checked out to a worker");
-            let is_anchor = matches!(self.scheme, Scheme::FedCa(_))
-                && profile_period != 0
-                && client.participations.is_multiple_of(profile_period);
+            let is_anchor = {
+                let client = invariant(self.store.client_mut(cid));
+                let anchor = matches!(self.scheme, Scheme::FedCa(_))
+                    && profile_period != 0
+                    && client.participations.is_multiple_of(profile_period);
+                client.participations += 1;
+                anchor
+            };
+            self.store.bump_participation(cid);
             plan_for.push(RoundPlan {
                 round,
                 start: round_start,
@@ -313,8 +308,6 @@ impl Trainer {
                 is_anchor,
                 faults: self.fault_plan.draw(round, cid, plans[ord]),
             });
-            client.participations += 1;
-            self.participations[cid] += 1;
             if tracing {
                 let plan = plan_for.last().expect("just pushed");
                 self.tracer.emit(
@@ -354,7 +347,7 @@ impl Trainer {
             global: self.server.global().as_slice().to_vec(),
         });
         for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
-            let client = self.clients[cid].take().expect("client selected twice");
+            let client = invariant(self.store.checkout(cid));
             self.executor
                 .submit(ClientWork {
                     ord,
@@ -408,14 +401,14 @@ impl Trainer {
                         });
                         trace_batches.push((done.ord, events));
                     }
-                    self.clients[cid] = Some(done.client);
+                    invariant(self.store.check_in(done.client));
                     allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
                     agg.ingest(done.ord, done.report);
                 }
                 ClientDone::Failed(failure) => {
                     let cid = selected[failure.ord];
                     debug_assert_eq!(failure.client_id, cid, "failure/client mismatch");
-                    self.clients[cid] = Some(self.rebuild_client(cid));
+                    invariant(self.store.rebuild_failed(cid));
                     n_panicked += 1;
                     if tracing {
                         // The unwind destroyed the client's buffered events;
@@ -497,6 +490,11 @@ impl Trainer {
             },
         );
         self.tracer.end_span(round_span, agg.completion);
+        // Enforce the residency cap now that every client is home: beyond
+        // `population.cache_clients`, least-recently-selected clients move
+        // their mutated state to the compact dirty overlay.
+        self.store.end_round();
+        let (n_hydrated, n_evicted) = self.store.round_stats();
         self.records.push(RoundRecord {
             round,
             start: round_start,
@@ -523,6 +521,9 @@ impl Trainer {
             is_anchor: any_anchor,
             host_ms: host_t0.elapsed().as_secs_f64() * 1e3,
             allocs_avoided,
+            n_hydrated,
+            n_evicted,
+            hydrate_host_us,
         });
         self.records.last().expect("just pushed")
     }
@@ -597,6 +598,9 @@ impl Trainer {
         let mut neutral = self.fl.clone();
         neutral.checkpoint = Default::default();
         neutral.trace = Default::default();
+        // Residency policy is trajectory-neutral, so an eager run's
+        // checkpoints resume under a bounded cache and vice versa.
+        neutral.population = Default::default();
         let mut text = serde_json::to_string(&neutral).expect("config serializes");
         text.push('|');
         text.push_str(&serde_json::to_string(&self.scheme).expect("scheme serializes"));
@@ -606,39 +610,23 @@ impl Trainer {
     }
 
     /// Captures the full cross-round training state. Only valid between
-    /// rounds (every client slot is home); `run_round` upholds that.
-    pub fn snapshot(&self) -> CheckpointEnvelope {
-        let clients: Vec<ClientSnapshot> = self
-            .clients
-            .iter()
-            .map(|slot| {
-                let c = slot
-                    .as_ref()
-                    .expect("snapshot runs between rounds, all clients home");
-                let (sampler_indices, sampler_cursor) = c.sampler.snapshot();
-                ClientSnapshot {
-                    id: c.id,
-                    sampler_indices,
-                    sampler_cursor,
-                    device: c.device.snapshot(),
-                    uplink_busy_until: c.uplink.busy_until(),
-                    downlink_busy_until: c.downlink.busy_until(),
-                    curves: c.profiler.curves().cloned(),
-                    error_feedback: c.error_feedback.snapshot(),
-                }
-            })
-            .collect();
-        CheckpointEnvelope {
+    /// rounds — errors with [`TrainerError::ClientsInFlight`] if any client
+    /// is still checked out to a worker (`run_round` upholds that). The
+    /// envelope is sparse: only clients that ever participated appear.
+    pub fn snapshot(&self) -> Result<CheckpointEnvelope, TrainerError> {
+        let clients = self.store.snapshot_all()?;
+        Ok(CheckpointEnvelope {
             fingerprint: self.run_fingerprint(),
+            n_clients: self.fl.n_clients,
             rounds_done: self.records.len(),
             clock: self.clock,
             selection_rng: self.rng.state().to_vec(),
             global: self.server.global().as_slice().to_vec(),
             estimator_ema: self.server.estimator().snapshot(),
-            participations: self.participations.clone(),
+            participations: self.store.participations_snapshot(),
             clients,
             records: self.records.clone(),
-        }
+        })
     }
 
     /// Overwrites this trainer's mutable state with a snapshot taken by an
@@ -653,15 +641,12 @@ impl Trainer {
                 actual,
             });
         }
-        if env.clients.len() != self.fl.n_clients
-            || env.participations.len() != self.fl.n_clients
-            || env.records.len() != env.rounds_done
-        {
+        if env.n_clients != self.fl.n_clients || env.records.len() != env.rounds_done {
             return Err(CheckpointError::Corrupt(format!(
-                "envelope shape mismatch: {} clients / {} participations / {} records \
-                 for rounds_done={}",
-                env.clients.len(),
-                env.participations.len(),
+                "envelope shape mismatch: population {} (trainer has {}), \
+                 {} records for rounds_done={}",
+                env.n_clients,
+                self.fl.n_clients,
                 env.records.len(),
                 env.rounds_done
             )));
@@ -673,25 +658,13 @@ impl Trainer {
         self.rng = StdRng::from_state(rng_state);
         self.clock = env.clock;
         self.records = env.records.clone();
-        self.participations = env.participations.clone();
         self.server.restore_global(env.global.clone());
         self.server
             .estimator_mut()
             .restore(env.estimator_ema.clone());
-        for (slot, snap) in self.clients.iter_mut().zip(&env.clients) {
-            let c = slot
-                .as_mut()
-                .expect("restore runs between rounds, all clients home");
-            debug_assert_eq!(c.id, snap.id, "client snapshots are ordered by id");
-            c.sampler
-                .restore(snap.sampler_indices.clone(), snap.sampler_cursor);
-            c.device.restore(&snap.device);
-            c.uplink.restore_busy_until(snap.uplink_busy_until);
-            c.downlink.restore_busy_until(snap.downlink_busy_until);
-            c.profiler.restore_curves(snap.curves.clone());
-            c.error_feedback.restore(snap.error_feedback.clone());
-            c.participations = env.participations[snap.id];
-        }
+        // The sparse client set becomes the store's dirty overlay; clients
+        // rehydrate (fresh derivation + overlay) on their next selection.
+        self.store.restore(&env.clients, &env.participations)?;
         Ok(())
     }
 
@@ -702,7 +675,7 @@ impl Trainer {
             return Err(CheckpointError::Disabled);
         }
         let store = CheckpointStore::new(&self.fl.checkpoint);
-        let env = self.snapshot();
+        let env = self.snapshot()?;
         let path = store.write(&env)?;
         self.tracer.emit(
             self.clock,
@@ -789,41 +762,6 @@ impl Trainer {
     }
 }
 
-/// Constructs one client's state from its blueprint. All seeds derive from
-/// `(fl.seed, id)` alone, so a rebuilt client is bit-identical to a freshly
-/// federated one.
-fn build_client(
-    id: usize,
-    blueprint: &ClientBlueprint,
-    dynamics: &DynamicsConfig,
-    layout: &Arc<ModelLayout>,
-    max_samples: usize,
-    fl: &FlConfig,
-) -> ClientState {
-    let shard = blueprint.shard.clone();
-    let sampler = BatchSampler::new(shard.clone(), fl.batch_size);
-    ClientState {
-        id,
-        shard,
-        sampler,
-        device: DeviceSpeed::new(
-            blueprint.speed,
-            dynamics.clone(),
-            fl.seed ^ (0xDE71 + id as u64 * 7919),
-        ),
-        uplink: Link::paper_client(),
-        downlink: Link::paper_client(),
-        profiler: SampledProfiler::new(
-            layout.clone(),
-            max_samples,
-            fl.seed ^ (0x5A4D + id as u64 * 104729),
-        ),
-        seed: fl.seed ^ (id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
-        participations: 0,
-        error_feedback: fedca_compress::ErrorFeedback::new(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +787,7 @@ mod tests {
             faults: FaultConfig::none(),
             trace: Default::default(),
             checkpoint: Default::default(),
+            population: Default::default(),
         }
     }
 
@@ -987,9 +926,10 @@ mod tests {
         assert_eq!(kind_count("aggregation_cut"), 2);
         assert_eq!(kind_count("client_checkout"), 8, "4 clients × 2 rounds");
         assert_eq!(kind_count("client_done"), 8);
+        assert_eq!(kind_count("client_hydrated"), 8, "one per selection");
         assert_eq!(kind_count("fault_armed"), 0, "fault-free run");
-        // Spans: one "round" + one "evaluate" per round, with host time.
-        assert_eq!(kind_count("span"), 4);
+        // Spans: "hydrate" + "round" + "evaluate" per round, with host time.
+        assert_eq!(kind_count("span"), 6);
         assert!(recs
             .iter()
             .filter(|r| r.event.kind() == "span")

@@ -33,17 +33,18 @@ pub struct AggregationResult {
 }
 
 impl Server {
-    /// Creates a server with initial global parameters.
+    /// Creates a server with initial global parameters. The duration
+    /// estimator is sparse: no per-client table is allocated up front, so
+    /// server memory is independent of the population size.
     pub fn new(
         layout: Arc<ModelLayout>,
         initial: Vec<f32>,
-        n_clients: usize,
         aggregation_fraction: f64,
         default_round_duration: SimTime,
     ) -> Self {
         Server {
             global: UpdateVec::from_vec(layout, initial),
-            estimator: DurationEstimator::new(n_clients, 0.3, default_round_duration),
+            estimator: DurationEstimator::new(0.3, default_round_duration),
             aggregation_fraction,
         }
     }
@@ -74,6 +75,12 @@ impl Server {
     }
 
     /// Uniform-random client selection without replacement.
+    ///
+    /// Sparse partial Fisher-Yates: instead of materializing the full
+    /// `0..n_total` pool (ruinous at a million clients), only displaced
+    /// slots are tracked in a hash map. The RNG draw sequence and the
+    /// resulting selection are identical to the dense `pool.swap(i, j)`
+    /// formulation, at O(n_select) time and memory.
     pub fn select_clients(
         &self,
         n_total: usize,
@@ -81,14 +88,17 @@ impl Server {
         rng: &mut impl Rng,
     ) -> Vec<usize> {
         assert!(n_select <= n_total, "cannot select {n_select} of {n_total}");
-        // Partial Fisher-Yates.
-        let mut pool: Vec<usize> = (0..n_total).collect();
+        let mut displaced: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n_select);
         for i in 0..n_select {
             let j = rng.gen_range(i..n_total);
-            pool.swap(i, j);
+            let vj = *displaced.get(&j).unwrap_or(&j);
+            let vi = *displaced.get(&i).unwrap_or(&i);
+            displaced.insert(j, vi);
+            out.push(vj);
         }
-        pool.truncate(n_select);
-        pool
+        out
     }
 
     /// The round deadline `T_R` the server offloads to the selected clients
@@ -327,7 +337,7 @@ mod tests {
     }
 
     fn server() -> Server {
-        Server::new(layout(), vec![10.0, 20.0], 8, 0.9, 5.0)
+        Server::new(layout(), vec![10.0, 20.0], 0.9, 5.0)
     }
 
     #[test]
@@ -343,6 +353,38 @@ mod tests {
         assert!(sel.iter().all(|&c| c < 8));
         let sel2 = s.select_clients(8, 5, &mut StdRng::seed_from_u64(1));
         assert_eq!(sel, sel2);
+    }
+
+    #[test]
+    fn sparse_selection_matches_dense_fisher_yates() {
+        // The sparse displaced-slot formulation must reproduce the dense
+        // partial Fisher-Yates exactly — same RNG draws, same selections —
+        // so pre-existing seeds keep their cohorts.
+        let dense = |n_total: usize, n_select: usize, seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pool: Vec<usize> = (0..n_total).collect();
+            for i in 0..n_select {
+                let j = rng.gen_range(i..n_total);
+                pool.swap(i, j);
+            }
+            pool.truncate(n_select);
+            pool
+        };
+        let s = server();
+        for seed in 0..32u64 {
+            for &(n_total, n_select) in &[(8usize, 5usize), (128, 16), (1000, 1), (64, 64)] {
+                let sparse = s.select_clients(n_total, n_select, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(sparse, dense(n_total, n_select, seed), "seed {seed}");
+            }
+        }
+        // Huge populations stay cheap and in range.
+        let sel = s.select_clients(1_000_000, 128, &mut StdRng::seed_from_u64(7));
+        assert_eq!(sel.len(), 128);
+        let mut d = sel.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 128, "without replacement");
+        assert!(sel.iter().all(|&c| c < 1_000_000));
     }
 
     #[test]
@@ -460,7 +502,7 @@ mod tests {
 
     #[test]
     fn straggler_update_is_dropped_at_90_percent() {
-        let mut s = Server::new(layout(), vec![0.0, 0.0], 16, 0.9, 5.0);
+        let mut s = Server::new(layout(), vec![0.0, 0.0], 0.9, 5.0);
         // 10 clients; the slowest (id 9) misses the cut. Its update is huge —
         // the global must not move by anything like it.
         let mut reports: Vec<_> = (0..9)
@@ -525,6 +567,7 @@ mod tests {
         for c in 0..8 {
             assert_eq!(a.estimator().predict(c), b.estimator().predict(c));
         }
+        assert_eq!(a.estimator().n_observed(), b.estimator().n_observed());
     }
 
     #[test]

@@ -115,6 +115,20 @@ pub enum TraceEvent {
         /// Round deadline `T_R` (duration from round start).
         deadline: SimTime,
     },
+    /// A selected client was made resident in the lazy client store.
+    /// Excluded from the canonical stream: residency is an operational
+    /// concern (cache policy, memory), and an eager run hydrates everything
+    /// up front while a lazy run hydrates per selection — their
+    /// trajectories are identical regardless.
+    ClientHydrated {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// `true` when the client was derived fresh from `(seed, id)` (a
+        /// real hydration), `false` on a residency-cache hit.
+        fresh: bool,
+    },
     /// A selected client's state was checked out to the worker pool.
     ClientCheckout {
         /// Round index.
@@ -264,6 +278,7 @@ impl TraceEvent {
         match self {
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::RoundOpen { .. } => "round_open",
+            TraceEvent::ClientHydrated { .. } => "client_hydrated",
             TraceEvent::ClientCheckout { .. } => "client_checkout",
             TraceEvent::FaultArmed { .. } => "fault_armed",
             TraceEvent::FaultFired { .. } => "fault_fired",
@@ -290,6 +305,7 @@ impl TraceEvent {
         !matches!(
             self,
             TraceEvent::RunStart { .. }
+                | TraceEvent::ClientHydrated { .. }
                 | TraceEvent::CheckpointWritten { .. }
                 | TraceEvent::CheckpointRecovered { .. }
                 | TraceEvent::CheckpointCorruptSkipped { .. }
@@ -976,6 +992,11 @@ mod tests {
                 n_workers: 4,
             },
             ev(1),
+            TraceEvent::ClientHydrated {
+                round: 1,
+                client: 2,
+                fresh: true,
+            },
             TraceEvent::ClientCheckout {
                 round: 1,
                 client: 2,

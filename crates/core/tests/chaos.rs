@@ -50,6 +50,7 @@ fn tiny_fl(seed: u64, faults: FaultConfig) -> FlConfig {
         faults,
         trace: Default::default(),
         checkpoint: Default::default(),
+        population: Default::default(),
     }
 }
 

@@ -48,6 +48,7 @@ fn study_fl(checkpoint: CheckpointConfig) -> FlConfig {
         faults: FaultConfig::chaos(SEED),
         trace: TraceConfig::enabled(),
         checkpoint,
+        population: Default::default(),
     }
 }
 
@@ -73,17 +74,21 @@ fn checkpoint_into(dir: &Path) -> CheckpointConfig {
 }
 
 /// Field-by-field record equality, excluding host-side observability
-/// fields (`host_ms`, `allocs_avoided`) which legitimately vary with the
-/// machine and worker count.
+/// fields (`host_ms`, `allocs_avoided`, and the client-store hydration
+/// counters) which legitimately vary with the machine, worker count, and
+/// cache configuration.
 fn assert_records_identical(a: &[RoundRecord], b: &[RoundRecord], label: &str) {
     assert_eq!(a.len(), b.len(), "{label}: round counts");
     for (ra, rb) in a.iter().zip(b) {
         let mut ra = ra.clone();
         let mut rb = rb.clone();
-        ra.host_ms = 0.0;
-        ra.allocs_avoided = 0;
-        rb.host_ms = 0.0;
-        rb.allocs_avoided = 0;
+        for r in [&mut ra, &mut rb] {
+            r.host_ms = 0.0;
+            r.allocs_avoided = 0;
+            r.n_hydrated = 0;
+            r.n_evicted = 0;
+            r.hydrate_host_us = 0.0;
+        }
         assert_eq!(ra, rb, "{label}: round {} diverged", ra.round);
     }
 }

@@ -38,6 +38,7 @@ fn traced_fl() -> FlConfig {
         faults: FaultConfig::chaos(SEED),
         trace: TraceConfig::enabled(),
         checkpoint: Default::default(),
+        population: Default::default(),
     }
 }
 

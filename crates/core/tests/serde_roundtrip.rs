@@ -65,6 +65,9 @@ proptest! {
             is_anchor: base.7 % 2 == 0,
             host_ms: base.2 * 0.5,
             allocs_avoided: base.7,
+            n_hydrated: base.4.min(n),
+            n_evicted: base.5,
+            hydrate_host_us: base.2 * 2.0,
         };
         let json = serde_json::to_string(&record).expect("serialize");
         let back: RoundRecord = serde_json::from_str(&json).expect("deserialize");
@@ -188,14 +191,20 @@ fn round_record_tolerates_pre_fault_documents() {
         is_anchor: false,
         host_ms: 12.0,
         allocs_avoided: 9,
+        n_hydrated: 4,
+        n_evicted: 2,
+        hydrate_host_us: 37.5,
     };
-    const DEFAULTED: [&str; 6] = [
+    const DEFAULTED: [&str; 9] = [
         "n_dropped",
         "n_crashed",
         "n_deadline_missed",
         "n_rejected",
         "host_ms",
         "allocs_avoided",
+        "n_hydrated",
+        "n_evicted",
+        "hydrate_host_us",
     ];
     let serde::Value::Object(pairs) = serde_json::to_value(&record).expect("to_value") else {
         panic!("RoundRecord must serialize to an object");
@@ -212,6 +221,9 @@ fn round_record_tolerates_pre_fault_documents() {
     assert_eq!(back.n_rejected, 0);
     assert_eq!(back.host_ms, 0.0);
     assert_eq!(back.allocs_avoided, 0);
+    assert_eq!(back.n_hydrated, 0);
+    assert_eq!(back.n_evicted, 0);
+    assert_eq!(back.hydrate_host_us, 0.0);
     assert_eq!(back.iters_done, record.iters_done);
     assert_eq!(back.accuracy, record.accuracy);
 }
@@ -265,16 +277,20 @@ proptest! {
                 error_feedback: feedback,
             })
             .collect();
-        let participations: Vec<usize> = clients.iter().map(|c| c.id).collect();
+        let participations: Vec<(usize, usize)> =
+            clients.iter().map(|c| (c.id, c.id + 1)).collect();
         let env = CheckpointEnvelope {
             fingerprint,
             rounds_done,
             clock,
+            n_clients: clients.len().max(1) * 1000,
             selection_rng: rng_words,
             global,
             estimator_ema: ema_raw
                 .into_iter()
-                .map(|(present, v)| (present == 1).then_some(v))
+                .enumerate()
+                .filter(|(_, (present, _))| *present == 1)
+                .map(|(i, (_, v))| (i * 997, v))
                 .collect(),
             participations,
             clients,
@@ -296,10 +312,11 @@ fn checkpoint_envelope_tolerates_missing_defaulted_fields() {
         fingerprint: 7,
         rounds_done: 2,
         clock: 100.5,
+        n_clients: 1_000_000,
         selection_rng: vec![1, 2, 3, 4],
         global: vec![0.5, -0.25],
-        estimator_ema: vec![None, Some(3.5)],
-        participations: vec![1, 1],
+        estimator_ema: vec![(1, 3.5), (999_999, 0.75)],
+        participations: vec![(0, 1), (999_999, 2)],
         clients: vec![ClientSnapshot {
             id: 0,
             sampler_indices: vec![1, 0],

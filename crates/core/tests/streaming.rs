@@ -43,7 +43,7 @@ fn report(
 }
 
 fn server() -> Server {
-    Server::new(layout(), vec![0.0; DIM], 32, 0.9, 5.0)
+    Server::new(layout(), vec![0.0; DIM], 0.9, 5.0)
 }
 
 proptest! {

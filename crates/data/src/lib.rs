@@ -24,5 +24,5 @@ pub mod sampler;
 pub mod synthetic;
 
 pub use dataset::InMemoryDataset;
-pub use partition::dirichlet_partition;
+pub use partition::{dirichlet_partition, PartitionSpec};
 pub use sampler::BatchSampler;

@@ -112,6 +112,23 @@ impl DeviceSpeed {
         }
     }
 
+    /// Counter-derived constructor: the process's stream is keyed by
+    /// `(master_seed, DOMAIN_DEVICE, id)`, so a client's speed timeline is a
+    /// pure function of its id — rederivable on demand, in any hydration
+    /// order, without a shared RNG to advance.
+    pub fn for_client(
+        base_speed: f64,
+        dynamics: DynamicsConfig,
+        master_seed: u64,
+        id: u64,
+    ) -> Self {
+        DeviceSpeed::new(
+            base_speed,
+            dynamics,
+            crate::stream::mix(master_seed, crate::stream::DOMAIN_DEVICE, id),
+        )
+    }
+
     /// The device's base speed multiplier.
     pub fn base_speed(&self) -> f64 {
         self.base
@@ -266,6 +283,18 @@ mod tests {
         let fast = speeds.iter().filter(|&&s| s >= 0.999).count();
         assert!(slow > 0, "never entered slow mode");
         assert!(fast > 0, "never in fast mode");
+    }
+
+    #[test]
+    fn for_client_derives_identical_timelines_per_id() {
+        let timeline = |id: u64| {
+            let mut d = DeviceSpeed::for_client(1.0, DynamicsConfig::paper(), 42, id);
+            (0..300)
+                .map(|i| d.speed_at(i as f64 * 2.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(timeline(3), timeline(3), "same id, same process");
+        assert_ne!(timeline(3), timeline(4), "distinct ids, distinct streams");
     }
 
     #[test]

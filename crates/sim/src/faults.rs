@@ -28,6 +28,7 @@
 //! across clients: every `(round, client)` pair seeds its own RNG, so a
 //! plan queried from any number of worker threads yields identical faults.
 
+use crate::stream::mix;
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -327,18 +328,6 @@ impl FaultPlan {
             corrupt_update: corrupt_roll < self.cfg.corrupt_update_prob,
         }
     }
-}
-
-/// SplitMix64-style mixing of the fault seed with the round/client indices.
-fn mix(seed: u64, round: u64, client: u64) -> u64 {
-    let mut z = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(round.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(client.wrapping_mul(0x94D0_49BB_1331_11EB))
-        .wrapping_add(0x2545_F491_4F6C_DD1D);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@
 //!   for the earliest fraction of clients, §5.1's 90%);
 //! * [`faults`] — seeded deterministic fault injection (crashes, worker
 //!   panics, result loss/delay, bandwidth degradation, deadline slip) so
-//!   chaos runs are exactly reproducible.
+//!   chaos runs are exactly reproducible;
+//! * [`stream`] — counter-based RNG stream derivation: every per-client
+//!   stream is keyed by `(seed, domain, client id)`, so client state is
+//!   rederivable on demand in any order.
 //!
 //! Virtual time is `f64` seconds ([`SimTime`]). Everything is deterministic
 //! given client seeds, which is what makes the FL experiments reproducible
@@ -30,6 +33,7 @@ pub mod device;
 pub mod engine;
 pub mod faults;
 pub mod network;
+pub mod stream;
 pub mod trace;
 
 /// Virtual time in seconds since the start of the experiment.

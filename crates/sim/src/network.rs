@@ -58,6 +58,15 @@ impl Link {
         Link::new(PAPER_CLIENT_BANDWIDTH_BPS)
     }
 
+    /// Counter-derived per-client link: the link's identity is a pure
+    /// function of `(master_seed, client id)`. The paper gives every client
+    /// the same wondershaper-throttled 13.7 Mbps, so no draw is consumed
+    /// today, but hydration routes through this constructor so a per-client
+    /// bandwidth distribution can slot in without touching the round loop.
+    pub fn for_client(_master_seed: u64, _id: u64) -> Self {
+        Link::paper_client()
+    }
+
     /// Seconds needed to push `bytes` through an idle link at its current
     /// (possibly degraded) rate.
     pub fn serialize_time(&self, bytes: f64) -> f64 {

@@ -8,6 +8,7 @@
 //! relies on (fastest/slowest ≈ 25×, most mass within 3× of median) —
 //! DESIGN.md substitution 6.
 
+use crate::stream::{client_rng, DOMAIN_SPEED};
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
 
@@ -29,6 +30,27 @@ pub fn sample_speed_factors(n: usize, sigma: f64, rng: &mut impl Rng) -> Vec<f64
 /// Samples with the default FedScale-like parameters.
 pub fn fedscale_like(n: usize, rng: &mut impl Rng) -> Vec<f64> {
     sample_speed_factors(n, DEFAULT_SIGMA, rng)
+}
+
+/// Counter-derived speed factor for one client: a pure function of
+/// `(seed, id)` on the [`DOMAIN_SPEED`](crate::stream::DOMAIN_SPEED)
+/// stream, so a population of any size costs O(1) per *hydrated* client
+/// instead of O(n) up front, and querying clients in any order yields
+/// byte-identical factors.
+///
+/// The reference sequence is pinned by a unit test: the first factors for
+/// seed 42 are documented there bit-for-bit, so any change to the mixing
+/// or the distribution is caught as a break, not a silent drift.
+pub fn speed_factor_at(seed: u64, sigma: f64, id: u64) -> f64 {
+    let dist = LogNormal::new(0.0, sigma).expect("valid lognormal");
+    dist.sample(&mut client_rng(seed, DOMAIN_SPEED, id))
+        .clamp(MIN_SPEED, MAX_SPEED)
+}
+
+/// [`speed_factor_at`] with the default FedScale-like σ — the per-client
+/// counterpart of [`fedscale_like`].
+pub fn fedscale_like_at(seed: u64, id: u64) -> f64 {
+    speed_factor_at(seed, DEFAULT_SIGMA, id)
 }
 
 #[cfg(test)]
@@ -65,4 +87,53 @@ mod tests {
         let b = fedscale_like(10, &mut StdRng::seed_from_u64(3));
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn per_client_factors_are_clamped_and_heterogeneous() {
+        let f: Vec<f64> = (0..500).map(|id| fedscale_like_at(1, id)).collect();
+        assert!(f.iter().all(|&x| (MIN_SPEED..=MAX_SPEED).contains(&x)));
+        let maxf = f.iter().cloned().fold(f64::MIN, f64::max);
+        let minf = f.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            maxf / minf > 3.0,
+            "not heterogeneous enough: {minf}..{maxf}"
+        );
+        // Distinct ids draw from distinct streams.
+        assert_ne!(fedscale_like_at(1, 0), fedscale_like_at(1, 1));
+        // Same key, same factor — no shared stream to advance.
+        assert_eq!(fedscale_like_at(1, 3), fedscale_like_at(1, 3));
+    }
+
+    #[test]
+    fn per_client_reference_sequence_is_pinned() {
+        // The documented reference sequence for seed 42: any change to the
+        // stream keying, the lognormal sampling, or the clamp shows up here
+        // as a bit-level mismatch. Values are compared via `to_bits` so the
+        // pin is exact, not approximate.
+        let expected: [u64; 4] = [
+            REFERENCE_SEED_42[0],
+            REFERENCE_SEED_42[1],
+            REFERENCE_SEED_42[2],
+            REFERENCE_SEED_42[3],
+        ];
+        for (id, &bits) in expected.iter().enumerate() {
+            let got = fedscale_like_at(42, id as u64);
+            assert_eq!(
+                got.to_bits(),
+                bits,
+                "client {id}: factor {got} drifted from the reference sequence"
+            );
+        }
+    }
+
+    /// First four factors of the `fedscale_like_at(42, ·)` reference
+    /// sequence, as `f64::to_bits` values:
+    /// 1.0029742686312393, 0.47609057674658867, 0.2 (clamped at
+    /// `MIN_SPEED`), 0.37770911502477467.
+    const REFERENCE_SEED_42: [u64; 4] = [
+        0x3FF0_0C2E_BF28_02D5,
+        0x3FDE_7844_9C43_DD35,
+        0x3FC9_9999_9999_999A,
+        0x3FD8_2C62_DA1B_AE3C,
+    ];
 }

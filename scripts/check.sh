@@ -28,3 +28,6 @@ scripts/recovery_check.sh
 
 echo "== perf check"
 scripts/perf_check.sh
+
+echo "== population check"
+scripts/population_check.sh

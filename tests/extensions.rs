@@ -25,6 +25,7 @@ fn fl(seed: u64) -> FlConfig {
         faults: Default::default(),
         trace: Default::default(),
         checkpoint: Default::default(),
+        population: Default::default(),
     }
 }
 

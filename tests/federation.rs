@@ -21,6 +21,7 @@ fn tiny_fl(seed: u64) -> FlConfig {
         faults: Default::default(),
         trace: Default::default(),
         checkpoint: Default::default(),
+        population: Default::default(),
     }
 }
 
