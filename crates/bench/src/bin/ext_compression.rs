@@ -6,12 +6,14 @@
 //! at CI scale the CNN's wire size is inflated 100× (a mid-size model on
 //! the paper's 13.7 Mbps links), keeping compute identical.
 //!
-//! Configurations: fp32, QSGD 4-bit, QSGD 2-bit, top-10 % sparsification
-//! (all on FedAvg), plus FedCA-v1 + QSGD 4-bit (composition; eager
-//! transmission is mutually exclusive with compressed finals).
+//! Configurations: fp32, deterministic int8, QSGD 4-bit, QSGD 2-bit,
+//! top-10 % sparsification (all on FedAvg), plus full FedCA + QSGD 4-bit —
+//! compression now applies to eager per-layer sends too, so the full
+//! mechanism composes (see also `tta_quantized` for the int8 × FedCA
+//! acceptance study).
 //!
 //! Output CSV: `config,virtual_time_s,accuracy`, stderr: per-config mean
-//! round time and upload bytes.
+//! round time, upload bytes, and achieved wire compression ratio.
 
 use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
 use fedca_compress::Compression;
@@ -31,6 +33,7 @@ fn main() {
 
     let configs: Vec<(&str, Scheme, Compression)> = vec![
         ("FedAvg-fp32", Scheme::FedAvg, Compression::None),
+        ("FedAvg-int8", Scheme::FedAvg, Compression::Int8),
         (
             "FedAvg-q4",
             Scheme::FedAvg,
@@ -47,8 +50,8 @@ fn main() {
             Compression::TopK { keep: 0.1 },
         ),
         (
-            "FedCA-v1+q4",
-            Scheme::FedCa(FedCaOptions::v1()),
+            "FedCA-v3+q4",
+            Scheme::FedCa(FedCaOptions::v3()),
             Compression::Quantize { bits: 4 },
         ),
     ];
@@ -62,11 +65,19 @@ fn main() {
             println!("{label},{time:.1},{acc:.4}");
         }
         let bytes: f64 = out.rounds.iter().map(|r| r.bytes_uploaded).sum();
+        let wire_up: f64 = out.rounds.iter().map(|r| r.wire_bytes_uploaded).sum();
+        let wire_dense: f64 = out.rounds.iter().map(|r| r.wire_bytes_dense).sum();
         note(&format!(
-            "ext_compression: {label}: mean round {:.2}s, best acc {:.3}, {:.1} MB uploaded",
+            "ext_compression: {label}: mean round {:.2}s, best acc {:.3}, \
+             {:.1} MB uploaded, wire ratio {:.3}",
             out.mean_round_time(),
             out.best_accuracy(),
-            bytes / 1e6
+            bytes / 1e6,
+            if wire_dense > 0.0 {
+                wire_up / wire_dense
+            } else {
+                1.0
+            },
         ));
     }
 }

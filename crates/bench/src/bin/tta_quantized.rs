@@ -1,0 +1,98 @@
+//! Quantized-upload time-to-accuracy study: FedCA (full mechanism, eager
+//! transmission *and* deterministic int8 uploads) vs full-precision FedCA
+//! on a communication-bound CNN.
+//!
+//! The acceptance bar this study checks (and prints a verdict for): the
+//! quantized run's best accuracy lands within 1 point of fp32 while
+//! carrying ≤ 30 % of the fp32 wire bytes. The wire size is inflated 100×
+//! (as in `ext_compression`) so transport — the thing quantization
+//! improves — is actually on the critical path at CI scale.
+//!
+//! Output CSV: `config,virtual_time_s,accuracy`; stderr: per-config byte
+//! totals, achieved compression ratio, and the final verdict.
+
+use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, ExpScale};
+use fedca_compress::Compression;
+use fedca_core::metrics::TrainerOutput;
+use fedca_core::Scheme;
+
+struct Run {
+    label: &'static str,
+    out: TrainerOutput,
+    wire_up: f64,
+    wire_dense: f64,
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let seed = seed_from_env();
+    let rounds = match scale {
+        ExpScale::Smoke => 6,
+        ExpScale::Scaled => 30,
+        ExpScale::Paper => 200,
+    };
+    let mut w = workload_by_name("cnn", scale, seed);
+    w.wire_model_bytes *= 100.0; // comm-bound variant (see module docs)
+    let base_fl = fl_config(&w, scale, seed);
+
+    let mut runs = Vec::new();
+    println!("config,virtual_time_s,accuracy");
+    for (label, compression) in [
+        ("FedCA-fp32", Compression::None),
+        ("FedCA-int8", Compression::Int8),
+    ] {
+        let mut fl = base_fl.clone();
+        fl.compression = compression;
+        note(&format!("tta_quantized: {label} for {rounds} rounds"));
+        let out = run_rounds(Scheme::fedca_default(), &w, &fl, rounds, 1);
+        for (t, a) in out.accuracy_series() {
+            println!("{label},{t:.1},{a:.4}");
+        }
+        let wire_up: f64 = out.rounds.iter().map(|r| r.wire_bytes_uploaded).sum();
+        let wire_dense: f64 = out.rounds.iter().map(|r| r.wire_bytes_dense).sum();
+        let virtual_mb: f64 = out.rounds.iter().map(|r| r.bytes_uploaded).sum::<f64>() / 1e6;
+        note(&format!(
+            "tta_quantized: {label}: best acc {:.3}, mean round {:.2}s, \
+             {virtual_mb:.1} MB virtual, wire ratio {:.3}",
+            out.best_accuracy(),
+            out.mean_round_time(),
+            if wire_dense > 0.0 {
+                wire_up / wire_dense
+            } else {
+                1.0
+            },
+        ));
+        runs.push(Run {
+            label,
+            out,
+            wire_up,
+            wire_dense,
+        });
+    }
+
+    let fp32 = &runs[0];
+    let int8 = &runs[1];
+    let acc_gap = fp32.out.best_accuracy() - int8.out.best_accuracy();
+    let byte_frac = (int8.wire_up / int8.wire_dense) / (fp32.wire_up / fp32.wire_dense);
+    let acc_ok = acc_gap <= 0.01;
+    let bytes_ok = byte_frac <= 0.30;
+    note(&format!(
+        "tta_quantized: verdict: {} vs {}: accuracy gap {:.4} ({}), \
+         byte fraction {:.3} ({})",
+        int8.label,
+        fp32.label,
+        acc_gap,
+        if acc_ok {
+            "within 1 point"
+        } else {
+            "OVER 1 point"
+        },
+        byte_frac,
+        if bytes_ok { "<= 30%" } else { "OVER 30%" },
+    ));
+    // A handful of smoke rounds is accuracy noise; the verdict only gates
+    // at scaled/paper scale where the curves have converged.
+    if scale != ExpScale::Smoke && !(acc_ok && bytes_ok) {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod study;
 
+use fedca_compress::Compression;
 use fedca_core::trace::JsonlSink;
 use fedca_core::workload::Scale;
 use fedca_core::{
@@ -92,7 +93,62 @@ pub fn fl_config(workload: &Workload, scale: ExpScale, seed: u64) -> FlConfig {
     if let Some(n) = n_clients_override() {
         apply_population(&mut fl, n);
     }
+    if let Some(c) = compression_override() {
+        fl.compression = c;
+    }
     fl
+}
+
+/// Upload-compression override for this process: `--compression SPEC` /
+/// `--compression=SPEC` on the command line, else the `FEDCA_COMPRESSION`
+/// environment variable. `None` keeps each experiment's own setting (the
+/// comparative studies — `ext_compression`, `tta_quantized` — set their
+/// own schemes per config and ignore the override).
+pub fn compression_override() -> Option<Compression> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--compression" {
+            let v = args.next().expect("--compression requires a spec");
+            return Some(parse_compression(&v));
+        }
+        if let Some(v) = a.strip_prefix("--compression=") {
+            return Some(parse_compression(v));
+        }
+    }
+    std::env::var("FEDCA_COMPRESSION")
+        .ok()
+        .map(|v| parse_compression(&v))
+}
+
+/// Parses a compression spec: `none`, `int8` (deterministic 8-bit), `f16`,
+/// `qN` (stochastic QSGD with `N` bits, e.g. `q4`), or `topP` (top-`P`%
+/// sparsification, e.g. `top10`).
+///
+/// # Panics
+/// Panics on an unknown spec, listing the accepted forms.
+pub fn parse_compression(spec: &str) -> Compression {
+    let s = spec.trim();
+    match s {
+        "none" => return Compression::None,
+        "int8" => return Compression::Int8,
+        "f16" => return Compression::F16,
+        _ => {}
+    }
+    if let Some(bits) = s.strip_prefix('q').and_then(|v| v.parse::<u8>().ok()) {
+        assert!(
+            (1..=8).contains(&bits),
+            "compression spec {s:?}: QSGD bits must be in 1..=8"
+        );
+        return Compression::Quantize { bits };
+    }
+    if let Some(pct) = s.strip_prefix("top").and_then(|v| v.parse::<f32>().ok()) {
+        assert!(
+            pct > 0.0 && pct <= 100.0,
+            "compression spec {s:?}: top-k percentage must be in (0, 100]"
+        );
+        return Compression::TopK { keep: pct / 100.0 };
+    }
+    panic!("unknown compression spec {spec:?}: expected none, int8, f16, qN, or topP");
 }
 
 /// Population-size override for this process: `--n-clients N` /
@@ -363,6 +419,22 @@ mod tests {
         assert_eq!(big.n_clients, 1_000_000);
         assert_eq!(big.clients_per_round, 8);
         assert_eq!(big.population.cache_clients, 256);
+    }
+
+    #[test]
+    fn compression_specs_parse_and_reject_garbage() {
+        assert_eq!(parse_compression("none"), Compression::None);
+        assert_eq!(parse_compression("int8"), Compression::Int8);
+        assert_eq!(parse_compression("f16"), Compression::F16);
+        assert_eq!(parse_compression("q4"), Compression::Quantize { bits: 4 });
+        assert_eq!(parse_compression(" q2 "), Compression::Quantize { bits: 2 });
+        assert_eq!(parse_compression("top10"), Compression::TopK { keep: 0.1 });
+        for bad in ["", "fp32", "q0", "q9", "top0", "top101"] {
+            assert!(
+                std::panic::catch_unwind(|| parse_compression(bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! IEEE 754 binary16 ("half precision") conversions, hand-rolled.
+//!
+//! The upload fast path ships f16 payloads when
+//! [`Compression::F16`](crate::Compression::F16) is configured; the
+//! container has no `half` crate, so the two conversions live here. Both
+//! directions are deterministic: `f32 → f16` rounds to nearest, ties to
+//! even (the IEEE default), and `f16 → f32` is exact (every binary16 value
+//! is representable in binary32), so `f16_to_f32(f32_to_f16(x))` applied
+//! twice is idempotent — the property tests pin this down.
+
+/// Converts an `f32` to its nearest binary16 bit pattern (round to
+/// nearest, ties to even). Overflow produces ±infinity; NaN payloads are
+/// preserved as quiet NaNs.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf or NaN; keep NaN-ness with a set quiet bit.
+        return if man != 0 {
+            sign | 0x7E00
+        } else {
+            sign | 0x7C00
+        };
+    }
+    let e16 = exp - 127 + 15;
+    if e16 >= 0x1F {
+        return sign | 0x7C00; // overflow → ±inf
+    }
+    if e16 <= 0 {
+        // Result is subnormal (or zero). The 24-bit significand
+        // (implicit 1 + 23 mantissa bits) shifts right by 14 − e16 to land
+        // on the 2⁻²⁴ subnormal grid; below e16 = −10 everything rounds
+        // to zero.
+        if e16 < -10 {
+            return sign;
+        }
+        let m = man | 0x0080_0000;
+        let shift = (14 - e16) as u32;
+        let man16 = (m >> shift) as u16;
+        let rem = m & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = sign | man16;
+        if rem > half || (rem == half && (man16 & 1) == 1) {
+            h += 1; // may carry into the exponent: smallest normal, still correct
+        }
+        return h;
+    }
+    // Normal: round the 23-bit mantissa down to 10 bits.
+    let man16 = (man >> 13) as u16;
+    let rem = man & 0x1FFF;
+    let mut h = sign | ((e16 as u16) << 10) | man16;
+    if rem > 0x1000 || (rem == 0x1000 && (man16 & 1) == 1) {
+        h += 1; // mantissa carry rolls into the exponent (and into inf at the top)
+    }
+    h
+}
+
+/// Exactly widens a binary16 bit pattern to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x3FF) as u32;
+    let bits = if exp == 0x1F {
+        sign | 0x7F80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign
+        } else {
+            // Subnormal: value = man · 2⁻²⁴; normalize into an f32.
+            let mut m = man;
+            let mut e32: u32 = 113; // exponent field for 2⁻¹⁴
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e32 -= 1;
+            }
+            sign | (e32 << 23) | ((m & 0x3FF) << 13)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Largest finite binary16 value (65504.0).
+pub const F16_MAX: f32 = 65504.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_round_trip_bit_perfectly() {
+        for x in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            1024.0,
+            -0.25,
+            65504.0,
+            6.1035156e-5, // min normal
+        ] {
+            let back = f16_to_f32(f32_to_f16(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {back}");
+        }
+    }
+
+    #[test]
+    fn signed_zero_and_sign_preserved() {
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(0.0), 0x0000);
+        assert!(f16_to_f32(f32_to_f16(-3.5)) < 0.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16(1e6), 0x7C00);
+        assert_eq!(f32_to_f16(-1e6), 0xFC00);
+        assert!(f16_to_f32(0x7C00).is_infinite());
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn tiny_values_flush_to_zero_and_subnormals_survive() {
+        assert_eq!(f32_to_f16(1e-10), 0); // far below the subnormal range
+        let sub = 2.0f32.powi(-24); // smallest f16 subnormal
+        assert_eq!(f16_to_f32(f32_to_f16(sub)), sub);
+        let sub3 = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f32_to_f16(sub3)), sub3);
+    }
+
+    #[test]
+    fn round_to_nearest_even_on_exact_ties() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16
+        // (1 + 2⁻¹⁰); ties-to-even keeps the even mantissa (1.0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(tie)), 1.0);
+        // 1 + 3·2⁻¹¹ is halfway between 1+2⁻¹⁰ (odd) and 1+2⁻⁹ (even).
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(tie2)), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn relative_error_is_half_ulp() {
+        for k in 0..2000 {
+            let x = ((k as f32) * 0.137 - 130.0).exp() * if k % 2 == 0 { 1.0 } else { -1.0 };
+            if x.abs() > F16_MAX {
+                continue;
+            }
+            let back = f16_to_f32(f32_to_f16(x));
+            let tol = x.abs() * 2.0f32.powi(-11) + 2.0f32.powi(-25);
+            assert!((back - x).abs() <= tol, "{x} → {back}");
+        }
+    }
+}

@@ -62,6 +62,43 @@ pub fn quantize(x: &[f32], bits: u8, rng: &mut impl Rng) -> QuantizedVec {
     }
 }
 
+/// Deterministic round-to-nearest quantization to `bits` ∈ [1, 8] per
+/// element. Unlike [`quantize`], identical inputs always produce identical
+/// levels, and the reconstruction error is bounded by half a step:
+/// `|x − deq(q(x))| ≤ scale / num_levels / 2`. This is the quantizer the
+/// runner's upload path uses (its determinism is what keeps trajectories
+/// reproducible across worker counts), while the stochastic variant
+/// remains available for the unbiased-QSGD baselines.
+///
+/// # Panics
+/// Panics if `bits` is outside `[1, 8]`.
+pub fn quantize_det(x: &[f32], bits: u8) -> QuantizedVec {
+    assert!((1..=8).contains(&bits), "bits must be in [1, 8]");
+    let num_levels = ((1u16 << (bits - 1)) - 1).max(1) as u8;
+    let scale = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let mut levels = Vec::with_capacity(x.len());
+    if scale == 0.0 {
+        levels.resize(x.len(), 0);
+        return QuantizedVec {
+            bits,
+            scale,
+            levels,
+            num_levels,
+        };
+    }
+    let l = num_levels as f32;
+    for &v in x {
+        let t = v / scale * l; // in [-l, l]
+        levels.push(t.round().clamp(-l, l) as i8);
+    }
+    QuantizedVec {
+        bits,
+        scale,
+        levels,
+        num_levels,
+    }
+}
+
 /// Reconstructs the dense vector.
 pub fn dequantize(q: &QuantizedVec) -> Vec<f32> {
     let l = q.num_levels as f32;

@@ -24,6 +24,8 @@ pub enum Payload {
     Quantized(QuantizedVec),
     /// Top-k sparsified values.
     Sparse(SparseVec),
+    /// IEEE binary16 values (see [`crate::f16`]).
+    F16(Vec<u16>),
 }
 
 impl Payload {
@@ -33,6 +35,7 @@ impl Payload {
             Payload::Dense(v) => v.len(),
             Payload::Quantized(q) => q.levels.len(),
             Payload::Sparse(s) => s.len,
+            Payload::F16(v) => v.len(),
         }
     }
 
@@ -47,8 +50,55 @@ impl Payload {
             Payload::Dense(v) => v.clone(),
             Payload::Quantized(q) => crate::quantize::dequantize(q),
             Payload::Sparse(s) => crate::sparsify::densify(s),
+            Payload::F16(v) => v.iter().map(|&h| crate::f16::f16_to_f32(h)).collect(),
         }
     }
+
+    /// Exact encoded size of this payload in bytes (tag byte included),
+    /// matching [`encode`] without materializing the buffer. The runner
+    /// prices eager per-layer sends with this so the hot path never
+    /// allocates a scratch encoding.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Payload::Dense(v) => 1 + 4 + 4 * v.len(),
+            Payload::Quantized(q) => {
+                let width = (q.bits + 1).min(8) as u64;
+                1 + 1 + 1 + 4 + 4 + ((q.levels.len() as u64 * width).div_ceil(8)) as usize
+            }
+            Payload::Sparse(s) => 1 + 4 + 4 + 8 * s.indices.len(),
+            Payload::F16(v) => 1 + 4 + 2 * v.len(),
+        }
+    }
+}
+
+/// Encoded size of the fixed message header (magic, version, round,
+/// client, layer count).
+pub const HEADER_LEN: usize = 2 + 1 + 4 + 4 + 4;
+
+/// Exact encoded size of a [`Payload::Dense`] of `n` elements — the
+/// full-precision yardstick compression ratios are measured against.
+pub fn dense_payload_wire_len(n: usize) -> usize {
+    1 + 4 + 4 * n
+}
+
+/// Exact encoded size of `msg` in bytes (equals `encode(msg).len()`).
+pub fn message_wire_len(msg: &UpdateMessage) -> usize {
+    HEADER_LEN
+        + msg
+            .layers
+            .iter()
+            .map(|(_, p)| 4 + p.wire_len())
+            .sum::<usize>()
+}
+
+/// Encoded size `msg` would have if every layer were shipped dense.
+pub fn dense_message_wire_len(msg: &UpdateMessage) -> usize {
+    HEADER_LEN
+        + msg
+            .layers
+            .iter()
+            .map(|(_, p)| 4 + dense_payload_wire_len(p.len()))
+            .sum::<usize>()
 }
 
 /// An update message: `(layer id, payload)` entries from one client round.
@@ -127,6 +177,13 @@ fn put_payload(buf: &mut BytesMut, p: &Payload) {
                 buf.put_f32_le(v);
             }
         }
+        Payload::F16(v) => {
+            buf.put_u8(3);
+            buf.put_u32_le(v.len() as u32);
+            for &h in v {
+                buf.put_u16_le(h);
+            }
+        }
     }
 }
 
@@ -203,6 +260,17 @@ fn get_payload(buf: &mut Bytes) -> Result<Payload, WireError> {
                 indices,
                 values,
             }))
+        }
+        3 => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < 2 * n {
+                return Err(WireError::Truncated);
+            }
+            let v = (0..n).map(|_| buf.get_u16_le()).collect();
+            Ok(Payload::F16(v))
         }
         _ => Err(WireError::Malformed("payload tag")),
     }

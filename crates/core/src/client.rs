@@ -12,7 +12,7 @@ use crate::params::{ModelLayout, UpdateVec};
 use crate::profiler::SampledProfiler;
 use crate::trace::{ClientTraceBuf, TraceEvent};
 use crate::workload::Workload;
-use fedca_compress::{Compression, ErrorFeedback};
+use fedca_compress::{wire, Compression, ErrorFeedback};
 use fedca_data::{BatchSampler, InMemoryDataset};
 use fedca_nn::{softmax_cross_entropy_into, Sgd};
 use fedca_sim::device::DeviceSpeed;
@@ -101,6 +101,12 @@ pub struct ClientRoundReport {
     pub eager_outcomes: Vec<LayerOutcome>,
     /// Total bytes this client uploaded this round.
     pub bytes_uploaded: f64,
+    /// Exact encoded size of everything this client put on the wire this
+    /// round (eager frames plus the final message), in bytes.
+    pub wire_bytes_uploaded: f64,
+    /// What the same transmissions would have occupied shipped dense (f32);
+    /// `wire_bytes_uploaded / wire_bytes_dense` is the compression ratio.
+    pub wire_bytes_dense: f64,
     /// Mean training loss over executed iterations.
     pub train_loss: f32,
     /// Whether the client dropped out mid-round (availability churn).
@@ -155,6 +161,16 @@ pub fn run_client_round(
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(plan.round as u64),
     );
+    // Dedicated stream for the compression path, derived from a distinct odd
+    // constant: enabling (stochastic) compression never perturbs the batch
+    // sampling / fault draws above, and the deterministic schemes never
+    // consume it at all.
+    let mut qrng = StdRng::seed_from_u64(
+        state
+            .seed
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .wrapping_add(plan.round as u64),
+    );
 
     // --- Fault hooks: degraded links run slow for the whole round; a
     // slipped deadline makes the client *believe* it has more time than the
@@ -204,6 +220,9 @@ pub fn run_client_round(
     let mut early_stopped = false;
     let mut last_iter_wall = workload.iter_work_seconds; // optimistic prior
     let mut bytes_uploaded = 0.0f64;
+    // Exact wire accounting: encoded bytes vs their dense-f32 yardstick.
+    let mut wire_bytes_uploaded = 0.0f64;
+    let mut wire_bytes_dense = 0.0f64;
 
     // --- §3.1 availability churn: the client may drop out mid-round.
     let drop_time: Option<SimTime> =
@@ -340,12 +359,30 @@ pub fn run_client_round(
                 let current: &[f32] = flat;
                 for l in pending {
                     let r = layout.range(l);
-                    let snapshot: Vec<f32> = current[r.clone()]
+                    let delta: Vec<f32> = current[r.clone()]
                         .iter()
                         .zip(&global[r.clone()])
                         .map(|(c, g)| c - g)
                         .collect();
-                    let bytes = workload.wire_bytes_for(r.len(), total_params);
+                    let nominal = workload.wire_bytes_for(r.len(), total_params);
+                    // Each eager send is its own framed message (header +
+                    // layer id + payload). Under compression the snapshot
+                    // the server keeps is what the decoder reconstructs,
+                    // and the priced bytes shrink by the exact
+                    // encoded/dense ratio.
+                    let dense_frame =
+                        (wire::HEADER_LEN + 4 + wire::dense_payload_wire_len(r.len())) as f64;
+                    let (snapshot, bytes, frame) = if fl.compression == Compression::None {
+                        (delta, nominal, dense_frame)
+                    } else {
+                        let payload = fl.compression.compress(&delta, &mut qrng);
+                        let bytes = nominal * payload.wire_len() as f64
+                            / wire::dense_payload_wire_len(r.len()) as f64;
+                        let frame = (wire::HEADER_LEN + 4 + payload.wire_len()) as f64;
+                        (payload.to_dense(), bytes, frame)
+                    };
+                    wire_bytes_uploaded += frame;
+                    wire_bytes_dense += dense_frame;
                     state.uplink.transmit(now, bytes);
                     bytes_uploaded += bytes;
                     eager_state.mark_sent(l, tau, snapshot);
@@ -424,36 +461,57 @@ pub fn run_client_round(
         }
         eager_outcomes.push(outcome);
     }
-    // --- §2.2 baseline compression of the final upload (quantization or
-    // top-k with error feedback). Composes with early stopping; the Trainer
-    // rejects combining it with eager transmission, so every layer below is
-    // part of the final payload and may be transformed.
-    if fl.compression != Compression::None && !dropped && !crashed {
-        let total = reported.as_slice().len();
-        let mut compensated = reported.as_slice().to_vec();
-        state.error_feedback.apply(&mut compensated);
-        let transmitted: Vec<f32> = match fl.compression {
-            Compression::None => unreachable!("guarded above"),
-            Compression::Quantize { bits } => {
-                // One scale per layer, as QSGD does per tensor.
-                let mut out = vec![0.0f32; total];
-                for l in 0..layout.num_layers() {
-                    let r = layout.range(l);
-                    let q = fedca_compress::quantize(&compensated[r.clone()], bits, &mut rng);
-                    out[r].copy_from_slice(&fedca_compress::dequantize(&q));
-                }
-                out
-            }
-            Compression::TopK { keep } => {
-                fedca_compress::densify(&fedca_compress::top_k(&compensated, keep))
-            }
+    // --- Final upload serialization. The non-eager layers are framed into
+    // an `UpdateMessage`, pushed through the `compress::wire` codec, and
+    // decoded back: what the server aggregates is exactly what the wire
+    // carried. Under `Compression::None` the dense round trip is bit-exact
+    // and the priced bytes are untouched; lossy schemes (§2.2 baselines,
+    // one scale per layer as QSGD does per tensor) compose with early
+    // stopping *and* eager transmission — error feedback absorbs both the
+    // quantization error and the eager snapshots' staleness, replaying the
+    // residual into the next participation's upload.
+    if !dropped && !crashed {
+        let compressing = fl.compression != Compression::None;
+        let mut compensated = final_update.as_slice().to_vec();
+        if compressing {
+            state.error_feedback.apply(&mut compensated);
+        }
+        let mut msg = wire::UpdateMessage {
+            round: plan.round as u32,
+            client: state.id as u32,
+            layers: Vec::new(),
         };
-        state.error_feedback.absorb(&compensated, &transmitted);
-        reported.as_mut_slice().copy_from_slice(&transmitted);
-        // Re-price the payload at the compressed byte count (the wire model
-        // scales with the workload's nominal model size).
-        let ratio = fl.compression.wire_bytes(total) / (4.0 * total as f64);
-        final_payload_bytes *= ratio;
+        for (l, outcome) in eager_outcomes.iter().enumerate() {
+            if matches!(outcome, LayerOutcome::Eager { .. }) {
+                continue; // already on the server; not part of the final message
+            }
+            let r = layout.range(l);
+            msg.layers.push((
+                l as u32,
+                fl.compression.compress(&compensated[r], &mut qrng),
+            ));
+        }
+        let encoded = wire::encode(&msg);
+        debug_assert_eq!(encoded.len(), wire::message_wire_len(&msg));
+        let dense_len = wire::dense_message_wire_len(&msg);
+        let decoded = wire::decode(&encoded).expect("self-encoded message decodes");
+        for (id, payload) in &decoded.layers {
+            reported
+                .layer_mut(*id as usize)
+                .copy_from_slice(&payload.to_dense());
+        }
+        wire_bytes_uploaded += encoded.len() as f64;
+        wire_bytes_dense += dense_len as f64;
+        if compressing {
+            // Residual = what we meant to send − what the server now holds
+            // (quantization error on final layers, staleness on eager ones).
+            state
+                .error_feedback
+                .absorb(&compensated, reported.as_slice());
+            // Re-price the final payload at the exact encoded/dense ratio
+            // (the wire model scales with the workload's nominal size).
+            final_payload_bytes *= encoded.len() as f64 / dense_len as f64;
+        }
     }
 
     // --- Injected in-flight corruption: the payload the server receives is
@@ -530,6 +588,8 @@ pub fn run_client_round(
         upload_done,
         eager_outcomes,
         bytes_uploaded,
+        wire_bytes_uploaded,
+        wire_bytes_dense,
         train_loss: if iters_done > 0 {
             (loss_sum / iters_done as f64) as f32
         } else {

@@ -37,10 +37,11 @@ pub struct FlConfig {
     /// (§3.1's availability churn; its upload never arrives). Default 0.
     #[serde(default)]
     pub dropout_prob: f64,
-    /// Update compression on the final upload (§2.2 baselines: QSGD-style
-    /// quantization / top-k sparsification with error feedback). Eager
-    /// transmissions remain full-precision. Default: none (fp32, as in the
-    /// paper).
+    /// Update compression on the upload path (§2.2 baselines: deterministic
+    /// int8 / f16, QSGD-style stochastic quantization, top-k
+    /// sparsification — all with error feedback). Applies to both the final
+    /// payload and eager per-layer transmissions; the priced wire bytes are
+    /// the exact encoded lengths. Default: none (fp32, as in the paper).
     #[serde(default)]
     pub compression: Compression,
     /// Deterministic fault injection (crashes, worker panics, result

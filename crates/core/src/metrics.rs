@@ -60,6 +60,13 @@ pub struct RoundRecord {
     pub eager_events: Vec<EagerEvent>,
     /// Total bytes uploaded by selected clients.
     pub bytes_uploaded: f64,
+    /// Exact encoded wire bytes of this round's uploads (eager frames plus
+    /// final messages) under the configured compression.
+    #[serde(default)]
+    pub wire_bytes_uploaded: f64,
+    /// What the same uploads would have occupied shipped dense (f32).
+    #[serde(default)]
+    pub wire_bytes_dense: f64,
     /// Whether this was an unoptimized profiling (anchor) round.
     pub is_anchor: bool,
     /// Host wall-clock milliseconds spent executing this round (real time
@@ -87,6 +94,16 @@ impl RoundRecord {
     /// Round duration in virtual seconds.
     pub fn duration(&self) -> f64 {
         self.end - self.start
+    }
+
+    /// Achieved upload compression ratio (encoded / dense bytes), 1.0 when
+    /// nothing was transmitted or the record predates wire accounting.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes_dense > 0.0 {
+            self.wire_bytes_uploaded / self.wire_bytes_dense
+        } else {
+            1.0
+        }
     }
 }
 
@@ -230,6 +247,8 @@ mod tests {
             early_stops: vec![false; 4],
             eager_events: vec![],
             bytes_uploaded: 0.0,
+            wire_bytes_uploaded: 0.0,
+            wire_bytes_dense: 0.0,
             is_anchor: false,
             host_ms: 0.0,
             allocs_avoided: 0,

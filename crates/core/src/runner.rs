@@ -88,14 +88,6 @@ impl Trainer {
         workload: Workload,
         n_workers: usize,
     ) -> Self {
-        if let Scheme::FedCa(o) = &scheme {
-            assert!(
-                !(o.eager && fl.compression != fedca_compress::Compression::None),
-                "update compression composes with early stopping but not with \
-                 eager transmission (eager payloads are full-precision); \
-                 disable one of the two"
-            );
-        }
         let model = (workload.model_factory)();
         let layout = Arc::new(ModelLayout::from_spans(model.spans()));
         let initial = model.flat_params();
@@ -518,6 +510,12 @@ impl Trainer {
                 .collect(),
             eager_events,
             bytes_uploaded: reports.iter().flatten().map(|r| r.bytes_uploaded).sum(),
+            wire_bytes_uploaded: reports
+                .iter()
+                .flatten()
+                .map(|r| r.wire_bytes_uploaded)
+                .sum(),
+            wire_bytes_dense: reports.iter().flatten().map(|r| r.wire_bytes_dense).sum(),
             is_anchor: any_anchor,
             host_ms: host_t0.elapsed().as_secs_f64() * 1e3,
             allocs_avoided,

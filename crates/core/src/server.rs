@@ -329,6 +329,8 @@ mod tests {
             upload_done,
             eager_outcomes: vec![LayerOutcome::Regular],
             bytes_uploaded: 8.0,
+            wire_bytes_uploaded: 8.0,
+            wire_bytes_dense: 8.0,
             train_loss: 1.0,
             dropped: false,
             crashed: false,

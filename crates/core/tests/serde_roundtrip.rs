@@ -62,6 +62,8 @@ proptest! {
             early_stops: per_client.iter().map(|c| c.2 == 1).collect(),
             eager_events: eager_raw.iter().map(|&r| eager_event(r)).collect(),
             bytes_uploaded: base.2 * 4096.0,
+            wire_bytes_uploaded: base.2 * 1024.0,
+            wire_bytes_dense: base.2 * 4096.0,
             is_anchor: base.7 % 2 == 0,
             host_ms: base.2 * 0.5,
             allocs_avoided: base.7,
@@ -188,6 +190,8 @@ fn round_record_tolerates_pre_fault_documents() {
         early_stops: vec![false, false, true, false],
         eager_events: vec![],
         bytes_uploaded: 4096.0,
+        wire_bytes_uploaded: 1024.0,
+        wire_bytes_dense: 4096.0,
         is_anchor: false,
         host_ms: 12.0,
         allocs_avoided: 9,
@@ -195,7 +199,7 @@ fn round_record_tolerates_pre_fault_documents() {
         n_evicted: 2,
         hydrate_host_us: 37.5,
     };
-    const DEFAULTED: [&str; 9] = [
+    const DEFAULTED: [&str; 11] = [
         "n_dropped",
         "n_crashed",
         "n_deadline_missed",
@@ -205,6 +209,8 @@ fn round_record_tolerates_pre_fault_documents() {
         "n_hydrated",
         "n_evicted",
         "hydrate_host_us",
+        "wire_bytes_uploaded",
+        "wire_bytes_dense",
     ];
     let serde::Value::Object(pairs) = serde_json::to_value(&record).expect("to_value") else {
         panic!("RoundRecord must serialize to an object");
@@ -224,6 +230,9 @@ fn round_record_tolerates_pre_fault_documents() {
     assert_eq!(back.n_hydrated, 0);
     assert_eq!(back.n_evicted, 0);
     assert_eq!(back.hydrate_host_us, 0.0);
+    assert_eq!(back.wire_bytes_uploaded, 0.0);
+    assert_eq!(back.wire_bytes_dense, 0.0);
+    assert_eq!(back.compression_ratio(), 1.0);
     assert_eq!(back.iters_done, record.iters_done);
     assert_eq!(back.accuracy, record.accuracy);
 }

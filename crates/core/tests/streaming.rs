@@ -35,6 +35,8 @@ fn report(
         upload_done,
         eager_outcomes: Vec::new(),
         bytes_uploaded: 16.0,
+        wire_bytes_uploaded: 16.0,
+        wire_bytes_dense: 16.0,
         train_loss: 0.5,
         dropped,
         crashed: false,

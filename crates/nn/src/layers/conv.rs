@@ -103,6 +103,31 @@ impl Conv2d {
             for di in 0..k {
                 for dj in 0..k {
                     let dst = &mut col[row * ld + col0..row * ld + col0 + oh * ow];
+                    if s == 1 {
+                        // Stride-1 fast path: src_j = j + dj − p, so each
+                        // output row is one contiguous slice of the input
+                        // row flanked by the zero-padding fringe.
+                        let off_j = dj as isize - p as isize;
+                        let j_lo = ((-off_j).max(0) as usize).min(ow);
+                        let j_hi = ((w as isize - off_j).max(j_lo as isize) as usize).min(ow);
+                        for i in 0..oh {
+                            let src_i = (i + di) as isize - p as isize;
+                            let dst_row = &mut dst[i * ow..(i + 1) * ow];
+                            if src_i < 0 || src_i >= h as isize {
+                                dst_row.fill(0.0);
+                                continue;
+                            }
+                            let src_base = src_i as usize * w;
+                            dst_row[..j_lo].fill(0.0);
+                            if j_hi > j_lo {
+                                let s0 = src_base + (j_lo as isize + off_j) as usize;
+                                dst_row[j_lo..j_hi].copy_from_slice(&plane[s0..s0 + (j_hi - j_lo)]);
+                            }
+                            dst_row[j_hi..].fill(0.0);
+                        }
+                        row += 1;
+                        continue;
+                    }
                     for i in 0..oh {
                         let src_i = (i * s + di) as isize - p as isize;
                         let dst_row = &mut dst[i * ow..(i + 1) * ow];
@@ -147,6 +172,30 @@ impl Conv2d {
             for di in 0..k {
                 for dj in 0..k {
                     let src = &dcol[row * ld + col0..row * ld + col0 + oh * ow];
+                    if s == 1 {
+                        // Stride-1 fast path mirrors `im2col_sample`: the
+                        // in-bounds span of each row is contiguous, and the
+                        // accumulation visits the same cells in the same
+                        // j-order as the general path (bit-identical).
+                        let off_j = dj as isize - p as isize;
+                        let j_lo = ((-off_j).max(0) as usize).min(ow);
+                        let j_hi = ((w as isize - off_j).max(j_lo as isize) as usize).min(ow);
+                        for i in 0..oh {
+                            let dst_i = (i + di) as isize - p as isize;
+                            if dst_i < 0 || dst_i >= h as isize || j_hi == j_lo {
+                                continue;
+                            }
+                            let base = dst_i as usize * w;
+                            let d0 = base + (j_lo as isize + off_j) as usize;
+                            let dst = &mut plane[d0..d0 + (j_hi - j_lo)];
+                            let srow = &src[i * ow + j_lo..i * ow + j_hi];
+                            for (dv, &sv) in dst.iter_mut().zip(srow) {
+                                *dv += sv;
+                            }
+                        }
+                        row += 1;
+                        continue;
+                    }
                     for i in 0..oh {
                         let dst_i = (i * s + di) as isize - p as isize;
                         if dst_i < 0 || dst_i >= h as isize {

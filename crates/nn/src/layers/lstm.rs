@@ -112,6 +112,8 @@ impl LstmCore {
         );
         let hdim = self.hidden;
         let h4 = 4 * hdim;
+        let kernel = fedca_tensor::gemm::active_kernel();
+        let fast = fedca_tensor::simd::has_fast_transcendentals(kernel);
         self.cache.truncate(t);
         while self.cache.len() < t {
             self.cache.push(StepCache::empty());
@@ -122,6 +124,23 @@ impl LstmCore {
         self.c.fill_zero();
         let mut out = ws.take(&[n, t, hdim]);
         let mut z = ws.take(&[n, h4]);
+        // The input contribution has no recurrent dependency, so all T
+        // timestep GEMMs batch into one: viewing [N, T, F] as [(N·T), F],
+        // zx row (s·T + t) = x_t(s)·W_ihᵀ. Each output element is the same
+        // strictly-sequential-k dot product the per-step GEMM computed, so
+        // this is a pure batching restructure — bit-identical on every
+        // tier — that packs W_ih once instead of T times.
+        let mut zx = ws.take_zeroed(&[n * t, h4]);
+        fedca_tensor::gemm::gemm_acc(
+            false,
+            true,
+            n * t,
+            h4,
+            fin,
+            xs.as_slice(),
+            self.w_ih.value.as_slice(),
+            zx.as_mut_slice(),
+        );
         for step in 0..t {
             let slot = &mut self.cache[step];
             // Slice x_t out of the [N, T, F] tensor into the cache slot.
@@ -133,7 +152,10 @@ impl LstmCore {
             slot.h_prev.copy_from(&self.h);
             slot.c_prev.copy_from(&self.c);
             // z = x_t·W_ihᵀ + h·W_hhᵀ + b_ih + b_hh : [N, 4H]
-            ops::matmul_transpose_b_into(&slot.x, &self.w_ih.value, &mut z);
+            for s in 0..n {
+                let src = &zx.as_slice()[(s * t + step) * h4..(s * t + step + 1) * h4];
+                z.as_mut_slice()[s * h4..(s + 1) * h4].copy_from_slice(src);
+            }
             ops::matmul_transpose_b_acc(&self.h, &self.w_hh.value, &mut z);
             {
                 let zb = z.as_mut_slice();
@@ -151,21 +173,49 @@ impl LstmCore {
             slot.g.resize(&[n, hdim]);
             slot.o.resize(&[n, hdim]);
             slot.tanh_c.resize(&[n, hdim]);
-            {
+            // Gate activations and the cell update. The scalar tier keeps
+            // the libm path (its trajectories back the committed golden
+            // fixtures); SIMD tiers take the vectorized transcendentals,
+            // which are bit-stable within a tier but not across tiers —
+            // the same contract the GEMM microkernels follow.
+            if fast {
                 let zd = z.as_slice();
                 for s in 0..n {
-                    let row = &zd[s * h4..(s + 1) * h4];
-                    for k in 0..hdim {
-                        slot.i.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[k]);
-                        slot.f.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[hdim + k]);
-                        slot.g.as_mut_slice()[s * hdim + k] = row[2 * hdim + k].tanh();
-                        slot.o.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[3 * hdim + k]);
+                    let (lo, hi) = (s * hdim, (s + 1) * hdim);
+                    fedca_tensor::simd::lstm_gates_fast(
+                        &zd[s * h4..(s + 1) * h4],
+                        hdim,
+                        &mut slot.i.as_mut_slice()[lo..hi],
+                        &mut slot.f.as_mut_slice()[lo..hi],
+                        &mut slot.g.as_mut_slice()[lo..hi],
+                        &mut slot.o.as_mut_slice()[lo..hi],
+                    );
+                }
+                fedca_tensor::simd::lstm_cell_update_fast(
+                    slot.i.as_slice(),
+                    slot.f.as_slice(),
+                    slot.g.as_slice(),
+                    slot.o.as_slice(),
+                    slot.c_prev.as_slice(),
+                    self.c.as_mut_slice(),
+                    slot.tanh_c.as_mut_slice(),
+                    self.h.as_mut_slice(),
+                );
+            } else {
+                {
+                    let zd = z.as_slice();
+                    for s in 0..n {
+                        let row = &zd[s * h4..(s + 1) * h4];
+                        for k in 0..hdim {
+                            slot.i.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[k]);
+                            slot.f.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[hdim + k]);
+                            slot.g.as_mut_slice()[s * hdim + k] = row[2 * hdim + k].tanh();
+                            slot.o.as_mut_slice()[s * hdim + k] = sigmoid_scalar(row[3 * hdim + k]);
+                        }
                     }
                 }
-            }
-            // c = f*c_prev + i*g ; h = o*tanh(c), updated in place (the
-            // previous state is already copied into the cache slot).
-            {
+                // c = f*c_prev + i*g ; h = o*tanh(c), updated in place (the
+                // previous state is already copied into the cache slot).
                 let cd = self.c.as_mut_slice();
                 let hd = self.h.as_mut_slice();
                 let tc_d = slot.tanh_c.as_mut_slice();
@@ -190,6 +240,7 @@ impl LstmCore {
             }
         }
         ws.give(z);
+        ws.give(zx);
         out
     }
 
@@ -209,7 +260,10 @@ impl LstmCore {
         let mut dh_next = ws.take(&[n, hdim]);
         let mut dc = ws.take_zeroed(&[n, hdim]);
         let mut dz = ws.take(&[n, h4]);
-        let mut dx_t = ws.take(&[n, fin]);
+        // Per-step gate gradients, gathered so the input-gradient GEMM can
+        // run once over all timesteps (same batching argument as the
+        // forward's `zx`; each dx row is an unchanged sequential-k dot).
+        let mut dz_all = ws.take(&[n * t, h4]);
         for step in (0..t).rev() {
             let cache = &self.cache[step];
             // dh += gradient flowing directly into h_t from the output.
@@ -254,20 +308,33 @@ impl LstmCore {
                     fedca_tensor::axpy(1.0, row, dbh);
                 }
             }
-            // Input and recurrent gradients.
-            ops::matmul_into(&dz, &self.w_ih.value, &mut dx_t); // [N, in]
+            // Stash this step's gate gradients for the batched dx GEMM.
             for s in 0..n {
-                let dst = &mut dx.as_mut_slice()[(s * t + step) * fin..(s * t + step + 1) * fin];
-                dst.copy_from_slice(&dx_t.as_slice()[s * fin..(s + 1) * fin]);
+                let dst = &mut dz_all.as_mut_slice()[(s * t + step) * h4..(s * t + step + 1) * h4];
+                dst.copy_from_slice(&dz.as_slice()[s * h4..(s + 1) * h4]);
             }
+            // Recurrent gradient.
             ops::matmul_into(&dz, &self.w_hh.value, &mut dh_next); // dh_{t-1}
             std::mem::swap(&mut dh, &mut dh_next);
         }
+        // Input gradients for every timestep in one GEMM:
+        // dx[(s·T+t), :] = dz_all[(s·T+t), :] · W_ih.
+        dx.fill_zero();
+        fedca_tensor::gemm::gemm_acc(
+            false,
+            false,
+            n * t,
+            fin,
+            h4,
+            dz_all.as_slice(),
+            self.w_ih.value.as_slice(),
+            dx.as_mut_slice(),
+        );
         ws.give(dh);
         ws.give(dh_next);
         ws.give(dc);
         ws.give(dz);
-        ws.give(dx_t);
+        ws.give(dz_all);
         dx
     }
 }

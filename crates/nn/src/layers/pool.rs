@@ -55,24 +55,58 @@ impl Layer for MaxPool2d {
         let argmax = &mut self.argmax;
         let xd = x.as_slice();
         let od = out.as_mut_slice();
-        for nc in 0..n * c {
-            let in_base = nc * h * w;
-            let out_base = nc * oh * ow;
-            for i in 0..oh {
-                for j in 0..ow {
-                    let mut best_idx = in_base + (i * k) * w + j * k;
-                    let mut best = xd[best_idx];
-                    for di in 0..k {
-                        for dj in 0..k {
-                            let idx = in_base + (i * k + di) * w + (j * k + dj);
-                            if xd[idx] > best {
-                                best = xd[idx];
-                                best_idx = idx;
+        if k == 2 {
+            // 2×2 fast path (the LeNet configuration): same visit order and
+            // strict-`>` tie-breaking as the general loop below, with the
+            // window indices built incrementally per row pair.
+            for nc in 0..n * c {
+                let in_base = nc * h * w;
+                let out_base = nc * oh * ow;
+                for i in 0..oh {
+                    let r0 = in_base + (2 * i) * w;
+                    let r1 = r0 + w;
+                    let ob = out_base + i * ow;
+                    for j in 0..ow {
+                        let c0 = 2 * j;
+                        let mut best_idx = r0 + c0;
+                        let mut best = xd[best_idx];
+                        if xd[r0 + c0 + 1] > best {
+                            best = xd[r0 + c0 + 1];
+                            best_idx = r0 + c0 + 1;
+                        }
+                        if xd[r1 + c0] > best {
+                            best = xd[r1 + c0];
+                            best_idx = r1 + c0;
+                        }
+                        if xd[r1 + c0 + 1] > best {
+                            best = xd[r1 + c0 + 1];
+                            best_idx = r1 + c0 + 1;
+                        }
+                        od[ob + j] = best;
+                        argmax[ob + j] = best_idx;
+                    }
+                }
+            }
+        } else {
+            for nc in 0..n * c {
+                let in_base = nc * h * w;
+                let out_base = nc * oh * ow;
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best_idx = in_base + (i * k) * w + j * k;
+                        let mut best = xd[best_idx];
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx = in_base + (i * k + di) * w + (j * k + dj);
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
                             }
                         }
+                        od[out_base + i * ow + j] = best;
+                        argmax[out_base + i * ow + j] = best_idx;
                     }
-                    od[out_base + i * ow + j] = best;
-                    argmax[out_base + i * ow + j] = best_idx;
                 }
             }
         }

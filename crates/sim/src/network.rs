@@ -133,6 +133,13 @@ impl Link {
         &self.log
     }
 
+    /// Total payload bytes this link has carried since the last reset —
+    /// compressed uploads show up here at their compressed size, which is
+    /// what the compression-equivalence tests assert on.
+    pub fn bytes_carried(&self) -> f64 {
+        self.log.iter().map(|t| t.bytes).sum()
+    }
+
     /// Resets the link to idle at time 0 (new experiment), keeping bandwidth
     /// and clearing any degradation.
     pub fn reset(&mut self) {
@@ -198,6 +205,17 @@ mod tests {
     #[should_panic(expected = "rate scale")]
     fn rejects_zero_rate_scale() {
         Link::new(10.0).set_rate_scale(0.0);
+    }
+
+    #[test]
+    fn bytes_carried_sums_the_transfer_log() {
+        let mut link = Link::new(100.0);
+        assert_eq!(link.bytes_carried(), 0.0);
+        let _ = link.transmit(0.0, 100.0);
+        let _ = link.transmit(0.5, 25.0);
+        assert!((link.bytes_carried() - 125.0).abs() < 1e-12);
+        link.reset();
+        assert_eq!(link.bytes_carried(), 0.0);
     }
 
     #[test]

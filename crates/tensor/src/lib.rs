@@ -31,6 +31,7 @@ pub mod linalg;
 pub mod ops;
 pub mod parallel;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use linalg::{axpy, cosine_similarity, dot, l2_norm, magnitude_similarity};

@@ -6,7 +6,10 @@
 //! property: the fixed tile schedule must produce the *same bits* no matter
 //! how many threads compute the output.
 
-use fedca_tensor::gemm::{gemm_acc_with_threads, KC, MR, NR};
+use fedca_tensor::gemm::{
+    active_kernel, available_kernels, gemm_acc_with_threads, gemm_acc_with_threads_on, Kernel, KC,
+    MR, NR,
+};
 use fedca_tensor::{ops, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -126,7 +129,173 @@ fn ops_wrappers_route_through_the_same_kernel() {
     assert_eq!(ops::matmul(&a, &b).as_slice(), &raw[..]);
 }
 
+// ---------------------------------------------------------------------------
+// Tiered parity: every compiled SIMD tier vs the f64 reference and vs the
+// scalar tier, plus per-tier thread bit-invariance. These run on the
+// explicit-kernel entry point so one process covers all tiers regardless of
+// what the global dispatch latched to.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_tier_matches_f64_reference_on_structural_shapes() {
+    let mut rng = StdRng::seed_from_u64(45);
+    for (m, n, k) in structural_shapes() {
+        for ta in [false, true] {
+            for tb in [false, true] {
+                let a = randn(m * k, &mut rng);
+                let b = randn(k * n, &mut rng);
+                let want = naive(ta, tb, m, n, k, &a, &b);
+                for kernel in available_kernels() {
+                    let mut c = vec![0.0f32; m * n];
+                    gemm_acc_with_threads_on(kernel, ta, tb, m, n, k, &a, &b, &mut c, 1);
+                    assert_close(
+                        &c,
+                        &want,
+                        &format!("{} ({m},{n},{k}) ta={ta} tb={tb}", kernel.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// SIMD tiers may fuse multiplies and adds (FMA) but keep the same
+/// sequential-k accumulation order, so they must agree with the scalar
+/// tier to within FMA rounding — a far tighter bound than the f64 check.
+#[test]
+fn every_tier_stays_within_fma_rounding_of_scalar() {
+    let mut rng = StdRng::seed_from_u64(46);
+    for (m, n, k) in structural_shapes() {
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let mut scalar = vec![0.0f32; m * n];
+        gemm_acc_with_threads_on(
+            Kernel::Scalar,
+            false,
+            false,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut scalar,
+            1,
+        );
+        for kernel in available_kernels() {
+            let mut c = vec![0.0f32; m * n];
+            gemm_acc_with_threads_on(kernel, false, false, m, n, k, &a, &b, &mut c, 1);
+            for (i, (&x, &y)) in c.iter().zip(&scalar).enumerate() {
+                let tol = 2.0 * f32::EPSILON * (k as f32).max(1.0) * (1.0 + y.abs());
+                assert!(
+                    (x - y).abs() <= tol,
+                    "{} ({m},{n},{k})[{i}]: {x} vs scalar {y}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_tier_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for kernel in available_kernels() {
+        for (m, n, k) in structural_shapes() {
+            let a = randn(m * k, &mut rng);
+            let b = randn(k * n, &mut rng);
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_acc_with_threads_on(kernel, false, false, m, n, k, &a, &b, &mut c1, 1);
+            for threads in [2, 4, 5] {
+                let mut ct = vec![0.0f32; m * n];
+                gemm_acc_with_threads_on(kernel, false, false, m, n, k, &a, &b, &mut ct, threads);
+                assert_eq!(
+                    c1,
+                    ct,
+                    "{} ({m},{n},{k}) threads={threads} changed bits",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// Dispatch sanity: the latched tier is stable, is one of the compiled
+/// tiers, and — when `scripts/simd_check.sh` runs this suite with
+/// `FEDCA_FORCE_KERNEL` set — matches the forced tier exactly.
+#[test]
+fn dispatch_is_stable_and_respects_the_force_override() {
+    assert!(Kernel::from_name("scalar") == Some(Kernel::Scalar));
+    assert!(Kernel::from_name("avx2") == Some(Kernel::Avx2));
+    assert!(Kernel::from_name("neon") == Some(Kernel::Neon));
+    assert!(Kernel::from_name("sse9").is_none());
+    assert!(
+        Kernel::from_name("Scalar").is_none(),
+        "names are case-sensitive"
+    );
+
+    let tiers = available_kernels();
+    assert!(tiers.contains(&Kernel::Scalar), "scalar is always compiled");
+    let active = active_kernel();
+    assert!(tiers.contains(&active), "active tier must be available");
+    assert_eq!(active, active_kernel(), "dispatch must latch once");
+    if let Ok(forced) = std::env::var("FEDCA_FORCE_KERNEL") {
+        assert_eq!(
+            active.name(),
+            forced,
+            "FEDCA_FORCE_KERNEL={forced} but dispatch latched {}",
+            active.name()
+        );
+    }
+}
+
 proptest! {
+    #[test]
+    fn random_shapes_match_f64_reference_on_every_tier(
+        m in 0usize..40,
+        n in 0usize..40,
+        k in 0usize..80,
+        ta_bit in 0u8..2,
+        tb_bit in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let want = naive(ta, tb, m, n, k, &a, &b);
+        for kernel in available_kernels() {
+            let mut c = vec![0.0f32; m * n];
+            gemm_acc_with_threads_on(kernel, ta, tb, m, n, k, &a, &b, &mut c, 1);
+            for (i, (&x, &y)) in c.iter().zip(want.iter()).enumerate() {
+                let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+                prop_assert!(
+                    (x - y).abs() <= tol,
+                    "{} [{i}]: {x} vs {y}", kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_shapes_are_thread_count_invariant_on_every_tier(
+        m in 1usize..50,
+        n in 1usize..30,
+        k in 1usize..60,
+        threads in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        for kernel in available_kernels() {
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_acc_with_threads_on(kernel, false, false, m, n, k, &a, &b, &mut c1, 1);
+            let mut ct = vec![0.0f32; m * n];
+            gemm_acc_with_threads_on(kernel, false, false, m, n, k, &a, &b, &mut ct, threads);
+            prop_assert_eq!(&c1, &ct, "{} changed bits across threads", kernel.name());
+        }
+    }
+
     #[test]
     fn random_shapes_match_f64_reference(
         m in 0usize..40,

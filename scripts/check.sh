@@ -29,5 +29,8 @@ scripts/recovery_check.sh
 echo "== perf check"
 scripts/perf_check.sh
 
+echo "== simd check"
+scripts/simd_check.sh
+
 echo "== population check"
 scripts/population_check.sh
