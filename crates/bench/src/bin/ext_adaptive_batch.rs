@@ -10,6 +10,10 @@ use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, 
 use fedca_core::{FedCaOptions, Scheme};
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let rounds = match scale {

@@ -9,6 +9,10 @@ use fedca_bench::study::{print_curve, progress_study};
 use fedca_bench::{note, seed_from_env, workload_by_name, ExpScale};
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let (rounds, k): (Vec<usize>, usize) = match scale {

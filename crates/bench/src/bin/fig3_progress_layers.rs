@@ -28,6 +28,10 @@ fn pick<'a>(names: &[&'a str], preferred: &[&str]) -> &'a str {
 }
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let (rounds, k): (Vec<usize>, usize) = match scale {

@@ -16,6 +16,10 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let (rounds, k): (Vec<usize>, usize) = match scale {

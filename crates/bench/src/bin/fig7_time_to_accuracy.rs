@@ -8,6 +8,10 @@ use fedca_bench::{fl_config, note, run_rounds, seed_from_env, workload_by_name, 
 use fedca_core::Scheme;
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let rounds_for = |name: &str| match (scale, name) {

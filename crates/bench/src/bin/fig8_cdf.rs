@@ -13,6 +13,10 @@ use fedca_core::metrics::empirical_cdf;
 use fedca_core::{FedCaOptions, Scheme};
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let rounds = match scale {

@@ -14,6 +14,10 @@ use fedca_core::profiler::SampledProfiler;
 use std::sync::Arc;
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let k = match scale {

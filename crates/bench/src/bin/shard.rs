@@ -1,37 +1,37 @@
-//! Virtual-population scaling probe: trains a fixed-cohort FedAvg study on
-//! `tiny_mlp` over an arbitrarily large client population and reports
-//! throughput plus peak memory as one JSON object on stdout.
+//! Sharded-execution probe: trains one study at a requested shard/worker
+//! topology and reports round throughput plus a parameter fingerprint as
+//! one JSON object on stdout.
 //!
-//! The lazy client store derives clients on demand from `(seed, id)`, so
-//! the resident set — and therefore peak RSS — scales with the cohort, not
-//! the population. `scripts/population_check.sh` runs this binary once per
-//! population size (peak RSS is process-monotone) and gates the numbers
-//! against `BENCH_population.json`.
+//! `scripts/shard_check.sh` runs this binary once per topology: the
+//! fingerprint must be identical across topologies (the topology-invariance
+//! guarantee, in release mode, on a real workload) and the 4-shard run must
+//! beat the 1-shard run's round throughput by the gated factor.
 //!
 //! ```text
-//! cargo run --release -p fedca-bench --bin population -- \
-//!     --n-clients 1000000 [--cohort 128] [--rounds 20]
+//! cargo run --release -p fedca-bench --bin shard -- \
+//!     --shards 4 [--workers 1] [--rounds 6] [--workload wrn]
 //! ```
 
-use fedca_bench::{apply_population, note, seed_from_env};
-use fedca_core::{FlConfig, Scheme, Trainer, Workload};
+use fedca_bench::{note, seed_from_env, workload_by_name, ExpScale};
+use fedca_core::{FlConfig, Scheme, Trainer};
 use serde::Serialize;
 
-/// The probe's single stdout line (consumed by
-/// `scripts/population_check.sh` via `jq`).
+/// The probe's single stdout line (consumed by `scripts/shard_check.sh`
+/// via `jq`).
 #[derive(Serialize)]
-struct PopulationReport {
+struct ShardReport {
+    workload: String,
+    shards: usize,
+    workers: usize,
     n_clients: usize,
     cohort: usize,
     rounds: usize,
-    cache_clients: usize,
     setup_s: f64,
+    train_s: f64,
     rounds_per_sec: f64,
     peak_rss_mib: f64,
-    n_hydrated: usize,
-    n_evicted: usize,
-    n_resident: usize,
-    n_dirty: usize,
+    /// FNV-1a over the final global parameter bits — topology-invariant.
+    params_fingerprint: String,
 }
 
 /// Process-lifetime peak resident set size in MiB, from `VmHWM` in
@@ -50,6 +50,17 @@ fn peak_rss_mib() -> f64 {
         })
         .map(|kb| kb / 1024.0)
         .unwrap_or(0.0)
+}
+
+fn fingerprint(params: &[f32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in params {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -80,31 +91,33 @@ fn main() {
     if fedca_core::shard::maybe_run_child() {
         return;
     }
-    let n_clients = usize_arg("--n-clients", 1_000_000);
-    let cohort = usize_arg("--cohort", 128);
-    let rounds = usize_arg("--rounds", 20);
+    let shards = usize_arg("--shards", 1);
+    let workers = usize_arg("--workers", 1);
+    let rounds = usize_arg("--rounds", 6);
+    let name = arg_value("--workload").unwrap_or_else(|| "wrn".to_string());
     let seed = seed_from_env();
 
-    let workload = Workload::tiny_mlp(seed);
+    let workload = workload_by_name(&name, ExpScale::from_env(), seed);
     let mut fl = FlConfig {
-        clients_per_round: cohort,
-        local_iters: 6,
-        batch_size: 8,
+        n_clients: 32,
+        clients_per_round: 8,
+        local_iters: usize_arg("--local-iters", 15),
+        batch_size: 16,
         lr: workload.lr,
         weight_decay: workload.weight_decay,
         seed,
-        ..FlConfig::default()
+        ..FlConfig::scaled()
     };
-    apply_population(&mut fl, n_clients);
+    fl.shard.n_shards = shards;
 
     note(&format!(
-        "population study: {n_clients} clients, cohort {}, {rounds} rounds, \
-         residency cap {}",
-        fl.clients_per_round, fl.population.cache_clients
+        "shard study: {name}, {shards} shards x {workers} workers, \
+         cohort {}, {rounds} rounds",
+        fl.clients_per_round
     ));
 
     let t0 = std::time::Instant::now();
-    let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload);
+    let mut trainer = Trainer::new_with_workers(fl.clone(), Scheme::FedAvg, workload, workers);
     let setup_s = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
@@ -112,18 +125,18 @@ fn main() {
     trainer.run(rounds);
     let train_s = t1.elapsed().as_secs_f64();
 
-    let report = PopulationReport {
+    let report = ShardReport {
+        workload: name,
+        shards,
+        workers,
         n_clients: fl.n_clients,
         cohort: fl.clients_per_round,
         rounds,
-        cache_clients: fl.population.cache_clients,
         setup_s,
+        train_s,
         rounds_per_sec: rounds as f64 / train_s.max(1e-9),
         peak_rss_mib: peak_rss_mib(),
-        n_hydrated: trainer.records().iter().map(|r| r.n_hydrated).sum(),
-        n_evicted: trainer.records().iter().map(|r| r.n_evicted).sum(),
-        n_resident: trainer.store().n_resident(),
-        n_dirty: trainer.store().n_dirty(),
+        params_fingerprint: fingerprint(trainer.global_params()),
     };
     println!("{}", serde_json::to_string(&report).expect("serialize"));
 }

@@ -12,6 +12,10 @@ use fedca_bench::{fl_config, note, run_to_target, seed_from_env, workload_by_nam
 use fedca_core::Scheme;
 
 fn main() {
+    // Shard children re-enter this binary: serve the protocol and exit.
+    if fedca_core::shard::maybe_run_child() {
+        return;
+    }
     let scale = ExpScale::from_env();
     let seed = seed_from_env();
     let max_rounds = |name: &str| match (scale, name) {

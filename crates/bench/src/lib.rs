@@ -96,6 +96,9 @@ pub fn fl_config(workload: &Workload, scale: ExpScale, seed: u64) -> FlConfig {
     if let Some(c) = compression_override() {
         fl.compression = c;
     }
+    if let Some(s) = shards_override() {
+        apply_shards(&mut fl, s);
+    }
     fl
 }
 
@@ -172,6 +175,36 @@ pub fn n_clients_override() -> Option<usize> {
     std::env::var("FEDCA_N_CLIENTS")
         .ok()
         .map(|v| v.parse().expect("FEDCA_N_CLIENTS must be an integer"))
+}
+
+/// Shard-topology override for this process: `--shards N` / `--shards=N`
+/// on the command line, else the `FEDCA_SHARDS` environment variable.
+/// `None` (or 0) keeps the single-process in-memory worker pool.
+pub fn shards_override() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            return Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards requires a non-negative integer"),
+            );
+        }
+        if let Some(v) = a.strip_prefix("--shards=") {
+            return Some(v.parse().expect("--shards requires a non-negative integer"));
+        }
+    }
+    std::env::var("FEDCA_SHARDS")
+        .ok()
+        .map(|v| v.parse().expect("FEDCA_SHARDS must be an integer"))
+}
+
+/// Switches a federation to `n` shard processes (0 = stay in-process).
+/// The children re-enter this same binary, which must gate its `main` on
+/// [`fedca_core::shard::maybe_run_child`] — every `src/bin/` binary does.
+pub fn apply_shards(fl: &mut FlConfig, n: usize) {
+    fl.shard.n_shards = n;
+    fl.shard.child_args = Vec::new();
 }
 
 /// Resizes a federation to `n` virtual clients: the cohort is clamped to

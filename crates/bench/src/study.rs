@@ -131,6 +131,7 @@ pub fn progress_study(
         trace: Default::default(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     };
     let mut trainer = Trainer::new(fl.clone(), Scheme::FedAvg, workload.clone());
     trainer.eval_every = 0; // no accuracy needed; keep the study fast

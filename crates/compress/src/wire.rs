@@ -321,6 +321,255 @@ pub fn decode(bytes: &Bytes) -> Result<UpdateMessage, WireError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Frame layer: length-delimited envelopes for inter-process transport.
+//
+// The update codec above describes *one* message in a buffer whose bounds are
+// already known. When messages flow over a byte stream (Unix sockets between
+// shard processes and the coordinator), something must delimit them and say
+// what they are. A frame is that envelope:
+//
+//   magic u16 LE | kind u8 | meta_len u32 LE | payload_len u32 LE | meta | payload
+//
+// `meta` is a small structured header (the shard protocol puts JSON there);
+// `payload` is bulk binary data — a `wire::encode` update or raw f32 LE
+// parameters. Control frames carry no payload by definition, and the decoder
+// enforces it. Lengths are validated against a caller-supplied cap *before*
+// any allocation, so a corrupt or hostile length prefix yields a typed
+// `Oversize` error instead of an OOM.
+// ---------------------------------------------------------------------------
+
+/// Frame magic ("FS" — frame/shard), distinct from the update magic so a
+/// misdirected buffer fails loudly at the first two bytes.
+pub const FRAME_MAGIC: u16 = 0x5346;
+
+/// Fixed frame header size: magic, kind, meta length, payload length.
+pub const FRAME_HEADER_LEN: usize = 2 + 1 + 4 + 4;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Structured metadata only; `payload` must be empty.
+    Control,
+    /// Metadata plus a bulk binary payload.
+    Update,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Control => 0,
+            FrameKind::Update => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Control),
+            1 => Some(FrameKind::Update),
+            _ => None,
+        }
+    }
+}
+
+/// One framed message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Envelope kind.
+    pub kind: FrameKind,
+    /// Structured header bytes (the shard protocol stores JSON here).
+    pub meta: Bytes,
+    /// Bulk binary payload; empty for [`FrameKind::Control`].
+    pub payload: Bytes,
+}
+
+/// Frame codec error.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Buffer or stream ended inside a frame.
+    Truncated,
+    /// First two bytes were not [`FRAME_MAGIC`].
+    BadMagic(u16),
+    /// Kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// A length prefix exceeds the caller's cap; nothing was allocated.
+    Oversize {
+        /// Combined meta + payload length the header claimed.
+        len: u64,
+        /// The cap the caller passed.
+        max: u64,
+    },
+    /// Structurally invalid (e.g. a control frame with a payload).
+    Malformed(&'static str),
+    /// Transport error from the underlying reader/writer.
+    Io(std::io::Error),
+}
+
+impl PartialEq for FrameError {
+    fn eq(&self, other: &Self) -> bool {
+        use FrameError::*;
+        match (self, other) {
+            (Truncated, Truncated) => true,
+            (BadMagic(a), BadMagic(b)) => a == b,
+            (UnknownKind(a), UnknownKind(b)) => a == b,
+            (Oversize { len: a, max: ma }, Oversize { len: b, max: mb }) => a == b && ma == mb,
+            (Malformed(a), Malformed(b)) => a == b,
+            (Io(a), Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes a frame to bytes.
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    debug_assert!(
+        frame.kind != FrameKind::Control || frame.payload.is_empty(),
+        "control frames carry no payload"
+    );
+    let mut buf =
+        BytesMut::with_capacity(FRAME_HEADER_LEN + frame.meta.len() + frame.payload.len());
+    buf.put_u16_le(FRAME_MAGIC);
+    buf.put_u8(frame.kind.to_u8());
+    buf.put_u32_le(frame.meta.len() as u32);
+    buf.put_u32_le(frame.payload.len() as u32);
+    buf.put_slice(frame.meta.as_ref());
+    buf.put_slice(frame.payload.as_ref());
+    buf.freeze()
+}
+
+/// Validates a frame header, returning `(kind, meta_len, payload_len)`.
+/// Length validation against `max_len` happens here, before any body bytes
+/// are read or allocated.
+fn check_header(
+    magic: u16,
+    kind: u8,
+    meta_len: u32,
+    payload_len: u32,
+    max_len: usize,
+) -> Result<(FrameKind, usize, usize), FrameError> {
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let kind = FrameKind::from_u8(kind).ok_or(FrameError::UnknownKind(kind))?;
+    let total = meta_len as u64 + payload_len as u64;
+    if total > max_len as u64 {
+        return Err(FrameError::Oversize {
+            len: total,
+            max: max_len as u64,
+        });
+    }
+    if kind == FrameKind::Control && payload_len != 0 {
+        return Err(FrameError::Malformed("control frame with payload"));
+    }
+    Ok((kind, meta_len as usize, payload_len as usize))
+}
+
+/// Decodes one frame from the front of `buf`, returning the frame and the
+/// number of bytes consumed. Pure — property tests feed it arbitrary bytes.
+pub fn decode_frame(buf: &[u8], max_len: usize) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    let kind = buf[2];
+    let meta_len = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
+    let payload_len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
+    let (kind, meta_len, payload_len) = check_header(magic, kind, meta_len, payload_len, max_len)?;
+    let total = FRAME_HEADER_LEN + meta_len + payload_len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let meta = Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + meta_len]);
+    let payload = Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN + meta_len..total]);
+    Ok((
+        Frame {
+            kind,
+            meta,
+            payload,
+        },
+        total,
+    ))
+}
+
+/// Reads exactly `buf.len()` bytes. Distinguishes EOF before the first byte
+/// (`Ok(false)`) from EOF mid-buffer (`Err(Truncated)`).
+fn read_exact_or_eof(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a byte stream. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; EOF inside a frame is [`FrameError::Truncated`]. The
+/// header's lengths are validated against `max_len` before the body is
+/// allocated or read.
+pub fn read_frame(r: &mut impl std::io::Read, max_len: usize) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    let kind = header[2];
+    let meta_len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
+    let payload_len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    let (kind, meta_len, payload_len) = check_header(magic, kind, meta_len, payload_len, max_len)?;
+    let mut meta = vec![0u8; meta_len];
+    if !read_exact_or_eof(r, &mut meta)? && meta_len > 0 {
+        return Err(FrameError::Truncated);
+    }
+    let mut payload = vec![0u8; payload_len];
+    if !read_exact_or_eof(r, &mut payload)? && payload_len > 0 {
+        return Err(FrameError::Truncated);
+    }
+    Ok(Some(Frame {
+        kind,
+        meta: Bytes::from(meta),
+        payload: Bytes::from(payload),
+    }))
+}
+
+/// Writes one frame to a byte stream. The caller flushes.
+pub fn write_frame(w: &mut impl std::io::Write, frame: &Frame) -> Result<(), FrameError> {
+    let bytes = encode_frame(frame);
+    w.write_all(bytes.as_ref())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,5 +695,90 @@ mod tests {
             decode(&Bytes::from(corrupted)),
             Err(WireError::Malformed("magic"))
         ));
+    }
+
+    #[test]
+    fn frame_round_trip_buffer_and_stream() {
+        let frame = Frame {
+            kind: FrameKind::Update,
+            meta: Bytes::from_static(b"{\"x\":1}"),
+            payload: Bytes::from_static(&[1, 2, 3, 4, 5]),
+        };
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(bytes.as_ref(), 1 << 20).expect("decodes");
+        assert_eq!(back, frame);
+        assert_eq!(used, bytes.len());
+
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        let streamed = read_frame(&mut cursor, 1 << 20)
+            .expect("reads")
+            .expect("one frame");
+        assert_eq!(streamed, frame);
+        assert_eq!(read_frame(&mut cursor, 1 << 20).expect("clean eof"), None);
+    }
+
+    #[test]
+    fn frame_control_must_be_payloadless() {
+        let mut bytes = encode_frame(&Frame {
+            kind: FrameKind::Update,
+            meta: Bytes::from_static(b"m"),
+            payload: Bytes::from_static(b"p"),
+        })
+        .to_vec();
+        bytes[2] = 0; // flip kind to Control, keep payload_len = 1
+        assert_eq!(
+            decode_frame(&bytes, 1 << 20),
+            Err(FrameError::Malformed("control frame with payload"))
+        );
+    }
+
+    #[test]
+    fn frame_oversize_prefix_is_typed_before_allocation() {
+        let mut bytes = encode_frame(&Frame {
+            kind: FrameKind::Update,
+            meta: Bytes::from_static(b"m"),
+            payload: Bytes::default(),
+        })
+        .to_vec();
+        bytes[7..11].copy_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+        match decode_frame(&bytes, 1024) {
+            Err(FrameError::Oversize { len, max: 1024 }) => {
+                assert_eq!(len, 1 + u32::MAX as u64)
+            }
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_truncation_and_bad_magic() {
+        let bytes = encode_frame(&Frame {
+            kind: FrameKind::Control,
+            meta: Bytes::from_static(b"hello"),
+            payload: Bytes::default(),
+        });
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes.as_ref()[..cut], 1 << 20),
+                Err(FrameError::Truncated),
+                "cut={cut}"
+            );
+        }
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad, 1 << 20),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut unk = bytes.to_vec();
+        unk[2] = 99;
+        assert_eq!(
+            decode_frame(&unk, 1 << 20),
+            Err(FrameError::UnknownKind(99))
+        );
     }
 }

@@ -276,3 +276,213 @@ fn payload_to_dense_matches_scheme_reconstruction() {
         other => panic!("None must stay dense, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Frame layer: the length-framed envelope the shard protocol rides on.
+// Truncation, corruption, reordered/duplicate delivery, and oversize
+// length prefixes must all surface as typed errors — never a panic, never
+// an unbounded allocation, never a silent mis-framing.
+// ---------------------------------------------------------------------------
+
+use fedca_compress::wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind,
+    FRAME_HEADER_LEN, FRAME_MAGIC,
+};
+use std::io::Cursor;
+
+fn arb_frame(meta: Vec<u8>, payload: Vec<u8>, control: bool) -> Frame {
+    if control {
+        Frame {
+            kind: FrameKind::Control,
+            meta: Bytes::from(meta),
+            payload: Bytes::default(),
+        }
+    } else {
+        Frame {
+            kind: FrameKind::Update,
+            meta: Bytes::from(meta),
+            payload: Bytes::from(payload),
+        }
+    }
+}
+
+proptest! {
+    /// encode → decode is exact, consumes exactly the encoded length, and
+    /// the stream reader agrees byte for byte with the buffer decoder.
+    #[test]
+    fn frame_round_trip_is_exact(
+        meta in prop::collection::vec(0u8..255, 0..64),
+        payload in prop::collection::vec(0u8..255, 0..128),
+        control_pick in 0usize..2,
+    ) {
+        let frame = arb_frame(meta, payload, control_pick == 1);
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(
+            bytes.len(),
+            FRAME_HEADER_LEN + frame.meta.len() + frame.payload.len()
+        );
+        let (back, consumed) = decode_frame(bytes.as_ref(), 1 << 20).expect("own frame decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&back, &frame);
+        let mut cursor = Cursor::new(bytes.as_ref().to_vec());
+        let streamed = read_frame(&mut cursor, 1 << 20).expect("stream decode");
+        prop_assert_eq!(streamed.as_ref(), Some(&frame));
+        // The stream is now exactly drained: the next read is a clean EOF.
+        prop_assert_eq!(read_frame(&mut cursor, 1 << 20).expect("clean EOF"), None);
+    }
+
+    /// Every strict prefix of a frame is `Truncated` — except the empty
+    /// prefix on the stream reader, which is a clean EOF (`Ok(None)`).
+    #[test]
+    fn truncated_frames_are_typed_never_hangs_or_panics(
+        meta in prop::collection::vec(0u8..255, 0..32),
+        payload in prop::collection::vec(0u8..255, 1..64),
+    ) {
+        let frame = arb_frame(meta, payload, false);
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            let buf = &bytes.as_ref()[..cut];
+            prop_assert!(
+                matches!(decode_frame(buf, 1 << 20), Err(FrameError::Truncated)),
+                "prefix {cut}/{} must be Truncated", bytes.len()
+            );
+            let mut cursor = Cursor::new(buf.to_vec());
+            let streamed = read_frame(&mut cursor, 1 << 20);
+            if cut == 0 {
+                prop_assert!(matches!(streamed, Ok(None)), "empty stream is clean EOF");
+            } else {
+                prop_assert!(
+                    matches!(streamed, Err(FrameError::Truncated)),
+                    "mid-frame EOF at {cut} must be Truncated"
+                );
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in a frame either still decodes
+    /// (same byte count consumed) or fails with a typed error.
+    #[test]
+    fn corrupted_frame_bytes_never_panic(
+        meta in prop::collection::vec(0u8..255, 0..32),
+        payload in prop::collection::vec(0u8..255, 0..64),
+        pos_pick in 0usize..10_000,
+        flip in 1usize..256,
+    ) {
+        let frame = arb_frame(meta, payload, false);
+        let good = encode_frame(&frame);
+        let mut bytes = good.as_ref().to_vec();
+        let pos = pos_pick % bytes.len();
+        bytes[pos] ^= flip as u8;
+        match decode_frame(&bytes, 1 << 20) {
+            Ok((_, consumed)) => prop_assert!(consumed <= bytes.len()),
+            Err(
+                FrameError::Truncated
+                | FrameError::BadMagic(_)
+                | FrameError::UnknownKind(_)
+                | FrameError::Oversize { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    /// An adversarial length prefix is rejected against the caller's cap
+    /// BEFORE any body bytes are read or allocated: a header claiming
+    /// gigabytes on a 15-byte stream still comes back `Oversize`, and the
+    /// reader never blocks waiting for the phantom body.
+    #[test]
+    fn oversize_length_prefixes_are_rejected_before_allocation(
+        meta_len in 0u32..u32::MAX,
+        payload_len in 0u32..u32::MAX,
+        cap in 1usize..4096,
+    ) {
+        let total = meta_len as u64 + payload_len as u64;
+        prop_assume!(total > cap as u64);
+        let mut header = Vec::with_capacity(FRAME_HEADER_LEN);
+        header.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        header.push(1); // Update
+        header.extend_from_slice(&meta_len.to_le_bytes());
+        header.extend_from_slice(&payload_len.to_le_bytes());
+        header.extend_from_slice(&[0xAB; 4]); // a few phantom body bytes
+        let expect = FrameError::Oversize { len: total, max: cap as u64 };
+        match decode_frame(&header, cap) {
+            Err(e) => prop_assert_eq!(e, expect),
+            Ok(_) => prop_assert!(false, "oversize header decoded"),
+        }
+        let mut cursor = Cursor::new(header);
+        match read_frame(&mut cursor, cap) {
+            Err(e) => prop_assert_eq!(
+                e,
+                FrameError::Oversize { len: total, max: cap as u64 }
+            ),
+            Ok(f) => prop_assert!(false, "oversize header streamed: {f:?}"),
+        }
+        // Nothing past the header was consumed: validation precedes reads.
+        prop_assert_eq!(cursor.position() as usize, FRAME_HEADER_LEN);
+    }
+
+    /// Reordered and duplicated frames on a stream are delivered exactly
+    /// in wire order — framing never resynchronizes mid-frame or merges
+    /// adjacent frames.
+    #[test]
+    fn reordered_and_duplicate_frames_keep_their_boundaries(
+        meta_a in prop::collection::vec(0u8..255, 1..32),
+        meta_b in prop::collection::vec(0u8..255, 1..32),
+        payload in prop::collection::vec(0u8..255, 0..48),
+    ) {
+        let a = arb_frame(meta_a, payload, false);
+        let b = arb_frame(meta_b, Vec::new(), true);
+        // Deliver B, then A twice: out of order and duplicated.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &b).expect("write");
+        write_frame(&mut stream, &a).expect("write");
+        write_frame(&mut stream, &a).expect("write");
+        let mut cursor = Cursor::new(stream);
+        let got_b = read_frame(&mut cursor, 1 << 20).expect("B").expect("B present");
+        let got_a1 = read_frame(&mut cursor, 1 << 20).expect("A#1").expect("A#1 present");
+        let got_a2 = read_frame(&mut cursor, 1 << 20).expect("A#2").expect("A#2 present");
+        prop_assert_eq!(&got_b, &b);
+        prop_assert_eq!(&got_a1, &a);
+        prop_assert_eq!(&got_a2, &got_a1);
+        prop_assert_eq!(read_frame(&mut cursor, 1 << 20).expect("EOF"), None);
+    }
+}
+
+/// Control frames carrying a payload are structurally invalid on the wire:
+/// a forged header must decode to `Malformed`, not a usable frame.
+#[test]
+fn control_frames_with_payloads_are_malformed() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    bytes.push(0); // Control
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // meta_len
+    bytes.extend_from_slice(&3u32.to_le_bytes()); // payload_len != 0
+    bytes.extend_from_slice(&[1, 2, 3]);
+    assert!(matches!(
+        decode_frame(&bytes, 1 << 20),
+        Err(FrameError::Malformed(_))
+    ));
+}
+
+/// Unknown kind bytes and bad magic are each their own typed error, with
+/// the offending value echoed back for diagnostics.
+#[test]
+fn bad_magic_and_unknown_kind_are_typed() {
+    let frame = arb_frame(vec![9, 9], vec![7], false);
+    let good = encode_frame(&frame);
+    let mut bad_magic = good.as_ref().to_vec();
+    bad_magic[0] ^= 0xFF;
+    let claimed = u16::from_le_bytes([bad_magic[0], bad_magic[1]]);
+    assert_eq!(
+        decode_frame(&bad_magic, 1 << 20).unwrap_err(),
+        FrameError::BadMagic(claimed)
+    );
+    for kind in 2u8..=255 {
+        let mut bad_kind = good.as_ref().to_vec();
+        bad_kind[2] = kind;
+        assert_eq!(
+            decode_frame(&bad_kind, 1 << 20).unwrap_err(),
+            FrameError::UnknownKind(kind)
+        );
+    }
+}

@@ -110,6 +110,40 @@ impl Scheme {
         Scheme::FedCa(FedCaOptions::v3())
     }
 
+    /// Client-side training options this scheme implies. Shared by the
+    /// in-process trainer and shard children, so both sides derive
+    /// identical client behaviour from the serialized scheme alone.
+    pub fn client_options(&self) -> crate::client::ClientOptions {
+        match self {
+            Scheme::FedAvg | Scheme::FedAda { .. } => crate::client::ClientOptions::default(),
+            Scheme::FedProx { mu } => crate::client::ClientOptions {
+                prox_mu: *mu,
+                fedca: None,
+            },
+            Scheme::FedCa(o) => crate::client::ClientOptions {
+                prox_mu: 0.0,
+                fedca: Some(o.clone()),
+            },
+        }
+    }
+
+    /// Profiler sample cap per layer (FedCA's `min(50%, max)` rule; the
+    /// baselines keep the default cap — they never profile).
+    pub fn max_samples_per_layer(&self) -> usize {
+        match self {
+            Scheme::FedCa(o) => o.config.max_samples_per_layer,
+            _ => 100,
+        }
+    }
+
+    /// Anchor-round cadence in participations (0 = never profiles).
+    pub fn profile_period(&self) -> usize {
+        match self {
+            Scheme::FedCa(o) => o.config.profile_period,
+            _ => 0,
+        }
+    }
+
     /// Display name used in experiment output.
     pub fn name(&self) -> String {
         match self {

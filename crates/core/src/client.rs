@@ -50,7 +50,12 @@ pub struct ClientState {
 }
 
 /// What the server hands a selected client at round start.
-#[derive(Clone, Debug)]
+///
+/// Serializable because sharded execution ships the whole plan — including
+/// the root-drawn fault assignment — to the shard process that runs the
+/// client; every field is finite by construction, so JSON transport is
+/// lossless.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct RoundPlan {
     /// Round index.
     pub round: usize,

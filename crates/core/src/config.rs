@@ -66,6 +66,115 @@ pub struct FlConfig {
     /// excluded from the run fingerprint.
     #[serde(default)]
     pub population: PopulationConfig,
+    /// Multi-process sharded execution (`core::shard`). Topology-neutral by
+    /// construction — the coordinator folds reports in selection-ordinal
+    /// order, so any shard/worker layout produces byte-identical records,
+    /// parameters, and canonical traces. Like trace/checkpoint/population,
+    /// this section is excluded from the run fingerprint.
+    #[serde(default)]
+    pub shard: ShardConfig,
+}
+
+/// How client ids map onto shard processes. Any assignment is
+/// trajectory-neutral; this only shapes load balance across shards.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum ShardAssignment {
+    /// `client_id % n_shards` — the default, perfectly balanced for the
+    /// uniform selection the paper uses.
+    #[default]
+    Modulo,
+    /// `mix(seed, DOMAIN_TOPOLOGY, client_id) % n_shards` — a seeded hash,
+    /// used by the parity proptest to prove invariance over arbitrary
+    /// placements.
+    Mixed {
+        /// Hash seed; independent of the experiment seed.
+        seed: u64,
+    },
+}
+
+impl ShardAssignment {
+    /// The shard that owns `client_id` in an `n_shards`-process topology.
+    pub fn shard_of(&self, client_id: usize, n_shards: usize) -> usize {
+        let n = n_shards.max(1);
+        match self {
+            ShardAssignment::Modulo => client_id % n,
+            ShardAssignment::Mixed { seed } => {
+                let h = fedca_sim::stream::mix(
+                    *seed,
+                    fedca_sim::stream::DOMAIN_TOPOLOGY,
+                    client_id as u64,
+                );
+                (h % n as u64) as usize
+            }
+        }
+    }
+}
+
+/// Sharded-execution topology and transport limits.
+///
+/// `n_shards == 0` (the default) keeps the single-process in-memory worker
+/// pool; any positive value spawns that many shard processes. The remaining
+/// knobs are operational guards on the coordinator's socket I/O and are 0 =
+/// "use the built-in default" so a config that only sets `n_shards` gets
+/// sane limits.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Shard processes to spawn; 0 = in-process execution.
+    #[serde(default)]
+    pub n_shards: usize,
+    /// Client → shard placement rule.
+    #[serde(default)]
+    pub assignment: ShardAssignment,
+    /// Coordinator-side bound on every socket wait, in seconds; a shard
+    /// that makes no progress within it is killed and its cohort fails like
+    /// a worker panic. 0 → 30 s.
+    #[serde(default)]
+    pub io_timeout_secs: f64,
+    /// Bound on shard process spawn + connect, in seconds. 0 → 10 s.
+    #[serde(default)]
+    pub spawn_timeout_secs: f64,
+    /// Largest accepted protocol frame, in MiB; oversize length prefixes
+    /// fail typed before allocation. 0 → 1024 MiB.
+    #[serde(default)]
+    pub max_frame_mib: usize,
+    /// Extra argv for spawned shard children. Test harnesses re-enter their
+    /// own binary through libtest and need `[test_name, "--exact",
+    /// "--nocapture"]`; standalone binaries leave this empty and gate on
+    /// `shard::maybe_run_child()` instead.
+    #[serde(default)]
+    pub child_args: Vec<String>,
+}
+
+impl ShardConfig {
+    /// Effective coordinator I/O timeout.
+    pub fn io_timeout(&self) -> std::time::Duration {
+        let secs = if self.io_timeout_secs > 0.0 {
+            self.io_timeout_secs
+        } else {
+            30.0
+        };
+        std::time::Duration::from_secs_f64(secs)
+    }
+
+    /// Effective spawn/connect timeout.
+    pub fn spawn_timeout(&self) -> std::time::Duration {
+        let secs = if self.spawn_timeout_secs > 0.0 {
+            self.spawn_timeout_secs
+        } else {
+            10.0
+        };
+        std::time::Duration::from_secs_f64(secs)
+    }
+
+    /// Effective frame-size cap in bytes.
+    pub fn max_frame_len(&self) -> usize {
+        let mib = if self.max_frame_mib > 0 {
+            self.max_frame_mib
+        } else {
+            1024
+        };
+        mib << 20
+    }
 }
 
 /// Residency policy for the lazy client store.
@@ -103,6 +212,7 @@ impl Default for FlConfig {
             trace: TraceConfig::disabled(),
             checkpoint: CheckpointConfig::disabled(),
             population: PopulationConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -185,6 +295,46 @@ mod tests {
         assert_eq!(back.n_clients, c.n_clients);
         assert_eq!(back.seed, c.seed);
         assert!(back.faults.is_inert());
+    }
+
+    #[test]
+    fn shard_section_defaults_in_process_with_sane_limits() {
+        let c = FlConfig::default();
+        assert_eq!(c.shard.n_shards, 0);
+        assert_eq!(c.shard.assignment, ShardAssignment::Modulo);
+        assert_eq!(c.shard.io_timeout(), std::time::Duration::from_secs(30));
+        assert_eq!(c.shard.spawn_timeout(), std::time::Duration::from_secs(10));
+        assert_eq!(c.shard.max_frame_len(), 1024 << 20);
+        // Older configs without a "shard" key parse to the same default.
+        let back: FlConfig = serde_json::from_str("{\"n_clients\":4,\"clients_per_round\":2,\"local_iters\":1,\"batch_size\":1,\"lr\":0.1,\"weight_decay\":0.0,\"aggregation_fraction\":0.9,\"dirichlet_alpha\":0.1,\"seed\":1,\"heterogeneity\":false,\"dynamicity\":false}").unwrap();
+        assert_eq!(back.shard, ShardConfig::default());
+    }
+
+    #[test]
+    fn shard_assignments_cover_every_shard_and_round_trip() {
+        for n in [1usize, 2, 4] {
+            let mut hit = vec![false; n];
+            for id in 0..64 {
+                hit[ShardAssignment::Modulo.shard_of(id, n)] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "modulo misses a shard at n={n}");
+            let mixed = ShardAssignment::Mixed { seed: 7 };
+            let mut hit = vec![false; n];
+            for id in 0..256 {
+                let s = mixed.shard_of(id, n);
+                assert_eq!(s, mixed.shard_of(id, n), "placement must be stable");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "mixed misses a shard at n={n}");
+        }
+        let c = ShardConfig {
+            n_shards: 4,
+            assignment: ShardAssignment::Mixed { seed: 9 },
+            ..ShardConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ShardConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

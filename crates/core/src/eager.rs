@@ -11,7 +11,10 @@
 use fedca_tensor::cosine_similarity;
 
 /// What happened to one layer within a round.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Serializable so shard processes can report per-layer outcomes to the
+/// coordinator verbatim.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum LayerOutcome {
     /// Never eagerly sent; included in the final upload.
     Regular,

@@ -47,6 +47,7 @@ pub mod profiler;
 pub mod progress;
 pub mod runner;
 pub mod server;
+pub mod shard;
 pub mod trace;
 pub mod workload;
 
@@ -54,10 +55,12 @@ pub use algorithms::{FedCaOptions, Scheme};
 pub use checkpoint::{CheckpointConfig, CheckpointEnvelope, CheckpointError, CheckpointStore};
 pub use config::PopulationConfig;
 pub use config::{FedCaConfig, FlConfig};
+pub use config::{ShardAssignment, ShardConfig};
 pub use metrics::TrainerOutput;
 pub use params::UpdateVec;
 pub use population::{ClientFactory, ClientStore, TrainerError};
 pub use progress::statistical_progress;
 pub use runner::Trainer;
+pub use shard::{ShardError, ShardPool};
 pub use trace::{TraceConfig, TraceEvent, TraceRecord, TraceSink, Tracer};
-pub use workload::Workload;
+pub use workload::{Workload, WorkloadSpec};

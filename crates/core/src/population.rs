@@ -177,7 +177,11 @@ pub fn snapshot_client(c: &ClientState) -> ClientSnapshot {
     }
 }
 
-fn apply_snapshot(c: &mut ClientState, snap: &ClientSnapshot) {
+/// Overlays a dirty snapshot onto a freshly derived client. Public because
+/// sharded execution replays the same overlay on the far side of a process
+/// boundary: `factory.build + apply_snapshot` there is byte-identical to a
+/// local [`ClientStore::hydrate`].
+pub fn apply_snapshot(c: &mut ClientState, snap: &ClientSnapshot) {
     c.sampler
         .restore(snap.sampler_indices.clone(), snap.sampler_cursor);
     c.device.restore(&snap.device);

@@ -13,13 +13,14 @@
 
 use crate::algorithms::Scheme;
 use crate::checkpoint::{fnv1a, CheckpointEnvelope, CheckpointError, CheckpointStore};
-use crate::client::{ClientOptions, ClientState, RoundPlan};
+use crate::client::{ClientState, RoundPlan};
 use crate::config::FlConfig;
 use crate::executor::{ClientDone, ClientWork, RoundCtx, RoundExecutor};
 use crate::metrics::{outcomes_to_events, RoundRecord, TrainerOutput};
 use crate::params::ModelLayout;
 use crate::population::{ClientFactory, ClientStore, TrainerError};
 use crate::server::Server;
+use crate::shard::{self, ShardError, ShardEvent, ShardPool};
 use crate::trace::{PendingEvent, TraceEvent, Tracer, SERVER_ORD};
 use crate::workload::Workload;
 use fedca_data::PartitionSpec;
@@ -31,9 +32,55 @@ use fedca_sim::network::Link;
 use fedca_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 pub use crate::metrics::TrainerOutput as Output;
+
+/// How the round's client work is executed: an in-process worker pool
+/// (the default) or a pool of shard processes (`fl.shard.n_shards > 0`).
+/// Both feed the identical root-side ordinal-order fold, so the choice is
+/// behaviourally invisible.
+enum Backend {
+    Local(RoundExecutor),
+    Sharded(Box<ShardPool>),
+}
+
+impl Backend {
+    fn n_workers(&self) -> usize {
+        match self {
+            Backend::Local(e) => e.n_workers(),
+            Backend::Sharded(p) => p.n_workers(),
+        }
+    }
+}
+
+/// How a finished client's state comes home: the moved-out [`ClientState`]
+/// itself (local workers) or the durable snapshot applied onto the root's
+/// checked-out copy (shards).
+// Short-lived per-event values, never stored in bulk — boxing the large
+// variant would add a hot-path allocation for nothing.
+#[allow(clippy::large_enum_variant)]
+enum Homecoming {
+    State(ClientState),
+    Snapshot(crate::checkpoint::ClientSnapshot),
+}
+
+/// One client resolved by either backend, normalized for the round loop.
+#[allow(clippy::large_enum_variant)]
+enum Resolved {
+    Ok {
+        ord: usize,
+        report: crate::client::ClientRoundReport,
+        host_us: f64,
+        allocs: usize,
+        home: Homecoming,
+    },
+    Fail {
+        ord: usize,
+        client_id: usize,
+    },
+}
 
 /// Drives one `(scheme, workload)` experiment.
 ///
@@ -50,7 +97,7 @@ pub struct Trainer {
     /// The lazy, rederivable client population.
     store: ClientStore,
     fault_plan: FaultPlan,
-    executor: RoundExecutor,
+    backend: Backend,
     tracer: Tracer,
     eval_model: Model,
     clock: SimTime,
@@ -97,10 +144,7 @@ impl Trainer {
         } else {
             DynamicsConfig::static_device()
         };
-        let max_samples = match &scheme {
-            Scheme::FedCa(o) => o.config.max_samples_per_layer,
-            _ => 100,
-        };
+        let max_samples = scheme.max_samples_per_layer();
         // Derive-at-id population: no per-client table is built here. Any
         // client's shard, speed class, and RNG streams are pure functions of
         // `(fl.seed, id)`, hydrated on first selection.
@@ -143,11 +187,24 @@ impl Trainer {
         );
 
         // The pool lives for the trainer's whole life (workers are joined
-        // when the trainer drops).
+        // — or shard children shut down — when the trainer drops).
+        let backend = if fl.shard.n_shards > 0 {
+            let spec = workload.spec.clone().unwrap_or_else(|| {
+                panic!(
+                    "sharded execution needs a registry workload \
+                     (cnn/lstm/wrn/tiny_mlp) so shard children can rebuild it"
+                )
+            });
+            let pool = ShardPool::new(&fl, &scheme, spec, n_workers.max(1))
+                .unwrap_or_else(|e| panic!("failed to start shard pool: {e}"));
+            Backend::Sharded(Box::new(pool))
+        } else {
+            Backend::Local(RoundExecutor::new(n_workers))
+        };
         Trainer {
             rng: StdRng::seed_from_u64(fl.seed.wrapping_add(0xA11CE)),
             eval_model: model,
-            executor: RoundExecutor::new(n_workers),
+            backend,
             tracer,
             fault_plan: FaultPlan::new(fl.faults.clone()),
             fl,
@@ -207,17 +264,17 @@ impl Trainer {
         self.server.global().as_slice()
     }
 
-    fn client_options(&self) -> ClientOptions {
-        match &self.scheme {
-            Scheme::FedAvg | Scheme::FedAda { .. } => ClientOptions::default(),
-            Scheme::FedProx { mu } => ClientOptions {
-                prox_mu: *mu,
-                fedca: None,
-            },
-            Scheme::FedCa(o) => ClientOptions {
-                prox_mu: 0.0,
-                fedca: Some(o.clone()),
-            },
+    /// Worker threads per executor (per shard process when sharded).
+    pub fn n_workers(&self) -> usize {
+        self.backend.n_workers()
+    }
+
+    /// Mutable access to the shard pool when running sharded — chaos tests
+    /// schedule deterministic kills through this. `None` in-process.
+    pub fn shard_pool_mut(&mut self) -> Option<&mut ShardPool> {
+        match &mut self.backend {
+            Backend::Sharded(p) => Some(p),
+            Backend::Local(_) => None,
         }
     }
 
@@ -236,11 +293,8 @@ impl Trainer {
         let plans = self
             .server
             .plan_iterations(&self.scheme, &selected, self.fl.local_iters);
-        let opts = self.client_options();
-        let profile_period = match &self.scheme {
-            Scheme::FedCa(o) => o.config.profile_period,
-            _ => 0,
-        };
+        let opts = self.scheme.client_options();
+        let profile_period = self.scheme.profile_period();
 
         // Per-client round plans (anchor cadence is per participation).
         let round_start = self.clock;
@@ -330,24 +384,54 @@ impl Trainer {
         }
         let any_anchor = plan_for.iter().any(|p| p.is_anchor);
 
-        // Move the selected clients (and their plans) to the worker pool.
-        let ctx = Arc::new(RoundCtx {
-            layout: self.layout.clone(),
-            workload: self.workload.clone(),
-            fl: self.fl.clone(),
-            opts,
-            global: self.server.global().as_slice().to_vec(),
-        });
-        for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
-            let client = invariant(self.store.checkout(cid));
-            self.executor
-                .submit(ClientWork {
-                    ord,
-                    client,
-                    plan,
-                    ctx: Arc::clone(&ctx),
-                })
-                .expect("worker pool alive while the trainer exists");
+        // Move the selected clients (and their plans) to the backend.
+        // Sharded dispatch keeps the checked-out states in `in_flight`:
+        // the returned durable snapshot is applied onto them at check-in,
+        // which is bit-identical to the local state coming home whole.
+        let mut in_flight: HashMap<usize, ClientState> = HashMap::new();
+        match &mut self.backend {
+            Backend::Local(executor) => {
+                let ctx = Arc::new(RoundCtx {
+                    layout: self.layout.clone(),
+                    workload: self.workload.clone(),
+                    fl: self.fl.clone(),
+                    opts,
+                    global: self.server.global().as_slice().to_vec(),
+                });
+                for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
+                    let client = invariant(self.store.checkout(cid));
+                    executor
+                        .submit(ClientWork {
+                            ord,
+                            client,
+                            plan,
+                            ctx: Arc::clone(&ctx),
+                        })
+                        .expect("worker pool alive while the trainer exists");
+                }
+            }
+            Backend::Sharded(pool) => {
+                let mut items = Vec::with_capacity(selected.len());
+                for ((ord, &cid), plan) in selected.iter().enumerate().zip(plan_for) {
+                    let client = invariant(self.store.checkout(cid));
+                    items.push(shard::WorkItem {
+                        ord,
+                        client_id: cid,
+                        participations: client.participations,
+                        plan,
+                        snapshot: Some(crate::population::snapshot_client(&client)),
+                    });
+                    in_flight.insert(ord, client);
+                }
+                pool.begin_round(
+                    round,
+                    round_start,
+                    deadline,
+                    self.server.global().as_slice(),
+                    items,
+                )
+                .unwrap_or_else(|e| panic!("shard dispatch failed: {e}"));
+            }
         }
 
         // Stream completions into the aggregator as workers finish; the
@@ -364,17 +448,68 @@ impl Trainer {
         // never observes worker scheduling.
         let mut trace_batches: Vec<(usize, Vec<PendingEvent>)> = Vec::new();
         for _ in 0..selected.len() {
-            let event = self
-                .executor
-                .recv()
-                .expect("worker pool alive while the trainer exists");
-            match event {
-                ClientDone::Completed(mut done) => {
-                    let cid = selected[done.ord];
-                    debug_assert_eq!(done.client.id, cid, "report/client mismatch");
+            let resolved = match &mut self.backend {
+                Backend::Local(executor) => {
+                    match executor
+                        .recv()
+                        .expect("worker pool alive while the trainer exists")
+                    {
+                        ClientDone::Completed(done) => Resolved::Ok {
+                            ord: done.ord,
+                            host_us: done.host_us,
+                            allocs: done.allocs_avoided + usize::from(done.model_reused),
+                            home: Homecoming::State(done.client),
+                            report: done.report,
+                        },
+                        ClientDone::Failed(failure) => Resolved::Fail {
+                            ord: failure.ord,
+                            client_id: failure.client_id,
+                        },
+                    }
+                }
+                Backend::Sharded(pool) => loop {
+                    match pool.recv_timeout(self.fl.shard.io_timeout()) {
+                        Ok(ShardEvent::Done { ord, msg, payload }) => {
+                            let report = shard::report_from_done(&self.layout, &msg, &payload)
+                                .unwrap_or_else(|e| panic!("shard protocol error: {e}"));
+                            break Resolved::Ok {
+                                ord,
+                                host_us: f64::from_bits(msg.host_us_bits),
+                                allocs: msg.allocs_avoided + usize::from(msg.model_reused),
+                                home: Homecoming::Snapshot(msg.snapshot),
+                                report,
+                            };
+                        }
+                        Ok(ShardEvent::Failed { ord, client_id, .. }) => {
+                            break Resolved::Fail { ord, client_id }
+                        }
+                        Err(ShardError::Timeout) => {
+                            // The watchdog path: kill whichever shards owe
+                            // events; their work resolves as failures on
+                            // the next iteration. A timeout with nothing
+                            // outstanding is a coordinator bug.
+                            assert!(
+                                pool.kill_stalled(),
+                                "sharded round stalled with no outstanding work"
+                            );
+                        }
+                        Err(e) => panic!("shard pool failed: {e}"),
+                    }
+                },
+            };
+            match resolved {
+                Resolved::Ok {
+                    ord,
+                    mut report,
+                    host_us,
+                    allocs,
+                    home,
+                } => {
+                    let cid = selected[ord];
+                    debug_assert_eq!(report.client_id, cid, "report/client mismatch");
                     if tracing {
-                        let mut events = std::mem::take(&mut done.report.trace).into_events();
-                        let r = &done.report;
+                        let mut events = std::mem::take(&mut report.trace).into_events();
+                        let r = &report;
                         let end_time = if r.upload_done.is_finite() {
                             r.upload_done
                         } else {
@@ -382,7 +517,7 @@ impl Trainer {
                         };
                         events.push(PendingEvent {
                             time: end_time,
-                            host_us: done.host_us,
+                            host_us,
                             event: TraceEvent::ClientDone {
                                 round,
                                 client: cid,
@@ -391,15 +526,30 @@ impl Trainer {
                                 upload_done: r.upload_done.is_finite().then_some(r.upload_done),
                             },
                         });
-                        trace_batches.push((done.ord, events));
+                        trace_batches.push((ord, events));
                     }
-                    invariant(self.store.check_in(done.client));
-                    allocs_avoided += done.allocs_avoided + usize::from(done.model_reused);
-                    agg.ingest(done.ord, done.report);
+                    match home {
+                        Homecoming::State(client) => {
+                            debug_assert_eq!(client.id, cid, "state/client mismatch");
+                            invariant(self.store.check_in(client));
+                        }
+                        Homecoming::Snapshot(snap) => {
+                            let mut client = in_flight
+                                .remove(&ord)
+                                .expect("in-flight state for sharded ordinal");
+                            crate::population::apply_snapshot(&mut client, &snap);
+                            invariant(self.store.check_in(client));
+                        }
+                    }
+                    allocs_avoided += allocs;
+                    agg.ingest(ord, report);
                 }
-                ClientDone::Failed(failure) => {
-                    let cid = selected[failure.ord];
-                    debug_assert_eq!(failure.client_id, cid, "failure/client mismatch");
+                Resolved::Fail { ord, client_id } => {
+                    let cid = selected[ord];
+                    debug_assert_eq!(client_id, cid, "failure/client mismatch");
+                    // Sharded: the checked-out state dies with the shard,
+                    // mirroring the worker unwind destroying it locally.
+                    drop(in_flight.remove(&ord));
                     invariant(self.store.rebuild_failed(cid));
                     n_panicked += 1;
                     if tracing {
@@ -407,7 +557,7 @@ impl Trainer {
                         // journal the failure itself at round start (the
                         // panic's virtual time died with the state).
                         trace_batches.push((
-                            failure.ord,
+                            ord,
                             vec![PendingEvent {
                                 time: round_start,
                                 host_us: 0.0,
@@ -415,7 +565,7 @@ impl Trainer {
                             }],
                         ));
                     }
-                    agg.mark_failed(failure.ord);
+                    agg.mark_failed(ord);
                 }
             }
         }
@@ -599,6 +749,9 @@ impl Trainer {
         // Residency policy is trajectory-neutral, so an eager run's
         // checkpoints resume under a bounded cache and vice versa.
         neutral.population = Default::default();
+        // Topology is too: sharded and in-process runs produce identical
+        // trajectories, so their checkpoints interoperate.
+        neutral.shard = Default::default();
         let mut text = serde_json::to_string(&neutral).expect("config serializes");
         text.push('|');
         text.push_str(&serde_json::to_string(&self.scheme).expect("scheme serializes"));
@@ -786,6 +939,7 @@ mod tests {
             trace: Default::default(),
             checkpoint: Default::default(),
             population: Default::default(),
+            shard: Default::default(),
         }
     }
 
@@ -820,13 +974,13 @@ mod tests {
     #[test]
     fn worker_pool_is_spawned_once_and_reused() {
         let mut t = Trainer::new(tiny_fl(), Scheme::FedAvg, Workload::tiny_mlp(6));
-        let n = t.executor.n_workers();
+        let n = t.n_workers();
         assert!(
             (1..=4).contains(&n),
             "pool sized by clients_per_round, got {n}"
         );
         t.run(3);
-        assert_eq!(t.executor.n_workers(), n, "pool must persist across rounds");
+        assert_eq!(t.n_workers(), n, "pool must persist across rounds");
         // Every round's final-update scratch fill counts, and from the
         // second round on cached models are reused too.
         assert!(t.records()[0].allocs_avoided >= 4);

@@ -186,6 +186,34 @@ pub struct StreamingAggregator {
 }
 
 impl StreamingAggregator {
+    /// An aggregator detached from any [`Server`] — the level-1 stage of
+    /// hierarchical aggregation. A shard process tracks its local cohort's
+    /// arrivals and cut with one of these (purely for bookkeeping and
+    /// observability); the actual fold happens only at the root, which
+    /// [closes](Self::close) its own server-made aggregator over all
+    /// reports in global ordinal order, keeping the result bit-identical
+    /// for any topology.
+    pub fn standalone(
+        round_start: SimTime,
+        n_selected: usize,
+        aggregation_fraction: f64,
+    ) -> StreamingAggregator {
+        assert!(n_selected > 0, "no clients selected");
+        StreamingAggregator {
+            round_start,
+            cut: ArrivalCut::new(aggregation_fraction),
+            reports: (0..n_selected).map(|_| None).collect(),
+            fallback_completion: None,
+            n_rejected: 0,
+        }
+    }
+
+    /// Arrivals with finite upload times observed so far (crashed, dropped
+    /// and failed clients are excluded).
+    pub fn finite_count(&self) -> usize {
+        self.cut.finite_count()
+    }
+
     /// Ingests the report at ordinal `ord` (its position in the round's
     /// selection list).
     ///

@@ -580,6 +580,15 @@ impl ClientTraceBuf {
         Self::default()
     }
 
+    /// Rebuilds a buffer from previously drained events — the inverse of
+    /// [`into_events`](Self::into_events). Sharded execution uses this to
+    /// reconstitute a client's buffer after it crossed a process boundary,
+    /// so the coordinator's merge sees exactly what an in-process worker
+    /// would have produced.
+    pub fn from_events(events: Vec<PendingEvent>) -> Self {
+        ClientTraceBuf { events }
+    }
+
     /// Buffers one event at virtual time `time`.
     pub fn push(&mut self, time: SimTime, event: TraceEvent) {
         self.push_hosted(time, 0.0, event);

@@ -22,6 +22,39 @@ pub enum Scale {
     Scaled,
 }
 
+/// A serializable recipe for one of the registry workloads. The model
+/// factory and datasets themselves cannot cross a process boundary, but
+/// every registry workload is a pure function of `(name, scale, seed)` — so
+/// a shard process receiving this spec rebuilds data and model init
+/// bit-identical to the coordinator's.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSpec {
+    /// Registry name: `cnn`, `lstm`, `wrn`, or `tiny_mlp`.
+    pub name: String,
+    /// Whether paper-faithful shapes were requested (`tiny_mlp` ignores it).
+    pub paper_scale: bool,
+    /// Construction seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Rebuilds the workload. `None` for names outside the registry.
+    pub fn build(&self) -> Option<Workload> {
+        let scale = if self.paper_scale {
+            Scale::Paper
+        } else {
+            Scale::Scaled
+        };
+        Some(match self.name.as_str() {
+            "cnn" => Workload::cnn(scale, self.seed),
+            "lstm" => Workload::lstm(scale, self.seed),
+            "wrn" => Workload::wrn(scale, self.seed),
+            "tiny_mlp" => Workload::tiny_mlp(self.seed),
+            _ => return None,
+        })
+    }
+}
+
 /// A complete experiment workload.
 #[derive(Clone)]
 pub struct Workload {
@@ -44,6 +77,11 @@ pub struct Workload {
     pub lr: f32,
     /// Suggested weight decay (paper §5.1: 0.01 / 0.01 / 0.0005).
     pub weight_decay: f32,
+    /// The `(name, scale, seed)` recipe this workload was built from, when
+    /// it came from the registry constructors. Sharded execution requires
+    /// it (shard processes rebuild the workload from the spec); hand-built
+    /// workloads leave it `None` and can only run in-process.
+    pub spec: Option<WorkloadSpec>,
 }
 
 impl std::fmt::Debug for Workload {
@@ -102,6 +140,11 @@ impl Workload {
             target_accuracy: target,
             lr: 0.01,
             weight_decay: 0.01,
+            spec: Some(WorkloadSpec {
+                name: "cnn".into(),
+                paper_scale: scale == Scale::Paper,
+                seed,
+            }),
         }
     }
 
@@ -130,6 +173,11 @@ impl Workload {
             target_accuracy: 0.85, // same target fits both scales
             lr: 0.05,
             weight_decay: 0.01,
+            spec: Some(WorkloadSpec {
+                name: "lstm".into(),
+                paper_scale: scale == Scale::Paper,
+                seed,
+            }),
         }
     }
 
@@ -169,6 +217,11 @@ impl Workload {
             target_accuracy: target,
             lr: 0.1,
             weight_decay: 0.0005,
+            spec: Some(WorkloadSpec {
+                name: "wrn".into(),
+                paper_scale: scale == Scale::Paper,
+                seed,
+            }),
         }
     }
 
@@ -206,6 +259,11 @@ impl Workload {
             target_accuracy: 0.8,
             lr: 0.05,
             weight_decay: 0.001,
+            spec: Some(WorkloadSpec {
+                name: "tiny_mlp".into(),
+                paper_scale: false,
+                seed,
+            }),
         }
     }
 }
@@ -236,6 +294,34 @@ mod tests {
         // The in-memory model is far smaller — that's the substitution.
         let m = (w.model_factory)();
         assert!(m.num_params() < 1_000_000);
+    }
+
+    #[test]
+    fn specs_rebuild_registry_workloads_bit_identically() {
+        for (wl, expect) in [
+            (Workload::cnn(Scale::Scaled, 3), "cnn"),
+            (Workload::lstm(Scale::Scaled, 3), "lstm"),
+            (Workload::wrn(Scale::Scaled, 3), "wrn"),
+            (Workload::tiny_mlp(3), "tiny_mlp"),
+        ] {
+            let spec = wl.spec.clone().expect("registry workloads carry a spec");
+            assert_eq!(spec.name, expect);
+            let rebuilt = spec.build().expect("registry name");
+            assert_eq!(
+                (rebuilt.model_factory)().flat_params(),
+                (wl.model_factory)().flat_params(),
+                "{expect}: model init diverged across rebuild"
+            );
+            assert_eq!(rebuilt.train.labels(), wl.train.labels());
+            assert_eq!(rebuilt.wire_model_bytes, wl.wire_model_bytes);
+        }
+        assert!(WorkloadSpec {
+            name: "nope".into(),
+            paper_scale: false,
+            seed: 1
+        }
+        .build()
+        .is_none());
     }
 
     #[test]

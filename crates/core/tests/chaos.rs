@@ -19,6 +19,10 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
+// Re-exec entry point for the shard-kill scenarios: the coordinator
+// respawns dead shards from this very test binary.
+fedca_core::shard_child_entry!();
+
 /// Hard wall-clock budget for one guarded federation run. Fault-free runs
 /// of this size finish in well under a second; the budget is generous so
 /// loaded CI machines never flake, while a true deadlock still fails fast.
@@ -51,6 +55,7 @@ fn tiny_fl(seed: u64, faults: FaultConfig) -> FlConfig {
         trace: Default::default(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 
@@ -273,6 +278,102 @@ fn dropping_a_chaotic_trainer_joins_its_workers() {
         t.run(2);
         drop(t);
     });
+}
+
+fn sharded_fl(seed: u64, faults: FaultConfig, n_shards: usize) -> FlConfig {
+    let mut fl = tiny_fl(seed, faults);
+    fl.shard.n_shards = n_shards;
+    fl.shard.child_args = fedca_core::shard::test_child_args();
+    fl
+}
+
+#[test]
+fn shard_kill_mid_round_never_hangs_and_keeps_invariants() {
+    // SIGKILL a shard process in the middle of a chaotic round (and a
+    // second one at dispatch of a later round). The coordinator must
+    // synthesize failures for the lost cohort, lazily respawn the shard,
+    // and close every round — all inside the watchdog budget.
+    let out = run_guarded("shard-kill-mid-round", || {
+        let mut t = Trainer::new_with_workers(
+            sharded_fl(11, FaultConfig::chaos(11), 2),
+            Scheme::fedca_default(),
+            Workload::tiny_mlp(11),
+            2,
+        );
+        let pool = t.shard_pool_mut().expect("trainer is sharded");
+        pool.schedule_kill(1, 0, 1); // round 1: shard 0 dies after one event lands
+        pool.schedule_kill(2, 1, 0); // round 2: shard 1 dies at dispatch
+        t.run(4)
+    });
+    assert_invariants(&out, 4, "shard-kill-mid-round");
+}
+
+#[test]
+fn killing_every_shard_at_dispatch_matches_the_universal_panic_round() {
+    // Deadline-close accounting must be identical between "the shard
+    // process died before any client could run" and the single-process
+    // universal-panic path: every selected client counts as crashed,
+    // nothing aggregates, and the round closes at the deadline fallback.
+    let rounds = 3;
+    let sharded = run_guarded("all-shards-killed", move || {
+        let mut t = Trainer::new(
+            sharded_fl(3, FaultConfig::none(), 1),
+            Scheme::FedAvg,
+            Workload::tiny_mlp(2),
+        );
+        let pool = t.shard_pool_mut().expect("trainer is sharded");
+        for r in 0..rounds {
+            pool.schedule_kill(r, 0, 0);
+        }
+        t.run(rounds)
+    });
+    let panicking = run_guarded("all-panic-reference", move || {
+        let faults = FaultConfig {
+            panic_prob: 1.0,
+            ..FaultConfig::none()
+        };
+        Trainer::new(tiny_fl(3, faults), Scheme::FedAvg, Workload::tiny_mlp(2)).run(rounds)
+    });
+    assert_invariants(&sharded, rounds, "all-shards-killed");
+    for r in &sharded.rounds {
+        assert_eq!(
+            r.n_crashed, r.n_selected,
+            "lost cohort must count as crashed"
+        );
+        assert_eq!(r.n_aggregated, 0, "a dead shard's update was aggregated");
+        assert!(r.iters_done.iter().all(|&i| i == 0));
+    }
+    assert_records_identical(&sharded, &panicking, "shard-kill vs universal panic");
+}
+
+#[test]
+fn kill_at_every_round_recovery_is_deterministic() {
+    // A shard dies in every single round (alternating shards, at dispatch
+    // and mid-round) under full chaos faults. The kill/respawn/rebuild
+    // path must be deterministic: repeating the run reproduces the round
+    // records and the final global parameters bit for bit.
+    let run_once = || {
+        let mut t = Trainer::new_with_workers(
+            sharded_fl(23, FaultConfig::chaos(23), 2),
+            Scheme::fedca_default(),
+            Workload::tiny_mlp(23),
+            2,
+        );
+        let pool = t.shard_pool_mut().expect("trainer is sharded");
+        for r in 0..4 {
+            pool.schedule_kill(r, r % 2, r % 2);
+        }
+        let out = t.run(4);
+        (out, t.global_params().to_vec())
+    };
+    let (out_a, params_a) = run_guarded("kill-every-round-a", run_once);
+    let (out_b, params_b) = run_guarded("kill-every-round-b", run_once);
+    assert_invariants(&out_a, 4, "kill-every-round");
+    assert_records_identical(&out_a, &out_b, "kill-every-round rerun");
+    assert_eq!(
+        params_a, params_b,
+        "global parameters diverged across reruns"
+    );
 }
 
 proptest! {

@@ -49,6 +49,7 @@ fn study_fl(checkpoint: CheckpointConfig) -> FlConfig {
         trace: TraceConfig::enabled(),
         checkpoint,
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 

@@ -37,6 +37,7 @@ fn study_fl(compression: Compression) -> FlConfig {
         trace: TraceConfig::enabled(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 

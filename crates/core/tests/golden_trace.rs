@@ -39,6 +39,7 @@ fn traced_fl() -> FlConfig {
         trace: TraceConfig::enabled(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 

@@ -390,3 +390,236 @@ fn checkpoint_envelope_tolerates_missing_defaulted_fields() {
     assert_eq!(back.selection_rng, env.selection_rng);
     assert_eq!(back.rounds_done, env.rounds_done);
 }
+
+// ---------------------------------------------------------------------------
+// Shard protocol envelopes: everything the coordinator and its shard
+// children exchange must survive the JSON meta channel exactly — including
+// NaN/±inf floats, which travel as IEEE-754 bit patterns (`*_bits` fields)
+// because the vendored JSON encoder maps non-finite floats to `null`.
+// ---------------------------------------------------------------------------
+
+use fedca_core::client::RoundPlan;
+use fedca_core::config::{FlConfig, ShardAssignment, ShardConfig};
+use fedca_core::eager::LayerOutcome;
+use fedca_core::shard::{DoneMsg, FromShard, ToShard, WireEvent, WorkItem};
+use fedca_sim::faults::ClientFaults;
+
+fn sample_snapshot(id: usize) -> ClientSnapshot {
+    ClientSnapshot {
+        id,
+        sampler_indices: vec![3, 1, 2],
+        sampler_cursor: 1,
+        device: DeviceSpeedSnapshot {
+            rng: vec![11, 12, 13, 14],
+            segments: vec![(4.0, 1.5)],
+            horizon: 4.0,
+            next_is_fast: false,
+        },
+        uplink_busy_until: 2.5,
+        downlink_busy_until: 0.5,
+        curves: Some(ProfiledCurves {
+            anchor_round: 2,
+            k: 2,
+            model: vec![0.25, 0.5],
+            layers: vec![vec![0.25, 0.5]],
+        }),
+        error_feedback: vec![0.0625, -0.5],
+    }
+}
+
+/// Serialize → deserialize → serialize must be a fixed point: any drift in
+/// field names, defaulted fields, or enum tagging shows up as a string
+/// mismatch here before it can corrupt a live shard connection.
+fn assert_json_stable<T: serde::Serialize + serde::Deserialize>(value: &T, label: &str) {
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    let rejson = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(
+        json, rejson,
+        "{label}: JSON round trip is not a fixed point"
+    );
+}
+
+#[test]
+fn shard_control_messages_round_trip_stably() {
+    let item = WorkItem {
+        ord: 3,
+        client_id: 17,
+        participations: 5,
+        plan: RoundPlan {
+            round: 9,
+            start: 120.5,
+            deadline: 60.0,
+            planned_iters: 25,
+            is_anchor: true,
+            faults: ClientFaults {
+                crash_at_iter: Some(7),
+                panic_at_iter: None,
+                result_delay: 1.5,
+                lose_result: true,
+                bandwidth_factor: 0.5,
+                deadline_slip: 3.0,
+                corrupt_update: true,
+            },
+        },
+        snapshot: Some(sample_snapshot(17)),
+    };
+    assert_json_stable(&item, "WorkItem");
+    assert_json_stable(
+        &ToShard::Init {
+            shard_id: 1,
+            n_shards: 4,
+            n_workers: 2,
+            fl: FlConfig::scaled(),
+            scheme: fedca_core::Scheme::fedca_default(),
+            workload: fedca_core::Workload::tiny_mlp(7).spec.unwrap(),
+        },
+        "ToShard::Init",
+    );
+    assert_json_stable(
+        &ToShard::RoundStart {
+            round: 9,
+            start_bits: 120.5f64.to_bits(),
+            deadline_bits: f64::INFINITY.to_bits(),
+            items: vec![item],
+        },
+        "ToShard::RoundStart",
+    );
+    assert_json_stable(&ToShard::Shutdown, "ToShard::Shutdown");
+    assert_json_stable(&FromShard::Hello { shard_id: 2 }, "FromShard::Hello");
+    assert_json_stable(
+        &FromShard::Failed {
+            round: 4,
+            ord: 1,
+            client_id: 9,
+            panic_msg: "client panicked: injected".into(),
+        },
+        "FromShard::Failed",
+    );
+    assert_json_stable(
+        &FromShard::RoundDone {
+            round: 4,
+            n_resolved: 8,
+            n_finite: 6,
+            provisional_bits: f64::INFINITY.to_bits(),
+        },
+        "FromShard::RoundDone",
+    );
+}
+
+#[test]
+fn done_msg_preserves_non_finite_floats_bit_exactly() {
+    let msg = DoneMsg {
+        round: 6,
+        ord: 2,
+        client_id: 11,
+        weight_bits: f64::NAN.to_bits(),
+        iters_done: 0,
+        early_stopped: false,
+        download_done_bits: 10.25f64.to_bits(),
+        compute_done_bits: f64::NEG_INFINITY.to_bits(),
+        upload_done_bits: f64::INFINITY.to_bits(),
+        eager_outcomes: vec![
+            LayerOutcome::Regular,
+            LayerOutcome::Eager { iter: 4 },
+            LayerOutcome::Retransmitted { iter: 9 },
+        ],
+        bytes_uploaded_bits: 4096.0f64.to_bits(),
+        wire_bytes_uploaded_bits: 1024.0f64.to_bits(),
+        wire_bytes_dense_bits: 4096.0f64.to_bits(),
+        train_loss_bits: f32::NAN.to_bits(),
+        dropped: true,
+        crashed: false,
+        poisoned: true,
+        has_update: false,
+        model_reused: true,
+        allocs_avoided: 3,
+        host_us_bits: 1234.5f64.to_bits(),
+        trace: vec![WireEvent {
+            time_bits: f64::INFINITY.to_bits(),
+            host_us_bits: 0.0f64.to_bits(),
+            event: TraceEvent::ClientFailed {
+                round: 6,
+                client: 11,
+            },
+        }],
+        snapshot: sample_snapshot(11),
+    };
+    assert_json_stable(&FromShard::Done(msg.clone()), "FromShard::Done");
+    let json = serde_json::to_string(&msg).expect("serialize");
+    let back: DoneMsg = serde_json::from_str(&json).expect("deserialize");
+    // The bit patterns — not just the float values — survive, so NaN
+    // payload bits and infinity signs are wire-stable.
+    assert_eq!(back.weight_bits, msg.weight_bits);
+    assert!(f64::from_bits(back.weight_bits).is_nan());
+    assert_eq!(f64::from_bits(back.compute_done_bits), f64::NEG_INFINITY);
+    assert_eq!(f64::from_bits(back.upload_done_bits), f64::INFINITY);
+    assert!(f32::from_bits(back.train_loss_bits).is_nan());
+    assert_eq!(back.trace[0].time_bits, f64::INFINITY.to_bits());
+}
+
+proptest! {
+    /// Arbitrary (including non-finite) timestamp bit patterns round-trip
+    /// through a `WireEvent` unchanged — full-range u64, no carve-outs.
+    #[test]
+    fn wire_event_bits_round_trip_for_any_pattern(
+        time_bits in 0u64..u64::MAX,
+        host_us_bits in 0u64..u64::MAX,
+        round in 0usize..1000,
+        client in 0usize..1_000_000,
+    ) {
+        let event = WireEvent {
+            time_bits,
+            host_us_bits,
+            event: TraceEvent::ClientFailed { round, client },
+        };
+        let json = serde_json::to_string(&event).expect("serialize");
+        let back: WireEvent = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back.time_bits, time_bits);
+        prop_assert_eq!(back.host_us_bits, host_us_bits);
+    }
+
+    /// `ShardConfig` and both assignment rules round-trip exactly.
+    #[test]
+    fn shard_config_round_trips(
+        n_shards in 0usize..16,
+        seed in 0u64..u64::MAX,
+        mixed in 0usize..2,
+        io in 0.0f64..100.0,
+    ) {
+        let cfg = ShardConfig {
+            n_shards,
+            assignment: if mixed == 1 {
+                ShardAssignment::Mixed { seed }
+            } else {
+                ShardAssignment::Modulo
+            },
+            io_timeout_secs: io,
+            spawn_timeout_secs: io * 0.5,
+            max_frame_mib: n_shards * 64,
+            child_args: vec!["shard_child_entry".into(), "--exact".into()],
+        };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ShardConfig = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, cfg);
+    }
+}
+
+/// `#[serde(default)]`-drift guard: an `FlConfig` document written before
+/// the `shard` section existed still deserializes, with in-process
+/// execution (`n_shards == 0`) as the default.
+#[test]
+fn fl_config_tolerates_documents_without_the_shard_section() {
+    let fl = FlConfig::scaled();
+    let serde::Value::Object(pairs) = serde_json::to_value(&fl).expect("to_value") else {
+        panic!("FlConfig must serialize to an object");
+    };
+    let stripped: Vec<(String, serde::Value)> =
+        pairs.into_iter().filter(|(k, _)| k != "shard").collect();
+    let back = FlConfig::from_value(&serde::Value::Object(stripped))
+        .expect("the shard section must be optional");
+    assert_eq!(back.shard, ShardConfig::default());
+    assert_eq!(back.shard.n_shards, 0, "default stays in-process");
+    assert_eq!(back.n_clients, fl.n_clients);
+    assert_eq!(back.seed, fl.seed);
+}

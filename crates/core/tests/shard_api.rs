@@ -1,0 +1,211 @@
+//! Direct coverage for the `ShardPool` receive API, mirroring
+//! `executor_api.rs`: every wait is bounded (an idle pool times out
+//! instead of hanging), work dispatched with `begin_round` drains through
+//! `recv_timeout` exactly once per item, and a killed shard resolves its
+//! outstanding ordinals as synthesized failures — then respawns lazily on
+//! the next round that routes it work.
+
+use fedca_core::client::RoundPlan;
+use fedca_core::config::FlConfig;
+use fedca_core::shard::{ShardError, ShardEvent, ShardPool, WorkItem};
+use fedca_core::{Scheme, Workload};
+use fedca_sim::faults::ClientFaults;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+// Re-exec entry point: the pool spawns this very test binary as its shard
+// child processes (see `shard::test_child_args`).
+fedca_core::shard_child_entry!();
+
+const SEED: u64 = 77;
+
+fn pool_fl(n_shards: usize) -> FlConfig {
+    let mut fl = FlConfig {
+        n_clients: 8,
+        clients_per_round: 4,
+        local_iters: 3,
+        batch_size: 8,
+        seed: SEED,
+        ..FlConfig::scaled()
+    };
+    fl.shard.n_shards = n_shards;
+    fl.shard.child_args = fedca_core::shard::test_child_args();
+    fl
+}
+
+fn make_pool(n_shards: usize) -> (ShardPool, Vec<f32>) {
+    let fl = pool_fl(n_shards);
+    let workload = Workload::tiny_mlp(SEED);
+    let spec = workload
+        .spec
+        .clone()
+        .expect("tiny_mlp is a registry workload");
+    let global = (workload.model_factory)().flat_params();
+    let pool =
+        ShardPool::new(&fl, &Scheme::fedca_default(), spec, 1).expect("shard pool must come up");
+    (pool, global)
+}
+
+fn make_items(round: usize, n: usize) -> Vec<WorkItem> {
+    (0..n)
+        .map(|ord| WorkItem {
+            ord,
+            client_id: ord,
+            participations: 1,
+            plan: RoundPlan {
+                round,
+                start: 0.0,
+                deadline: 1e9,
+                planned_iters: 3,
+                is_anchor: false,
+                faults: ClientFaults::none(),
+            },
+            // None = "freshly built is exact" — valid for clients the
+            // root never checked out before.
+            snapshot: None,
+        })
+        .collect()
+}
+
+#[test]
+fn recv_timeout_on_an_idle_pool_returns_timeout_not_a_hang() {
+    let (mut pool, _) = make_pool(1);
+    let t0 = Instant::now();
+    let result = pool.recv_timeout(Duration::from_millis(30));
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(result, Err(ShardError::Timeout)),
+        "idle pool must time out, got {result:?}"
+    );
+    assert!(elapsed >= Duration::from_millis(30), "returned too early");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "recv_timeout hung far past its bound: {elapsed:?}"
+    );
+    // A timeout on an idle pool is a caller bug, not a stall: nothing is
+    // outstanding, so the stall-killer must be a no-op.
+    assert!(!pool.kill_stalled(), "idle pool has nothing to kill");
+}
+
+#[test]
+fn real_work_drains_through_recv_timeout_exactly_once_per_item() {
+    let (mut pool, global) = make_pool(2);
+    const N: usize = 4;
+    pool.begin_round(0, 0.0, 1e9, &global, make_items(0, N))
+        .expect("dispatch on a healthy pool");
+    let mut ords = BTreeSet::new();
+    for _ in 0..N {
+        match pool
+            .recv_timeout(Duration::from_secs(60))
+            .expect("work must resolve well within the bound")
+        {
+            ShardEvent::Done { ord, msg, payload } => {
+                assert_eq!(msg.ord, ord);
+                assert_eq!(msg.client_id, ord, "items were keyed client_id == ord");
+                assert_eq!(msg.iters_done, 3);
+                assert!(msg.has_update, "fault-free client ships its update");
+                assert!(
+                    !payload.as_ref().is_empty(),
+                    "dense payload travels with Done"
+                );
+                assert!(ords.insert(ord), "ordinal {ord} delivered twice");
+            }
+            ShardEvent::Failed { panic_msg, .. } => {
+                panic!("fault-free client failed: {panic_msg}")
+            }
+        }
+    }
+    assert_eq!(ords, (0..N).collect::<BTreeSet<_>>());
+    // The round is drained: the next bounded receive times out.
+    assert!(matches!(
+        pool.recv_timeout(Duration::from_millis(20)),
+        Err(ShardError::Timeout)
+    ));
+}
+
+#[test]
+fn killed_shard_fails_outstanding_work_then_respawns_lazily() {
+    let (mut pool, global) = make_pool(1);
+    const N: usize = 3;
+
+    // Kill shard 0 at dispatch of round 0, before any work can land.
+    pool.schedule_kill(0, 0, 0);
+    pool.begin_round(0, 0.0, 1e9, &global, make_items(0, N))
+        .expect("dispatch still succeeds; the kill degrades to failures");
+    let mut failed = BTreeSet::new();
+    for _ in 0..N {
+        match pool
+            .recv_timeout(Duration::from_secs(60))
+            .expect("synthesized failures must already be queued")
+        {
+            ShardEvent::Failed { ord, panic_msg, .. } => {
+                assert!(
+                    panic_msg.contains("killed"),
+                    "failure must name the kill: {panic_msg}"
+                );
+                assert!(failed.insert(ord), "ordinal {ord} failed twice");
+            }
+            ShardEvent::Done { ord, .. } => {
+                panic!("ordinal {ord} completed on a shard killed at dispatch")
+            }
+        }
+    }
+    assert_eq!(failed, (0..N).collect::<BTreeSet<_>>());
+
+    // The next round that routes the dead shard work respawns it, and the
+    // same cohort now completes normally.
+    pool.begin_round(1, 0.0, 1e9, &global, make_items(1, N))
+        .expect("lazy respawn on dispatch");
+    let mut ords = BTreeSet::new();
+    for _ in 0..N {
+        match pool
+            .recv_timeout(Duration::from_secs(60))
+            .expect("respawned shard must serve the round")
+        {
+            ShardEvent::Done { ord, .. } => {
+                assert!(ords.insert(ord), "ordinal {ord} delivered twice");
+            }
+            ShardEvent::Failed { panic_msg, .. } => {
+                panic!("respawned shard failed healthy work: {panic_msg}")
+            }
+        }
+    }
+    assert_eq!(ords, (0..N).collect::<BTreeSet<_>>());
+}
+
+#[test]
+fn mid_round_kill_synthesizes_failures_for_exactly_the_unresolved_ordinals() {
+    let (mut pool, global) = make_pool(1);
+    const N: usize = 3;
+
+    // Let exactly one event land, then kill the shard: the remaining two
+    // ordinals must resolve as failures without any unbounded wait.
+    pool.schedule_kill(0, 0, 1);
+    pool.begin_round(0, 0.0, 1e9, &global, make_items(0, N))
+        .expect("dispatch on a healthy pool");
+    let mut done = BTreeSet::new();
+    let mut failed = BTreeSet::new();
+    let t0 = Instant::now();
+    for _ in 0..N {
+        match pool
+            .recv_timeout(Duration::from_secs(60))
+            .expect("every ordinal must resolve, completed or failed")
+        {
+            ShardEvent::Done { ord, .. } => {
+                assert!(done.insert(ord));
+            }
+            ShardEvent::Failed { ord, .. } => {
+                assert!(failed.insert(ord));
+            }
+        }
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "kill path must not consume the full receive bound"
+    );
+    assert_eq!(done.len(), 1, "the kill fires after exactly one event");
+    assert_eq!(failed.len(), N - 1);
+    let mut all = done;
+    all.extend(failed);
+    assert_eq!(all, (0..N).collect::<BTreeSet<_>>());
+}

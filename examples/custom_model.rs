@@ -62,6 +62,9 @@ fn main() {
         target_accuracy: 0.8,
         lr: 0.05,
         weight_decay: 0.001,
+        // Not in the registry: sharded execution can't rebuild this
+        // workload in a child process, so leave the spec out.
+        spec: None,
     };
 
     // --- 3. Train it under FedCA.

@@ -34,3 +34,6 @@ scripts/simd_check.sh
 
 echo "== population check"
 scripts/population_check.sh
+
+echo "== shard check"
+scripts/shard_check.sh

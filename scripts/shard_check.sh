@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Sharded-execution gate (mirrors population_check.sh):
+#   1. runs the topology-invariance suite in release mode — every topology
+#      in {1, 2, 4} shard processes x {1, 4} workers must be bit-identical
+#      to the in-process run (records, parameters, canonical trace), under
+#      chaos faults, compression, and randomized shard assignments;
+#   2. runs the `shard` probe at 1 and 4 shard processes on the wrn
+#      workload: the parameter fingerprints must match exactly (release-
+#      mode topology invariance on a real workload), per-topology
+#      throughput must hold a SHARD_MAX_REGRESSION (default 30%) band
+#      against BENCH_shard.json, and the 4-shard run must clear the
+#      speedup gate.
+#
+# The speedup gate is core-aware: with >= 4 usable cores the 4-shard
+# topology must deliver SHARD_MIN_SPEEDUP (default 1.5x) the 1-shard round
+# throughput; on fewer cores a parallel speedup is physically impossible
+# (the compute serializes either way), so the gate becomes an overhead
+# bound — 4 shards must keep >= 0.6x of the 1-shard throughput, proving
+# the protocol and process plumbing stay cheap.
+#
+# Usage: scripts/shard_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REG="${SHARD_MAX_REGRESSION:-30}"
+BASELINE="BENCH_shard.json"
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [ "$CORES" -ge 4 ]; then
+  MIN_SPEEDUP="${SHARD_MIN_SPEEDUP:-1.5}"
+else
+  MIN_SPEEDUP="${SHARD_MIN_SPEEDUP:-0.6}"
+  echo "shard_check: $CORES core(s) — speedup gate degrades to the ${MIN_SPEEDUP}x overhead bound" >&2
+fi
+
+echo "== topology-invariance suite (release)"
+cargo test --release -q -p fedca-core --test shard_parity
+cargo test --release -q -p fedca-core --test shard_api
+
+echo "== shard throughput probe (release, wrn)"
+cargo build --release -q -p fedca-bench --bin shard
+
+FAIL=0
+declare -A RPS FP
+for S in 1 4; do
+  OUT="$(./target/release/shard --shards "$S" --workers 1 --rounds 6 --workload wrn 2>/dev/null)"
+  RPS[$S]="$(jq -r '.rounds_per_sec' <<<"$OUT")"
+  FP[$S]="$(jq -r '.params_fingerprint' <<<"$OUT")"
+  BASE_RPS="$(jq -r ".topologies[\"$S\"].rounds_per_sec" "$BASELINE")"
+  RPS_FLOOR="$(awk "BEGIN{print $BASE_RPS * (1 - $MAX_REG / 100)}")"
+  if awk "BEGIN{exit !(${RPS[$S]} < $RPS_FLOOR)}"; then
+    echo "shard_check: $S shards at ${RPS[$S]} rounds/s below floor ${RPS_FLOOR} (baseline ${BASE_RPS} - ${MAX_REG}%)" >&2
+    FAIL=1
+  else
+    echo "shard_check: $S shards ${RPS[$S]} rounds/s (baseline ${BASE_RPS}, floor ${RPS_FLOOR}) — ok"
+  fi
+done
+
+if [ "${FP[1]}" != "${FP[4]}" ]; then
+  echo "shard_check: parameter fingerprints diverged across topologies: 1 shard ${FP[1]} vs 4 shards ${FP[4]}" >&2
+  FAIL=1
+else
+  echo "shard_check: topology-invariant fingerprint ${FP[1]} — ok"
+fi
+
+SPEEDUP="$(awk "BEGIN{print ${RPS[4]} / ${RPS[1]}}")"
+if awk "BEGIN{exit !($SPEEDUP < $MIN_SPEEDUP)}"; then
+  echo "shard_check: 4-shard speedup ${SPEEDUP}x below the ${MIN_SPEEDUP}x gate ($CORES cores)" >&2
+  FAIL=1
+else
+  echo "shard_check: 4-shard speedup ${SPEEDUP}x (gate ${MIN_SPEEDUP}x, $CORES cores) — ok"
+fi
+
+exit "$FAIL"

@@ -26,6 +26,7 @@ fn fl(seed: u64) -> FlConfig {
         trace: Default::default(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn tiny_fl(seed: u64) -> FlConfig {
         trace: Default::default(),
         checkpoint: Default::default(),
         population: Default::default(),
+        shard: Default::default(),
     }
 }
 
