@@ -173,6 +173,8 @@ pub fn progress_study(
     let n_hydrated: usize = trainer.records().iter().map(|r| r.n_hydrated).sum();
     let n_evicted: usize = trainer.records().iter().map(|r| r.n_evicted).sum();
     let hydrate_us: f64 = trainer.records().iter().map(|r| r.hydrate_host_us).sum();
+    let decode_us: f64 = trainer.records().iter().map(|r| r.decode_host_us).sum();
+    let aggregate_us: f64 = trainer.records().iter().map(|r| r.aggregate_host_us).sum();
     note(&format!(
         "  throughput: {rounds_run} rounds in {:.0} ms host time ({:.1} rounds/s); \
          faults: {n_crashed} crashed, {n_dropped} dropped, {n_missed} deadline-missed, \
@@ -181,6 +183,13 @@ pub fn progress_study(
         host_ms,
         rounds_run as f64 / (host_ms / 1e3).max(1e-9),
         hydrate_us,
+    ));
+    note(&format!(
+        "  data plane: {:.0} µs ingest-decode, {:.0} µs close-fold \
+         ({:.1} µs/round fold)",
+        decode_us,
+        aggregate_us,
+        aggregate_us / (rounds_run as f64).max(1.0),
     ));
     out
 }

@@ -15,8 +15,9 @@ pub struct QuantizedVec {
     pub bits: u8,
     /// Scale such that `value ≈ level / levels · scale`.
     pub scale: f32,
-    /// Signed levels in `[-levels, +levels]` where `levels = 2^(bits-1)-...`;
-    /// stored widened for simplicity (the wire codec bit-packs them).
+    /// Signed levels in `[-num_levels, +num_levels]` where
+    /// `num_levels = max(2^(bits-1) - 1, 1)`; stored widened for simplicity
+    /// (the wire codec bit-packs them).
     pub levels: Vec<i8>,
     /// Number of positive quantization levels.
     pub num_levels: u8,
@@ -28,36 +29,38 @@ pub struct QuantizedVec {
 /// # Panics
 /// Panics if `bits` is outside `[1, 8]`.
 pub fn quantize(x: &[f32], bits: u8, rng: &mut impl Rng) -> QuantizedVec {
-    assert!((1..=8).contains(&bits), "bits must be in [1, 8]");
-    // Signed levels: use 2^(bits-1) - 1 positive steps (at least 1).
-    let num_levels = ((1u16 << (bits - 1)) - 1).max(1) as u8;
-    let scale = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    let mut levels = Vec::with_capacity(x.len());
-    if scale == 0.0 {
-        levels.resize(x.len(), 0);
-        return QuantizedVec {
-            bits,
-            scale,
-            levels,
-            num_levels,
-        };
+    let mut q = quant_shell(x, bits);
+    if q.scale == 0.0 {
+        return q;
     }
-    let l = num_levels as f32;
-    for &v in x {
+    let (scale, l) = (q.scale, q.num_levels as f32);
+    for (o, &v) in q.levels.iter_mut().zip(x) {
         let t = v / scale * l; // in [-l, l]
         let floor = t.floor();
         let frac = t - floor;
-        let q = if rng.gen_range(0.0..1.0f32) < frac {
+        let lev = if rng.gen_range(0.0..1.0f32) < frac {
             floor + 1.0
         } else {
             floor
         };
-        levels.push(q.clamp(-l, l) as i8);
+        *o = lev.clamp(-l, l) as i8;
     }
+    q
+}
+
+/// Shared preamble of both quantizers: validates `bits`, derives the level
+/// count (`2^(bits-1) − 1` positive steps, at least 1), scans the max-|x|
+/// scale through the dispatched data-plane kernel, and returns the
+/// all-zero-levels shell (which is already the final answer when the scale
+/// is zero).
+fn quant_shell(x: &[f32], bits: u8) -> QuantizedVec {
+    assert!((1..=8).contains(&bits), "bits must be in [1, 8]");
+    let num_levels = ((1u16 << (bits - 1)) - 1).max(1) as u8;
+    let scale = fedca_tensor::dataplane::max_abs(x);
     QuantizedVec {
         bits,
         scale,
-        levels,
+        levels: vec![0; x.len()],
         num_levels,
     }
 }
@@ -73,42 +76,39 @@ pub fn quantize(x: &[f32], bits: u8, rng: &mut impl Rng) -> QuantizedVec {
 /// # Panics
 /// Panics if `bits` is outside `[1, 8]`.
 pub fn quantize_det(x: &[f32], bits: u8) -> QuantizedVec {
-    assert!((1..=8).contains(&bits), "bits must be in [1, 8]");
-    let num_levels = ((1u16 << (bits - 1)) - 1).max(1) as u8;
-    let scale = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    let mut levels = Vec::with_capacity(x.len());
-    if scale == 0.0 {
-        levels.resize(x.len(), 0);
-        return QuantizedVec {
-            bits,
-            scale,
-            levels,
-            num_levels,
-        };
+    let mut q = quant_shell(x, bits);
+    if q.scale == 0.0 {
+        return q;
     }
-    let l = num_levels as f32;
-    for &v in x {
-        let t = v / scale * l; // in [-l, l]
-        levels.push(t.round().clamp(-l, l) as i8);
-    }
-    QuantizedVec {
-        bits,
-        scale,
-        levels,
-        num_levels,
-    }
+    fedca_tensor::dataplane::quantize_levels(x, q.scale, q.num_levels, &mut q.levels);
+    q
 }
 
 /// Reconstructs the dense vector.
 pub fn dequantize(q: &QuantizedVec) -> Vec<f32> {
-    let l = q.num_levels as f32;
+    let mut out = vec![0.0f32; q.levels.len()];
+    dequantize_into(q, &mut out);
+    out
+}
+
+/// Reconstructs the dense vector into a caller-provided buffer — the
+/// zero-allocation path the aggregator's pooled scratch uses. A zero scale
+/// writes exact zeros (`level/l · 0.0` would produce `-0.0` for negative
+/// levels).
+///
+/// # Panics
+/// Panics if `out.len() != q.levels.len()`.
+pub fn dequantize_into(q: &QuantizedVec, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        q.levels.len(),
+        "dequantize_into: length mismatch"
+    );
     if q.scale == 0.0 {
-        return vec![0.0; q.levels.len()];
+        out.fill(0.0);
+        return;
     }
-    q.levels
-        .iter()
-        .map(|&lev| lev as f32 / l * q.scale)
-        .collect()
+    fedca_tensor::dataplane::dequantize_levels(&q.levels, q.scale, q.num_levels, out);
 }
 
 #[cfg(test)]

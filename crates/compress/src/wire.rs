@@ -9,6 +9,7 @@
 use crate::quantize::QuantizedVec;
 use crate::sparsify::SparseVec;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fedca_tensor::dataplane;
 
 /// Message magic ("FC").
 const MAGIC: u16 = 0x4643;
@@ -148,23 +149,11 @@ fn put_payload(buf: &mut BytesMut, p: &Payload) {
             buf.put_f32_le(q.scale);
             buf.put_u32_le(q.levels.len() as u32);
             // Bit-pack signed levels as offset-binary (level + num_levels)
-            // in `bits + 1` bits (sign needs one extra bit vs magnitude).
+            // in `bits + 1` bits (sign needs one extra bit vs magnitude),
+            // in place through the tier-dispatched kernel.
             let width = (q.bits + 1).min(8) as u32;
-            let mut acc: u32 = 0;
-            let mut nbits: u32 = 0;
-            for &lev in &q.levels {
-                let u = (lev as i16 + q.num_levels as i16) as u32;
-                acc |= u << nbits;
-                nbits += width;
-                while nbits >= 8 {
-                    buf.put_u8((acc & 0xFF) as u8);
-                    acc >>= 8;
-                    nbits -= 8;
-                }
-            }
-            if nbits > 0 {
-                buf.put_u8((acc & 0xFF) as u8);
-            }
+            let packed = buf.put_zeroed(dataplane::packed_len(q.levels.len(), width));
+            dataplane::pack_levels(&q.levels, q.num_levels, width, packed);
         }
         Payload::Sparse(s) => {
             buf.put_u8(2);
@@ -219,21 +208,11 @@ fn get_payload(buf: &mut Bytes) -> Result<Payload, WireError> {
             if buf.remaining() < packed_len {
                 return Err(WireError::Truncated);
             }
-            let mut levels = Vec::with_capacity(n);
-            let mut acc: u32 = 0;
-            let mut nbits: u32 = 0;
-            let mask: u32 = (1 << width) - 1;
-            for _ in 0..n {
-                while nbits < width {
-                    acc |= (buf.get_u8() as u32) << nbits;
-                    nbits += 8;
-                }
-                let u = acc & mask;
-                acc >>= width;
-                nbits -= width;
-                // Offset-binary: stored value = level + num_levels.
-                levels.push((u as i16 - num_levels as i16) as i8);
-            }
+            // Offset-binary: stored value = level + num_levels. The
+            // dispatched kernel widens the whole packed run at once.
+            let mut levels = vec![0i8; n];
+            dataplane::unpack_levels(&buf.chunk()[..packed_len], num_levels, width, &mut levels);
+            buf.advance(packed_len);
             Ok(Payload::Quantized(QuantizedVec {
                 bits,
                 scale,
@@ -319,6 +298,290 @@ pub fn decode(bytes: &Bytes) -> Result<UpdateMessage, WireError> {
         client,
         layers,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy message reader: borrowed payload views over an encoded buffer.
+//
+// `decode` materializes every layer into owned vectors — one allocation per
+// layer plus a `Vec<i8>` widening pass for quantized payloads. The server's
+// ingest path only needs to (a) memcpy dense values into a pooled slot and
+// (b) remember where the packed quantized run lives so the round-close fold
+// can feed it straight into the fused dequantize-accumulate kernel. The
+// reader below parses the same wire format into `&[u8]` views without
+// allocating, with the same validation and error classification as
+// `get_payload`.
+// ---------------------------------------------------------------------------
+
+/// A borrowed view of one layer payload inside an encoded message buffer.
+///
+/// Field slices point into the buffer the [`MessageReader`] was built over;
+/// nothing is copied. [`PayloadView::decode_into`] is bit-identical to
+/// [`Payload::to_dense`] on the corresponding owned payload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PayloadView<'a> {
+    /// Full-precision values: `4 * n` bytes of little-endian f32.
+    Dense {
+        /// Raw LE f32 bytes.
+        data: &'a [u8],
+    },
+    /// QSGD-quantized values: header fields plus the packed level run.
+    Quantized {
+        /// Quantization bit budget.
+        bits: u8,
+        /// Level count per sign (`max(2^(bits-1) - 1, 1)`).
+        num_levels: u8,
+        /// Max-abs scale.
+        scale: f32,
+        /// Dense element count.
+        n: usize,
+        /// Offset-binary bit-packed levels, `packed_len(n, bits+1)` bytes.
+        packed: &'a [u8],
+    },
+    /// Top-k sparsified values: parallel index/value runs.
+    Sparse {
+        /// Dense length of the decoded vector.
+        len: usize,
+        /// Raw LE u32 index bytes (`4 * k`).
+        indices: &'a [u8],
+        /// Raw LE f32 value bytes (`4 * k`).
+        values: &'a [u8],
+    },
+    /// IEEE binary16 values: `2 * n` bytes of little-endian u16.
+    F16 {
+        /// Raw LE u16 bytes.
+        data: &'a [u8],
+    },
+}
+
+impl PayloadView<'_> {
+    /// Dense length of the decoded vector (mirrors [`Payload::len`]).
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadView::Dense { data } => data.len() / 4,
+            PayloadView::Quantized { n, .. } => *n,
+            PayloadView::Sparse { len, .. } => *len,
+            PayloadView::F16 { data } => data.len() / 2,
+        }
+    }
+
+    /// Whether the payload decodes to an empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes into a caller-provided buffer, bit-identical to
+    /// [`Payload::to_dense`] but without intermediate allocations. The
+    /// quantized arm runs the tier-dispatched fused unpack-dequantize
+    /// kernel directly over the packed wire bytes.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "decode_into: length mismatch");
+        match self {
+            PayloadView::Dense { data } => {
+                for (o, c) in out.iter_mut().zip(data.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                }
+            }
+            PayloadView::Quantized {
+                bits,
+                num_levels,
+                scale,
+                packed,
+                ..
+            } => {
+                if *scale == 0.0 {
+                    // Mirror `dequantize`'s zero-scale early return.
+                    out.fill(0.0);
+                } else {
+                    let width = (bits + 1).min(8) as u32;
+                    dataplane::dequantize_packed(packed, *scale, *num_levels, width, out);
+                }
+            }
+            PayloadView::Sparse {
+                indices, values, ..
+            } => {
+                // Mirror `densify`: zero fill, then scatter in stream order.
+                out.fill(0.0);
+                for (ic, vc) in indices.chunks_exact(4).zip(values.chunks_exact(4)) {
+                    let i = u32::from_le_bytes([ic[0], ic[1], ic[2], ic[3]]) as usize;
+                    out[i] = f32::from_le_bytes([vc[0], vc[1], vc[2], vc[3]]);
+                }
+            }
+            PayloadView::F16 { data } => {
+                for (o, c) in out.iter_mut().zip(data.chunks_exact(2)) {
+                    *o = crate::f16::f16_to_f32(u16::from_le_bytes([c[0], c[1]]));
+                }
+            }
+        }
+    }
+}
+
+/// Byte offset of `part` within `whole`.
+///
+/// The aggregator records where a borrowed [`PayloadView`] slice sits inside
+/// the owned message buffer so it can re-derive the slice at round close
+/// without holding the borrow across the round. Centralizing the pointer
+/// arithmetic here keeps that one audited.
+///
+/// # Panics
+/// Panics (debug) if `part` is not contained in `whole`.
+pub fn subslice_offset(whole: &[u8], part: &[u8]) -> usize {
+    let off = part.as_ptr() as usize - whole.as_ptr() as usize;
+    debug_assert!(off + part.len() <= whole.len(), "not a subslice");
+    off
+}
+
+/// Streaming zero-copy parser over one encoded [`UpdateMessage`].
+///
+/// Validates the header eagerly, then yields `(layer id, PayloadView)`
+/// entries on demand. Performs the same structural validation as [`decode`]
+/// (magic, version, bits range, sparse index bounds, truncation) and, like
+/// `decode`, ignores any bytes after the last declared layer — which is what
+/// lets callers walk concatenated messages via [`MessageReader::consumed`].
+pub struct MessageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    round: u32,
+    client: u32,
+    n_layers: usize,
+    yielded: usize,
+}
+
+impl<'a> MessageReader<'a> {
+    /// Parses the message header; fails on bad magic/version or truncation.
+    pub fn new(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+            return Err(WireError::Malformed("magic"));
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::Malformed("version"));
+        }
+        let round = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
+        let client = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
+        let n_layers = u32::from_le_bytes([buf[11], buf[12], buf[13], buf[14]]) as usize;
+        Ok(MessageReader {
+            buf,
+            pos: HEADER_LEN,
+            round,
+            client,
+            n_layers,
+            yielded: 0,
+        })
+    }
+
+    /// Round the message belongs to.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Sender client id.
+    pub fn client(&self) -> u32 {
+        self.client
+    }
+
+    /// Declared layer count.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Bytes consumed so far. After the final layer this is the encoded
+    /// message length; a follow-on message in the same buffer starts here.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32_le(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Yields the next `(layer id, payload view)`, or `None` after the last
+    /// declared layer. An error poisons the reader (subsequent calls return
+    /// `None`).
+    #[allow(clippy::should_implement_trait)] // fallible borrowing iterator
+    pub fn next_layer(&mut self) -> Option<Result<(u32, PayloadView<'a>), WireError>> {
+        if self.yielded >= self.n_layers {
+            return None;
+        }
+        let mut parse = || -> Result<(u32, PayloadView<'a>), WireError> {
+            let id = self.take_u32_le()?;
+            let view = match self.take_u8()? {
+                0 => {
+                    let n = self.take_u32_le()? as usize;
+                    PayloadView::Dense {
+                        data: self.take(4 * n)?,
+                    }
+                }
+                1 => {
+                    let bits = self.take_u8()?;
+                    if !(1..=8).contains(&bits) {
+                        return Err(WireError::Malformed("quantization bits"));
+                    }
+                    let num_levels = self.take_u8()?;
+                    let b = self.take(4)?;
+                    let scale = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+                    let n = self.take_u32_le()? as usize;
+                    let width = (bits + 1).min(8) as u32;
+                    PayloadView::Quantized {
+                        bits,
+                        num_levels,
+                        scale,
+                        n,
+                        packed: self.take(dataplane::packed_len(n, width))?,
+                    }
+                }
+                2 => {
+                    let len = self.take_u32_le()? as usize;
+                    let k = self.take_u32_le()? as usize;
+                    let indices = self.take(4 * k)?;
+                    let values = self.take(4 * k)?;
+                    for c in indices.chunks_exact(4) {
+                        if u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize >= len {
+                            return Err(WireError::Malformed("sparse index out of range"));
+                        }
+                    }
+                    PayloadView::Sparse {
+                        len,
+                        indices,
+                        values,
+                    }
+                }
+                3 => {
+                    let n = self.take_u32_le()? as usize;
+                    PayloadView::F16 {
+                        data: self.take(2 * n)?,
+                    }
+                }
+                _ => return Err(WireError::Malformed("payload tag")),
+            };
+            Ok((id, view))
+        };
+        let r = parse();
+        match &r {
+            Ok(_) => self.yielded += 1,
+            Err(_) => self.yielded = self.n_layers, // poison
+        }
+        Some(r)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -780,5 +1043,157 @@ mod tests {
             decode_frame(&unk, 1 << 20),
             Err(FrameError::UnknownKind(99))
         );
+    }
+
+    /// One message exercising every payload kind, including the edge cases
+    /// the reader must not diverge on: empty layers and zero-scale
+    /// quantization.
+    fn kitchen_sink_message() -> UpdateMessage {
+        let mut rng = StdRng::seed_from_u64(77);
+        let zero_q = crate::quantize::quantize_det(&[0.0f32; 9], 3);
+        assert_eq!(zero_q.scale, 0.0);
+        UpdateMessage {
+            round: 12,
+            client: 345,
+            layers: vec![
+                (0, Payload::Dense(sample_vec(33, 70))),
+                (
+                    1,
+                    Payload::Quantized(quantize(&sample_vec(57, 71), 4, &mut rng)),
+                ),
+                (2, Payload::Sparse(top_k(&sample_vec(64, 72), 0.2))),
+                (
+                    3,
+                    Payload::F16(
+                        sample_vec(21, 73)
+                            .iter()
+                            .map(|&x| crate::f16::f32_to_f16(x))
+                            .collect(),
+                    ),
+                ),
+                (4, Payload::Quantized(zero_q)),
+                (5, Payload::Dense(Vec::new())),
+                (
+                    6,
+                    Payload::Quantized(quantize(&sample_vec(40, 74), 8, &mut rng)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn reader_views_match_decode_bitwise() {
+        let msg = kitchen_sink_message();
+        let bytes = encode(&msg);
+        let owned = decode(&bytes).expect("decodes");
+        let mut reader = MessageReader::new(bytes.as_ref()).expect("header parses");
+        assert_eq!(reader.round(), msg.round);
+        assert_eq!(reader.client(), msg.client);
+        assert_eq!(reader.n_layers(), msg.layers.len());
+        for (id, payload) in &owned.layers {
+            let (vid, view) = reader
+                .next_layer()
+                .expect("layer present")
+                .expect("layer parses");
+            assert_eq!(vid, *id);
+            assert_eq!(view.len(), payload.len());
+            let want = payload.to_dense();
+            let mut got = vec![0.0f32; view.len()];
+            view.decode_into(&mut got);
+            let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(gb, wb, "layer {id}");
+        }
+        assert!(reader.next_layer().is_none());
+        assert_eq!(reader.consumed(), bytes.len());
+        assert_eq!(reader.consumed(), message_wire_len(&msg));
+    }
+
+    #[test]
+    fn reader_walks_concatenated_messages() {
+        let a = kitchen_sink_message();
+        let b = UpdateMessage {
+            round: 13,
+            client: 9,
+            layers: vec![(2, Payload::Dense(sample_vec(5, 80)))],
+        };
+        let mut all = encode(&a).to_vec();
+        all.extend_from_slice(encode(&b).as_ref());
+        let mut ra = MessageReader::new(&all).expect("first header");
+        while let Some(r) = ra.next_layer() {
+            r.expect("first message parses");
+        }
+        let mut rb = MessageReader::new(&all[ra.consumed()..]).expect("second header");
+        assert_eq!(rb.round(), 13);
+        assert_eq!(rb.client(), 9);
+        let (id, view) = rb.next_layer().expect("layer").expect("parses");
+        assert_eq!(id, 2);
+        assert_eq!(view.len(), 5);
+        assert_eq!(ra.consumed() + rb.consumed(), all.len());
+    }
+
+    #[test]
+    fn quantized_view_offsets_recover_the_packed_run() {
+        let msg = kitchen_sink_message();
+        let bytes = encode(&msg);
+        let mut reader = MessageReader::new(bytes.as_ref()).expect("header");
+        let mut saw_quant = 0;
+        while let Some(r) = reader.next_layer() {
+            if let (_, PayloadView::Quantized { packed, .. }) = r.expect("parses") {
+                let off = subslice_offset(bytes.as_ref(), packed);
+                assert_eq!(&bytes.as_ref()[off..off + packed.len()], packed);
+                saw_quant += 1;
+            }
+        }
+        assert_eq!(saw_quant, 3);
+    }
+
+    #[test]
+    fn reader_rejects_what_decode_rejects() {
+        // Too short for a header.
+        assert!(matches!(
+            MessageReader::new(b"xx"),
+            Err(WireError::Truncated)
+        ));
+        let msg = kitchen_sink_message();
+        let good = encode(&msg);
+        // Truncation at every cut point classifies identically to `decode`.
+        for cut in 0..good.len() {
+            let slice = &good.as_ref()[..cut];
+            let via_decode = decode(&good.slice(0..cut)).expect_err("truncated");
+            let via_reader = match MessageReader::new(slice) {
+                Err(e) => e,
+                Ok(mut r) => loop {
+                    match r.next_layer() {
+                        Some(Err(e)) => break e,
+                        Some(Ok(_)) => continue,
+                        None => panic!("reader accepted truncated input at {cut}"),
+                    }
+                },
+            };
+            assert_eq!(via_reader, via_decode, "cut={cut}");
+        }
+        // Bad magic / version / payload tag.
+        let mut bad = good.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            MessageReader::new(&bad).err(),
+            Some(WireError::Malformed("magic"))
+        );
+        let mut bad = good.to_vec();
+        bad[2] = 99;
+        assert_eq!(
+            MessageReader::new(&bad).err(),
+            Some(WireError::Malformed("version"))
+        );
+        let mut bad = good.to_vec();
+        bad[HEADER_LEN + 4] = 7; // first layer's payload tag
+        let mut r = MessageReader::new(&bad).expect("header fine");
+        assert_eq!(
+            r.next_layer().expect("yields"),
+            Err(WireError::Malformed("payload tag"))
+        );
+        // An error poisons the reader.
+        assert!(r.next_layer().is_none());
     }
 }

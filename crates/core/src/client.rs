@@ -92,6 +92,14 @@ pub struct ClientRoundReport {
     /// The update the server ends up holding for this client (eager
     /// snapshots where accepted, final values elsewhere).
     pub update: UpdateVec,
+    /// The same update as encoded wire bytes: the final `UpdateMessage`
+    /// (non-eager layers under the configured compression) followed by a
+    /// dense sidecar message carrying the eager-accepted snapshots, walkable
+    /// with [`wire::MessageReader`]. Decoding it reproduces [`update`]
+    /// (Self::update) bit for bit — the server's ingest-time decode path
+    /// consumes these bytes instead of the dense vector. `None` when no
+    /// intact upload exists (dropped, crashed, or corrupted in flight).
+    pub wire_update: Option<bytes::Bytes>,
     /// Iterations actually executed.
     pub iters_done: usize,
     /// Whether the client stopped before its planned iterations.
@@ -475,6 +483,7 @@ pub fn run_client_round(
     // stopping *and* eager transmission — error feedback absorbs both the
     // quantization error and the eager snapshots' staleness, replaying the
     // residual into the next participation's upload.
+    let mut wire_update: Option<bytes::Bytes> = None;
     if !dropped && !crashed {
         let compressing = fl.compression != Compression::None;
         let mut compensated = final_update.as_slice().to_vec();
@@ -517,6 +526,37 @@ pub fn run_client_round(
             // (the wire model scales with the workload's nominal size).
             final_payload_bytes *= encoded.len() as f64 / dense_len as f64;
         }
+        // Eager-accepted layers never travel in the final message (the
+        // server already holds their snapshots), so the wire form of the
+        // *complete* update appends a dense sidecar message carrying them:
+        // concatenated `UpdateMessage`s tile the full layout, and the
+        // server's ingest decode reproduces `reported` bit for bit (dense
+        // f32 ↔ LE bytes is exact). The sidecar is server-side bookkeeping,
+        // not a retransmission — it contributes no priced wire bytes.
+        let eager_layers: Vec<u32> = eager_outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, LayerOutcome::Eager { .. }))
+            .map(|(l, _)| l as u32)
+            .collect();
+        wire_update = Some(if eager_layers.is_empty() {
+            encoded
+        } else {
+            let sidecar = wire::UpdateMessage {
+                round: plan.round as u32,
+                client: state.id as u32,
+                layers: eager_layers
+                    .into_iter()
+                    .map(|l| (l, wire::Payload::Dense(reported.layer(l as usize).to_vec())))
+                    .collect(),
+            };
+            let sidecar_bytes = wire::encode(&sidecar);
+            use bytes::BufMut;
+            let mut joined = bytes::BytesMut::with_capacity(encoded.len() + sidecar_bytes.len());
+            joined.put_slice(encoded.as_ref());
+            joined.put_slice(sidecar_bytes.as_ref());
+            joined.freeze()
+        });
     }
 
     // --- Injected in-flight corruption: the payload the server receives is
@@ -527,6 +567,9 @@ pub fn run_client_round(
         for v in reported.as_mut_slice() {
             *v = f32::NAN;
         }
+        // The wire bytes no longer describe the (poisoned) update; the
+        // server's rejection path judges the dense vector directly.
+        wire_update = None;
     }
 
     let upload_done = if dropped || crashed {
@@ -586,6 +629,7 @@ pub fn run_client_round(
         client_id: state.id,
         weight: state.shard.len() as f64,
         update: reported,
+        wire_update,
         iters_done,
         early_stopped,
         download_done,

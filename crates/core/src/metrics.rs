@@ -88,6 +88,15 @@ pub struct RoundRecord {
     /// Host wall-clock microseconds spent hydrating this round's cohort.
     #[serde(default)]
     pub hydrate_host_us: f64,
+    /// Host wall-clock microseconds spent decoding wire uploads into the
+    /// aggregation arena at ingest time. Operational — excluded from
+    /// bit-identity comparisons.
+    #[serde(default)]
+    pub decode_host_us: f64,
+    /// Host wall-clock microseconds spent in the aggregation fold at round
+    /// close (weighted accumulate into the global model).
+    #[serde(default)]
+    pub aggregate_host_us: f64,
 }
 
 impl RoundRecord {
@@ -255,6 +264,8 @@ mod tests {
             n_hydrated: 0,
             n_evicted: 0,
             hydrate_host_us: 0.0,
+            decode_host_us: 0.0,
+            aggregate_host_us: 0.0,
         }
     }
 

@@ -569,7 +569,13 @@ impl Trainer {
                 }
             }
         }
+        // The aggregate span is off-stream: it reaches sinks (metrics,
+        // journal) for observability but never consumes a canonical
+        // sequence number, so golden traces are unaffected.
+        let aggregate_span = self.tracer.start_span("aggregate");
         let (agg, reports) = agg.close(&mut self.server);
+        self.tracer
+            .end_span_offstream(aggregate_span, agg.completion);
         self.clock = agg.completion;
         self.tracer.merge_client_events(trace_batches);
         self.tracer.emit(
@@ -672,6 +678,8 @@ impl Trainer {
             n_hydrated,
             n_evicted,
             hydrate_host_us,
+            decode_host_us: agg.decode_host_us,
+            aggregate_host_us: agg.aggregate_host_us,
         });
         self.records.last().expect("just pushed")
     }
@@ -1080,14 +1088,27 @@ mod tests {
         assert_eq!(kind_count("client_done"), 8);
         assert_eq!(kind_count("client_hydrated"), 8, "one per selection");
         assert_eq!(kind_count("fault_armed"), 0, "fault-free run");
-        // Spans: "hydrate" + "round" + "evaluate" per round, with host time.
-        assert_eq!(kind_count("span"), 6);
+        // Spans: "hydrate" + "round" + "evaluate" per round with canonical
+        // seqs, plus one off-stream "aggregate" span per round.
+        assert_eq!(kind_count("span"), 8);
         assert!(recs
             .iter()
             .filter(|r| r.event.kind() == "span")
             .all(|r| r.host_us > 0.0));
-        // Seq numbers are the canonical stream order.
-        for (i, r) in recs.iter().enumerate() {
+        assert_eq!(
+            recs.iter()
+                .filter(|r| r.seq == crate::trace::OFFSTREAM_SEQ)
+                .count(),
+            2,
+            "one off-stream aggregate span per round"
+        );
+        // Seq numbers are the canonical stream order; off-stream records
+        // never consume one.
+        for (i, r) in recs
+            .iter()
+            .filter(|r| r.seq != crate::trace::OFFSTREAM_SEQ)
+            .enumerate()
+        {
             assert_eq!(r.seq, i as u64);
         }
     }

@@ -3,18 +3,192 @@
 use crate::algorithms::{fedada_iterations, Scheme};
 use crate::client::ClientRoundReport;
 use crate::deadline::{compute_deadline, DurationEstimator};
-use crate::params::{aggregate, ModelLayout, UpdateVec};
+use crate::params::{ModelLayout, UpdateVec};
+use fedca_compress::wire::{self, MessageReader, PayloadView};
 use fedca_sim::engine::ArrivalCut;
 use fedca_sim::SimTime;
+use fedca_tensor::dataplane;
 use rand::Rng;
+use std::ops::Range;
 use std::sync::Arc;
 
-/// Server state: the global model (as a flat vector) plus the per-client
-/// duration estimates that drive deadlines and FedAda's workload tuning.
+/// One decoded span of a client's wire update inside its arena slot.
+///
+/// Dense-representable payloads (dense, sparse, f16, zero-scale quantized)
+/// are decoded into the slot's staging vector at ingest; quantized runs stay
+/// bit-packed on the wire (recorded as byte offsets into the report's
+/// retained buffer) and are folded by the fused dequantize-accumulate
+/// kernel at round close, never materializing a dense copy.
+#[derive(Clone, Debug)]
+enum Seg {
+    /// `slot.dense[range]` holds the decoded values.
+    Dense {
+        /// Flat-parameter span this segment covers.
+        range: Range<usize>,
+    },
+    /// Packed QSGD levels at `bytes[off..off + len]` in the report's
+    /// `wire_update` buffer.
+    Quant {
+        /// Flat-parameter span this segment covers.
+        range: Range<usize>,
+        /// Max-abs dequantization scale (non-zero, or the segment would
+        /// have been decoded as dense zeros).
+        scale: f32,
+        /// Level count per sign.
+        num_levels: u8,
+        /// Bit width of one packed level field.
+        width: u32,
+        /// Byte offset of the packed run in the wire buffer.
+        off: usize,
+        /// Packed run length in bytes.
+        len: usize,
+    },
+}
+
+/// Per-ordinal decode slot: dense staging plus the segment map.
+#[derive(Default)]
+struct ArenaSlot {
+    /// Dense staging, `total_params` long once sized.
+    dense: Vec<f32>,
+    /// Segment map covering the full layout exactly (validated at decode).
+    segs: Vec<Seg>,
+    /// Whether this ordinal's report was decoded from wire bytes (false ⇒
+    /// the fold falls back to the report's dense vector).
+    has_wire: bool,
+}
+
+/// Pooled per-ordinal decode scratch, owned by the [`Server`] between
+/// rounds and lent to the [`StreamingAggregator`] for the round's lifetime.
+/// After the first round at a given cohort size and model, ingest-time
+/// decode performs zero heap allocations: slots, their staging vectors,
+/// their segment maps, and the fold buffer are all reused.
+#[derive(Default)]
+pub struct UpdateArena {
+    slots: Vec<ArenaSlot>,
+    /// Round-close fold accumulator (the weighted-mean delta).
+    fold: Vec<f32>,
+    total_params: usize,
+    /// False for standalone (shard-local bookkeeping) aggregators, which
+    /// never decode or fold.
+    enabled: bool,
+}
+
+impl UpdateArena {
+    /// Prepares the arena for a round of `n_selected` ordinals over a model
+    /// of `total_params` scalars. Grows pools as needed; steady-state calls
+    /// are allocation-free.
+    fn reset(&mut self, n_selected: usize, total_params: usize) {
+        self.enabled = true;
+        self.total_params = total_params;
+        if self.slots.len() < n_selected {
+            self.slots.resize_with(n_selected, ArenaSlot::default);
+        }
+        for slot in &mut self.slots[..n_selected] {
+            slot.has_wire = false;
+            slot.segs.clear();
+            if slot.dense.len() != total_params {
+                slot.dense.resize(total_params, 0.0);
+            }
+        }
+        if self.fold.len() != total_params {
+            self.fold.resize(total_params, 0.0);
+        }
+    }
+
+    /// Decodes a client's concatenated wire messages into slot `ord`:
+    /// dense-representable payloads land in the staging vector, quantized
+    /// runs are recorded as packed byte spans. Fails (leaving the slot
+    /// unused — the caller falls back to the dense vector) when the bytes
+    /// are structurally invalid or the segments do not tile the layout
+    /// exactly.
+    fn decode_slot(&mut self, ord: usize, buf: &[u8], layout: &ModelLayout) -> Result<(), ()> {
+        let total = self.total_params;
+        let slot = &mut self.slots[ord];
+        slot.segs.clear();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let msg = &buf[pos..];
+            let mut reader = MessageReader::new(msg).map_err(|_| ())?;
+            while let Some(next) = reader.next_layer() {
+                let (id, view) = next.map_err(|_| ())?;
+                let l = id as usize;
+                if l >= layout.num_layers() {
+                    return Err(());
+                }
+                let range = layout.range(l);
+                if view.len() != range.len() {
+                    return Err(());
+                }
+                match view {
+                    PayloadView::Quantized {
+                        bits,
+                        num_levels,
+                        scale,
+                        n,
+                        packed,
+                    } if scale != 0.0 && n > 0 => {
+                        slot.segs.push(Seg::Quant {
+                            range,
+                            scale,
+                            num_levels,
+                            width: (bits + 1).min(8) as u32,
+                            off: pos + wire::subslice_offset(msg, packed),
+                            len: packed.len(),
+                        });
+                    }
+                    _ => {
+                        view.decode_into(&mut slot.dense[range.clone()]);
+                        slot.segs.push(Seg::Dense { range });
+                    }
+                }
+            }
+            pos += reader.consumed();
+        }
+        // The concatenated messages must tile the layout exactly — no gap,
+        // no overlap, no repeated layer — or the fold would read stale
+        // staging data. Sort in place (capacity retained) and walk.
+        // Unstable sort: never allocates, and the keys (segment starts) are
+        // distinct once the tiling check below passes.
+        slot.segs.sort_unstable_by_key(|s| match s {
+            Seg::Dense { range } | Seg::Quant { range, .. } => range.start,
+        });
+        let mut covered = 0usize;
+        for seg in &slot.segs {
+            let range = match seg {
+                Seg::Dense { range } | Seg::Quant { range, .. } => range,
+            };
+            if range.start != covered {
+                return Err(());
+            }
+            covered = range.end;
+        }
+        if covered != total {
+            return Err(());
+        }
+        Ok(())
+    }
+
+    /// Whether slot `ord`'s decoded update would poison the fold: a
+    /// non-finite value in any dense segment, or a non-finite scale on a
+    /// quantized one (levels are bounded, so the dequantized values are
+    /// finite exactly when the scale is).
+    fn slot_has_non_finite(&self, ord: usize) -> bool {
+        let slot = &self.slots[ord];
+        slot.segs.iter().any(|seg| match seg {
+            Seg::Dense { range } => !dataplane::all_finite(&slot.dense[range.clone()]),
+            Seg::Quant { scale, .. } => !scale.is_finite(),
+        })
+    }
+}
+
+/// Server state: the global model (as a flat vector), the per-client
+/// duration estimates that drive deadlines and FedAda's workload tuning,
+/// and the pooled decode arena the data plane reuses across rounds.
 pub struct Server {
     global: UpdateVec,
     estimator: DurationEstimator,
     aggregation_fraction: f64,
+    arena: UpdateArena,
 }
 
 /// Result of one aggregation step.
@@ -30,6 +204,12 @@ pub struct AggregationResult {
     /// Reports rejected by the non-finite guard (NaN/Inf in the update or
     /// weight) and routed through the failure path instead of aggregated.
     pub n_rejected: usize,
+    /// Host microseconds spent decoding wire uploads at ingest time
+    /// (including the non-finite scan). Operational only.
+    pub decode_host_us: f64,
+    /// Host microseconds spent in the round-close weighted fold.
+    /// Operational only.
+    pub aggregate_host_us: f64,
 }
 
 impl Server {
@@ -46,6 +226,7 @@ impl Server {
             global: UpdateVec::from_vec(layout, initial),
             estimator: DurationEstimator::new(0.3, default_round_duration),
             aggregation_fraction,
+            arena: UpdateArena::default(),
         }
     }
 
@@ -133,16 +314,23 @@ impl Server {
     }
 
     /// Opens a round for streaming aggregation: client reports are ingested
-    /// one by one as uploads complete and folded into the global model when
-    /// the aggregator is [closed](StreamingAggregator::close).
-    pub fn begin_round(&self, round_start: SimTime, n_selected: usize) -> StreamingAggregator {
+    /// one by one as uploads complete — wire uploads decode into the pooled
+    /// arena on arrival — and folded into the global model when the
+    /// aggregator is [closed](StreamingAggregator::close). The arena moves
+    /// into the aggregator for the round and returns at close, so its
+    /// buffers are reused round over round.
+    pub fn begin_round(&mut self, round_start: SimTime, n_selected: usize) -> StreamingAggregator {
         assert!(n_selected > 0, "no clients selected");
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.reset(n_selected, self.global.layout().total_params());
         StreamingAggregator {
             round_start,
-            cut: ArrivalCut::new(self.aggregation_fraction),
+            cut: ArrivalCut::with_capacity(self.aggregation_fraction, n_selected),
             reports: (0..n_selected).map(|_| None).collect(),
             fallback_completion: None,
             n_rejected: 0,
+            arena,
+            decode_host_us: 0.0,
         }
     }
 
@@ -183,6 +371,8 @@ pub struct StreamingAggregator {
     reports: Vec<Option<ClientRoundReport>>,
     fallback_completion: Option<SimTime>,
     n_rejected: usize,
+    arena: UpdateArena,
+    decode_host_us: f64,
 }
 
 impl StreamingAggregator {
@@ -201,10 +391,12 @@ impl StreamingAggregator {
         assert!(n_selected > 0, "no clients selected");
         StreamingAggregator {
             round_start,
-            cut: ArrivalCut::new(aggregation_fraction),
+            cut: ArrivalCut::with_capacity(aggregation_fraction, n_selected),
             reports: (0..n_selected).map(|_| None).collect(),
             fallback_completion: None,
             n_rejected: 0,
+            arena: UpdateArena::default(),
+            decode_host_us: 0.0,
         }
     }
 
@@ -217,6 +409,12 @@ impl StreamingAggregator {
     /// Ingests the report at ordinal `ord` (its position in the round's
     /// selection list).
     ///
+    /// Reports carrying wire bytes decode into the pooled arena *here*, in
+    /// arrival order — round close only folds. Decoding reproduces the
+    /// dense vector bit for bit, so the fold result is independent of which
+    /// path a report took. Reports whose upload never arrives (infinite
+    /// `upload_done`) skip the decode; they can never make the cut.
+    ///
     /// A report whose update or weight contains NaN/Inf would poison the
     /// global model through the weighted fold; such reports are rejected
     /// through the same path as [`mark_failed`](Self::mark_failed) — the
@@ -227,12 +425,34 @@ impl StreamingAggregator {
     /// Panics if `ord` is out of range or was already ingested.
     pub fn ingest(&mut self, ord: usize, report: ClientRoundReport) {
         assert!(self.reports[ord].is_none(), "report {ord} ingested twice");
-        let poisoned =
-            !report.weight.is_finite() || report.update.as_slice().iter().any(|v| !v.is_finite());
+        let started = std::time::Instant::now();
+        let mut has_wire = false;
+        if self.arena.enabled && report.upload_done.is_finite() {
+            if let Some(bytes) = &report.wire_update {
+                has_wire = self
+                    .arena
+                    .decode_slot(ord, bytes.as_ref(), report.update.layout())
+                    .is_ok();
+            }
+        }
+        // The two predicates agree: the wire bytes decode to exactly the
+        // dense vector, so a non-finite value exists in one iff in the
+        // other (quantized runs have bounded levels — finiteness reduces to
+        // the scale).
+        let poisoned = !report.weight.is_finite()
+            || if has_wire {
+                self.arena.slot_has_non_finite(ord)
+            } else {
+                !dataplane::all_finite(report.update.as_slice())
+            };
+        self.decode_host_us += started.elapsed().as_secs_f64() * 1e6;
         if poisoned {
             self.n_rejected += 1;
             self.cut.observe(f64::INFINITY);
             return;
+        }
+        if self.arena.enabled {
+            self.arena.slots[ord].has_wire = has_wire;
         }
         self.cut.observe(report.upload_done);
         self.reports[ord] = Some(report);
@@ -271,10 +491,21 @@ impl StreamingAggregator {
     /// the aggregation result plus the reports in ordinal order (`None`
     /// where the client failed without producing a report).
     ///
+    /// The fold replicates [`crate::params::aggregate`] operation for
+    /// operation — weights summed and updates accumulated in ordinal order,
+    /// `fold[j] += alpha · u[j]` elementwise — so it is bit-identical to
+    /// the historical dense path for any mix of wire-decoded and dense
+    /// reports. Wire-decoded quantized segments feed the fused
+    /// dequantize-accumulate kernel straight from the packed bytes; every
+    /// kernel tier is bit-identical to scalar.
+    ///
     /// # Panics
     /// Panics unless every ordinal was ingested or marked failed, or if no
     /// finite arrival exists and no deadline fallback was set.
-    pub fn close(self, server: &mut Server) -> (AggregationResult, Vec<Option<ClientRoundReport>>) {
+    pub fn close(
+        mut self,
+        server: &mut Server,
+    ) -> (AggregationResult, Vec<Option<ClientRoundReport>>) {
         assert_eq!(
             self.cut.len(),
             self.reports.len(),
@@ -296,29 +527,86 @@ impl StreamingAggregator {
             .filter(|(_, r)| r.as_ref().is_some_and(|r| r.upload_done <= completion))
             .map(|(i, _)| i)
             .collect();
-        let weighted: Vec<(&UpdateVec, f64)> = collected
-            .iter()
-            .map(|&i| {
+        let started = std::time::Instant::now();
+        if !collected.is_empty() {
+            let total_w: f64 = collected
+                .iter()
+                .map(|&i| {
+                    reports[i]
+                        .as_ref()
+                        .expect("collected implies present")
+                        .weight
+                })
+                .sum();
+            assert!(total_w > 0.0, "aggregate weights sum to zero");
+            let total = server.global.layout().total_params();
+            if self.arena.fold.len() != total {
+                self.arena.fold.resize(total, 0.0);
+            }
+            self.arena.fold.fill(0.0);
+            for &i in &collected {
                 let r = reports[i].as_ref().expect("collected implies present");
-                (&r.update, r.weight)
-            })
-            .collect();
-        if !weighted.is_empty() {
-            let delta = aggregate(&weighted);
-            server.global.axpy(1.0, &delta);
+                let alpha = (r.weight / total_w) as f32;
+                let wired = self
+                    .arena
+                    .slots
+                    .get(i)
+                    .is_some_and(|s| self.arena.enabled && s.has_wire);
+                if wired {
+                    let slot = &self.arena.slots[i];
+                    for seg in &slot.segs {
+                        match seg {
+                            Seg::Dense { range } => dataplane::axpy(
+                                alpha,
+                                &slot.dense[range.clone()],
+                                &mut self.arena.fold[range.clone()],
+                            ),
+                            Seg::Quant {
+                                range,
+                                scale,
+                                num_levels,
+                                width,
+                                off,
+                                len,
+                            } => {
+                                let bytes = r
+                                    .wire_update
+                                    .as_ref()
+                                    .expect("wire-decoded slot implies wire bytes");
+                                dataplane::axpy_quantized(
+                                    alpha,
+                                    *scale,
+                                    *num_levels,
+                                    *width,
+                                    &bytes.as_ref()[*off..*off + *len],
+                                    &mut self.arena.fold[range.clone()],
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    dataplane::axpy(alpha, r.update.as_slice(), &mut self.arena.fold);
+                }
+            }
+            dataplane::axpy(1.0, &self.arena.fold, server.global.as_mut_slice());
         }
+        let aggregate_host_us = started.elapsed().as_secs_f64() * 1e6;
         for &i in &collected {
             let r = reports[i].as_ref().expect("collected implies present");
             server
                 .estimator
                 .observe(r.client_id, r.upload_done - self.round_start);
         }
+        // Return the arena pool to the server for the next round.
+        server.arena = self.arena;
         (
             AggregationResult {
                 completion,
                 collected,
                 n_finite: self.cut.finite_count(),
                 n_rejected: self.n_rejected,
+                decode_host_us: self.decode_host_us,
+                aggregate_host_us,
             },
             reports,
         )
@@ -350,6 +638,7 @@ mod tests {
             client_id,
             weight,
             update: UpdateVec::from_vec(layout(), update),
+            wire_update: None,
             iters_done: 5,
             early_stopped: false,
             download_done: 0.1,
@@ -524,7 +813,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ingested twice")]
     fn streaming_rejects_duplicate_ordinals() {
-        let s = server();
+        let mut s = server();
         let mut agg = s.begin_round(0.0, 2);
         agg.ingest(0, report(0, 1.0, vec![0.0, 0.0], 1.0));
         agg.ingest(0, report(0, 1.0, vec![0.0, 0.0], 1.0));
@@ -575,6 +864,97 @@ mod tests {
         let (res, _) = agg.close(&mut s);
         assert_eq!(res.n_rejected, 1);
         assert!(res.collected.is_empty());
+    }
+
+    #[test]
+    fn wire_reports_fold_bit_identically_to_dense_reports() {
+        use fedca_compress::wire;
+
+        // Encode each update as a real wire message (one dense layer) and
+        // attach it; the decoded-at-ingest fold must reproduce the dense
+        // path's global bit for bit — and actually take the wire path.
+        let wire_report = |client_id: usize, upload_done: f64, update: Vec<f32>, weight: f64| {
+            let msg = wire::UpdateMessage {
+                round: 0,
+                client: client_id as u32,
+                layers: vec![(0, wire::Payload::Dense(update.clone()))],
+            };
+            let mut r = report(client_id, upload_done, update, weight);
+            r.wire_update = Some(wire::encode(&msg));
+            r
+        };
+
+        let mut dense_server = server();
+        let _ = dense_server.aggregate_round(
+            0.0,
+            &[
+                report(0, 1.0, vec![1.25, -0.5], 1.0),
+                report(1, 2.0, vec![0.1, 3.0], 3.0),
+            ],
+        );
+
+        let mut wire_server = server();
+        let mut agg = wire_server.begin_round(0.0, 2);
+        agg.ingest(0, wire_report(0, 1.0, vec![1.25, -0.5], 1.0));
+        agg.ingest(1, wire_report(1, 2.0, vec![0.1, 3.0], 3.0));
+        assert!(
+            agg.arena.slots[0].has_wire && agg.arena.slots[1].has_wire,
+            "wire decode path not taken"
+        );
+        let (res, _) = agg.close(&mut wire_server);
+        assert_eq!(res.collected, vec![0, 1]);
+        assert_eq!(
+            dense_server.global().as_slice(),
+            wire_server.global().as_slice(),
+            "wire fold diverged from dense fold"
+        );
+
+        // Malformed wire bytes must fall back to the dense vector, not
+        // corrupt the fold.
+        let mut fallback_server = server();
+        let mut agg = fallback_server.begin_round(0.0, 2);
+        let mut bad = report(0, 1.0, vec![1.25, -0.5], 1.0);
+        bad.wire_update = Some(bytes::Bytes::copy_from_slice(b"not a wire message"));
+        agg.ingest(0, bad);
+        agg.ingest(1, report(1, 2.0, vec![0.1, 3.0], 3.0));
+        assert!(!agg.arena.slots[0].has_wire, "bad bytes must not decode");
+        let _ = agg.close(&mut fallback_server);
+        assert_eq!(
+            dense_server.global().as_slice(),
+            fallback_server.global().as_slice()
+        );
+    }
+
+    #[test]
+    fn wire_reports_with_non_finite_scale_are_rejected() {
+        use fedca_compress::wire;
+        // A quantized payload whose scale is Inf decodes to non-finite
+        // values; the wire-path guard must reject it exactly like the dense
+        // NaN guard does.
+        let msg = wire::UpdateMessage {
+            round: 0,
+            client: 0,
+            layers: vec![(
+                0,
+                wire::Payload::Quantized(fedca_compress::QuantizedVec {
+                    bits: 1,
+                    scale: f32::INFINITY,
+                    levels: vec![0i8; 2],
+                    num_levels: 1,
+                }),
+            )],
+        };
+        let mut r = report(0, 1.0, vec![f32::INFINITY, f32::INFINITY], 1.0);
+        r.wire_update = Some(wire::encode(&msg));
+        let mut s = server();
+        let before = s.global().as_slice().to_vec();
+        let mut agg = s.begin_round(0.0, 1);
+        agg.set_deadline(5.0);
+        agg.ingest(0, r);
+        let (res, _) = agg.close(&mut s);
+        assert_eq!(res.n_rejected, 1);
+        assert!(res.collected.is_empty());
+        assert_eq!(s.global().as_slice(), &before[..]);
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! Transport is the length-framed [`fedca_compress::wire`] frame layer
 //! over Unix domain sockets: JSON metadata (all non-finite-capable floats
 //! cross as IEEE bit patterns, because the vendored serde maps non-finite
-//! floats to `null`) plus an optional binary payload holding the dense
-//! `wire::encode`d model update or the broadcast global parameters. Every
+//! floats to `null`) plus an optional binary payload holding the client's
+//! encoded wire update or the broadcast global parameters. Every
 //! coordinator wait is bounded: socket reads happen on reader threads that
 //! pump into an mpsc channel, and the coordinator only ever blocks in
 //! `recv_timeout`.
@@ -200,11 +200,14 @@ impl WireEvent {
 }
 
 /// One finished client, shard → root. Mirrors [`ClientRoundReport`] field
-/// for field with every non-finite-capable float as IEEE bits. The dense
-/// update travels as the frame's binary payload (`wire::encode`) only when
-/// `has_update`; a poisoned update is reconstructed NaN-filled on the root
-/// (the ingest re-rejects it by the same predicate — only counts matter)
-/// and an infinite-upload update as zeros (stored but never collected).
+/// for field with every non-finite-capable float as IEEE bits. The
+/// client's encoded wire update (the exact bytes the in-process path would
+/// decode at ingest) travels as the frame's binary payload only when
+/// `has_update`; the root validates it structurally and hands the bytes to
+/// its aggregator, which decodes them at ingest time. A poisoned update is
+/// reconstructed NaN-filled on the root (the ingest re-rejects it by the
+/// same predicate — only counts matter) and an infinite-upload update as
+/// zeros (stored but never collected).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DoneMsg {
     /// Round index (protocol validation).
@@ -349,38 +352,57 @@ fn encode_update(round: usize, client: usize, update: &UpdateVec) -> Bytes {
     })
 }
 
-fn decode_update(layout: &Arc<ModelLayout>, payload: &Bytes) -> Result<UpdateVec, ShardError> {
-    let msg = wire::decode(payload)
-        .map_err(|e| ShardError::Protocol(format!("bad update payload: {e}")))?;
-    if msg.layers.len() != layout.num_layers() {
-        return Err(ShardError::Protocol(format!(
-            "update payload has {} layers, layout has {}",
-            msg.layers.len(),
-            layout.num_layers()
-        )));
-    }
-    let mut flat = Vec::with_capacity(layout.total_params());
-    for (l, (id, payload)) in msg.layers.iter().enumerate() {
-        if *id as usize != l {
-            return Err(ShardError::Protocol(format!(
-                "update payload layer {l} has id {id}"
-            )));
-        }
-        match payload {
-            Payload::Dense(v) => {
-                if v.len() != layout.layer_len(l) {
-                    return Err(ShardError::Protocol(format!(
-                        "update payload layer {l} has {} values, expected {}",
-                        v.len(),
-                        layout.layer_len(l)
-                    )));
-                }
-                flat.extend_from_slice(v);
+/// Structurally validates a forwarded update payload against the layout:
+/// one or more concatenated [`wire`] messages whose layer segments tile the
+/// flat parameter vector exactly — the same checks the root aggregator's
+/// ingest-time decode applies, so a payload that passes here is guaranteed
+/// to decode into the arena rather than fall back to a (zeroed, wrong)
+/// dense vector. Values are *not* decoded here.
+fn validate_update_payload(layout: &Arc<ModelLayout>, payload: &Bytes) -> Result<(), ShardError> {
+    let buf = payload.as_ref();
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(layout.num_layers());
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let mut reader = wire::MessageReader::new(&buf[pos..])
+            .map_err(|e| ShardError::Protocol(format!("bad update payload: {e}")))?;
+        while let Some(layer) = reader.next_layer() {
+            let (id, view) =
+                layer.map_err(|e| ShardError::Protocol(format!("bad update payload: {e}")))?;
+            let l = id as usize;
+            if l >= layout.num_layers() {
+                return Err(ShardError::Protocol(format!(
+                    "update payload has layer id {id}, layout has {} layers",
+                    layout.num_layers()
+                )));
             }
-            _ => return Err(ShardError::Protocol("update payload must be dense".into())),
+            let range = layout.range(l);
+            if view.len() != range.len() {
+                return Err(ShardError::Protocol(format!(
+                    "update payload layer {l} has {} values, expected {}",
+                    view.len(),
+                    range.len()
+                )));
+            }
+            ranges.push(range);
         }
+        pos += reader.consumed();
     }
-    Ok(UpdateVec::from_vec(layout.clone(), flat))
+    ranges.sort_by_key(|r| r.start);
+    let mut covered = 0usize;
+    for r in &ranges {
+        if r.start != covered {
+            return Err(ShardError::Protocol(
+                "update payload does not tile the parameter vector".into(),
+            ));
+        }
+        covered = r.end;
+    }
+    if covered != layout.total_params() {
+        return Err(ShardError::Protocol(
+            "update payload does not cover the parameter vector".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Rebuilds the root-side [`ClientRoundReport`] from a [`DoneMsg`] and its
@@ -391,23 +413,31 @@ pub fn report_from_done(
     msg: &DoneMsg,
     payload: &Bytes,
 ) -> Result<ClientRoundReport, ShardError> {
-    let update = if msg.has_update {
+    let (update, wire_update) = if msg.has_update {
         if payload.is_empty() {
             return Err(ShardError::Protocol("missing update payload".into()));
         }
-        decode_update(layout, payload)?
+        validate_update_payload(layout, payload)?;
+        // The dense vector stays zeroed: the root aggregator decodes the
+        // validated wire bytes into its arena at ingest, bit-identically
+        // to the in-process path, and never reads the dense fallback.
+        (UpdateVec::zeros(layout.clone()), Some(payload.clone()))
     } else if msg.poisoned {
         // Reconstructed NaN-filled: the root's ingest re-rejects it via
         // the identical predicate, so only the poison *fact* must travel.
-        UpdateVec::from_vec(layout.clone(), vec![f32::NAN; layout.total_params()])
+        (
+            UpdateVec::from_vec(layout.clone(), vec![f32::NAN; layout.total_params()]),
+            None,
+        )
     } else {
         // Infinite upload: stored but never collected; values never read.
-        UpdateVec::zeros(layout.clone())
+        (UpdateVec::zeros(layout.clone()), None)
     };
     Ok(ClientRoundReport {
         client_id: msg.client_id,
         weight: f64::from_bits(msg.weight_bits),
         update,
+        wire_update,
         iters_done: msg.iters_done,
         early_stopped: msg.early_stopped,
         download_done: f64::from_bits(msg.download_done_bits),
@@ -630,7 +660,16 @@ fn run_child_round(
                 let poisoned =
                     !r.weight.is_finite() || r.update.as_slice().iter().any(|v| !v.is_finite());
                 let has_update = !poisoned && r.upload_done.is_finite();
-                let payload = has_update.then(|| encode_update(round, r.client_id, &r.update));
+                // Forward the client's own encoded wire bytes (final message
+                // plus eager sidecar) so the root can decode — and for
+                // quantized payloads, fused-fold — them exactly as the
+                // in-process path would. Fall back to a dense encoding for
+                // reports that carry no wire form.
+                let payload = has_update.then(|| {
+                    r.wire_update
+                        .clone()
+                        .unwrap_or_else(|| encode_update(round, r.client_id, &r.update))
+                });
                 let msg = DoneMsg {
                     round,
                     ord: done.ord,
@@ -1346,15 +1385,15 @@ mod tests {
     }
 
     #[test]
-    fn update_payload_round_trips_bit_exactly() {
+    fn update_payload_validation_accepts_exact_tilings_only() {
         let layout = tiny_layout();
         let vals = vec![1.0f32, -2.5, 3.25e-7, 0.0, 1e20];
-        let update = UpdateVec::from_vec(layout.clone(), vals.clone());
+        let update = UpdateVec::from_vec(layout.clone(), vals);
         let payload = encode_update(3, 7, &update);
-        let back = decode_update(&layout, &payload).unwrap();
-        assert_eq!(back.as_slice(), &vals[..]);
+        assert!(validate_update_payload(&layout, &payload).is_ok());
 
-        // Corrupted layer ids and non-dense payloads are typed errors.
+        // A payload whose layer lengths disagree with the layout is a
+        // typed error (here: swapped ids make both lengths wrong).
         let wrong = wire::encode(&UpdateMessage {
             round: 3,
             client: 7,
@@ -1364,9 +1403,37 @@ mod tests {
             ],
         });
         assert!(matches!(
-            decode_update(&layout, &wrong),
+            validate_update_payload(&layout, &wrong),
             Err(ShardError::Protocol(_))
         ));
+
+        // A missing layer fails the tiling check.
+        let missing = wire::encode(&UpdateMessage {
+            round: 3,
+            client: 7,
+            layers: vec![(0, Payload::Dense(vec![0.0; 3]))],
+        });
+        assert!(matches!(
+            validate_update_payload(&layout, &missing),
+            Err(ShardError::Protocol(_))
+        ));
+
+        // Concatenated messages that tile the vector together (the eager
+        // sidecar shape) are accepted.
+        let a = wire::encode(&UpdateMessage {
+            round: 3,
+            client: 7,
+            layers: vec![(1, Payload::Dense(vec![0.0; 2]))],
+        });
+        let b = wire::encode(&UpdateMessage {
+            round: 3,
+            client: 7,
+            layers: vec![(0, Payload::Dense(vec![0.0; 3]))],
+        });
+        let mut joined = BytesMut::with_capacity(a.as_ref().len() + b.as_ref().len());
+        joined.put_slice(a.as_ref());
+        joined.put_slice(b.as_ref());
+        assert!(validate_update_payload(&layout, &joined.freeze()).is_ok());
     }
 
     #[test]

@@ -41,6 +41,13 @@ use std::sync::Arc;
 /// that do not belong to one selected client.
 pub const SERVER_ORD: usize = usize::MAX;
 
+/// Sentinel sequence number for *offstream* records: profiling-only events
+/// (e.g. the server's `aggregate` span) that ride through the sinks without
+/// consuming a canonical stream slot. Golden fixtures pin every canonical
+/// record's `seq`; an offstream record never shifts them and is excluded
+/// from [`Tracer::canonical_jsonl`].
+pub const OFFSTREAM_SEQ: u64 = u64::MAX;
+
 /// Tracing section of [`FlConfig`](crate::config::FlConfig). The default is
 /// disabled and behaviourally invisible.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -696,6 +703,29 @@ impl Tracer {
         }
     }
 
+    /// Emits one *offstream* record: it reaches every sink (ring included)
+    /// but carries [`OFFSTREAM_SEQ`] instead of consuming the next stream
+    /// sequence number, so canonical seqs — and the golden fixtures that
+    /// pin them — are untouched. Use for host-profiling events whose
+    /// presence must not depend on being replayed identically (spans
+    /// measured around server-side work).
+    #[inline]
+    pub fn emit_offstream(&self, time: SimTime, ord: usize, host_us: f64, event: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        let mut inner = inner.lock();
+        let rec = TraceRecord {
+            time,
+            ord,
+            seq: OFFSTREAM_SEQ,
+            host_us,
+            event,
+        };
+        inner.ring.record(&rec);
+        for sink in &mut inner.sinks {
+            sink.record(&rec);
+        }
+    }
+
     /// Merges per-client buffered events into the canonical stream:
     /// a stable sort by `(virtual time, ordinal)` — intra-client emission
     /// order is preserved by stability — then emission in that order.
@@ -749,11 +779,12 @@ impl Tracer {
     }
 
     /// Canonical JSONL of the ring's *canonical* records — the golden-trace
-    /// text. `RunStart` (which names the worker count) is excluded.
+    /// text. `RunStart` (which names the worker count) and offstream
+    /// records ([`OFFSTREAM_SEQ`]) are excluded.
     pub fn canonical_jsonl(&self) -> String {
         let mut out = String::new();
         for rec in self.ring_records() {
-            if rec.event.is_canonical() {
+            if rec.event.is_canonical() && rec.seq != OFFSTREAM_SEQ {
                 out.push_str(&rec.canonical_line());
                 out.push('\n');
             }
@@ -791,6 +822,24 @@ impl Tracer {
     pub fn end_span(&self, timer: Option<SpanTimer>, time: SimTime) {
         if let Some(t) = timer {
             self.emit(
+                time,
+                SERVER_ORD,
+                t.started.elapsed().as_secs_f64() * 1e6,
+                TraceEvent::Span {
+                    name: t.name.to_string(),
+                },
+            );
+        }
+    }
+
+    /// Like [`end_span`](Self::end_span), but emits offstream
+    /// ([`emit_offstream`](Self::emit_offstream)): the span reaches
+    /// profiling sinks without consuming a canonical sequence number, so
+    /// spans added around existing server work never shift golden-fixture
+    /// seqs.
+    pub fn end_span_offstream(&self, timer: Option<SpanTimer>, time: SimTime) {
+        if let Some(t) = timer {
+            self.emit_offstream(
                 time,
                 SERVER_ORD,
                 t.started.elapsed().as_secs_f64() * 1e6,
@@ -845,6 +894,28 @@ mod tests {
             recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
+    }
+
+    #[test]
+    fn offstream_records_reach_sinks_but_not_the_canonical_stream() {
+        let t = Tracer::enabled(16);
+        t.add_sink(Box::new(MetricsRegistry::new()));
+        t.emit(0.0, SERVER_ORD, 0.0, ev(0));
+        let span = t.start_span("aggregate");
+        t.end_span_offstream(span, 0.5);
+        t.emit(1.0, SERVER_ORD, 0.0, ev(1));
+        let recs = t.ring_records();
+        // The span rode through the ring with the sentinel seq, and the
+        // canonical seqs on either side were not shifted by it.
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, OFFSTREAM_SEQ);
+        assert_eq!(recs[2].seq, 1);
+        assert!(matches!(&recs[1].event, TraceEvent::Span { name } if name == "aggregate"));
+        // ...and the golden-trace text contains only the two round opens.
+        let jsonl = t.canonical_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(!jsonl.contains("Span"), "offstream span leaked: {jsonl}");
     }
 
     #[test]

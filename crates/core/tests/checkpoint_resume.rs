@@ -89,6 +89,8 @@ fn assert_records_identical(a: &[RoundRecord], b: &[RoundRecord], label: &str) {
             r.n_hydrated = 0;
             r.n_evicted = 0;
             r.hydrate_host_us = 0.0;
+            r.decode_host_us = 0.0;
+            r.aggregate_host_us = 0.0;
         }
         assert_eq!(ra, rb, "{label}: round {} diverged", ra.round);
     }

@@ -65,6 +65,8 @@ fn scrubbed(records: &[RoundRecord]) -> Vec<RoundRecord> {
             r.n_hydrated = 0;
             r.n_evicted = 0;
             r.hydrate_host_us = 0.0;
+            r.decode_host_us = 0.0;
+            r.aggregate_host_us = 0.0;
             r
         })
         .collect()

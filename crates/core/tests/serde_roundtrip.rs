@@ -70,6 +70,8 @@ proptest! {
             n_hydrated: base.4.min(n),
             n_evicted: base.5,
             hydrate_host_us: base.2 * 2.0,
+            decode_host_us: base.2 * 1.5,
+            aggregate_host_us: base.2 * 0.25,
         };
         let json = serde_json::to_string(&record).expect("serialize");
         let back: RoundRecord = serde_json::from_str(&json).expect("deserialize");
@@ -198,8 +200,10 @@ fn round_record_tolerates_pre_fault_documents() {
         n_hydrated: 4,
         n_evicted: 2,
         hydrate_host_us: 37.5,
+        decode_host_us: 18.25,
+        aggregate_host_us: 4.5,
     };
-    const DEFAULTED: [&str; 11] = [
+    const DEFAULTED: [&str; 13] = [
         "n_dropped",
         "n_crashed",
         "n_deadline_missed",
@@ -209,6 +213,8 @@ fn round_record_tolerates_pre_fault_documents() {
         "n_hydrated",
         "n_evicted",
         "hydrate_host_us",
+        "decode_host_us",
+        "aggregate_host_us",
         "wire_bytes_uploaded",
         "wire_bytes_dense",
     ];
@@ -230,6 +236,8 @@ fn round_record_tolerates_pre_fault_documents() {
     assert_eq!(back.n_hydrated, 0);
     assert_eq!(back.n_evicted, 0);
     assert_eq!(back.hydrate_host_us, 0.0);
+    assert_eq!(back.decode_host_us, 0.0);
+    assert_eq!(back.aggregate_host_us, 0.0);
     assert_eq!(back.wire_bytes_uploaded, 0.0);
     assert_eq!(back.wire_bytes_dense, 0.0);
     assert_eq!(back.compression_ratio(), 1.0);

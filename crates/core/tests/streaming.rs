@@ -28,6 +28,7 @@ fn report(
         client_id,
         weight,
         update: UpdateVec::from_vec(layout(), update),
+        wire_update: None,
         iters_done: 3,
         early_stopped: false,
         download_done: 0.05,

@@ -75,6 +75,18 @@ impl ArrivalCut {
         }
     }
 
+    /// Like [`ArrivalCut::new`], with room for `n` arrivals reserved up
+    /// front so [`observe`](ArrivalCut::observe) never reallocates when the
+    /// arrival count is known (the server's ingest hot path).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_capacity(fraction: f64, n: usize) -> Self {
+        let mut cut = Self::new(fraction);
+        cut.sorted.reserve(n);
+        cut
+    }
+
     /// Records one upload arrival (`+inf` for clients that dropped out).
     ///
     /// # Panics

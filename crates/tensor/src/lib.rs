@@ -26,6 +26,7 @@
 //!
 //! [Lyu et al., ICPP '24]: https://doi.org/10.1145/3673038.3673049
 
+pub mod dataplane;
 pub mod gemm;
 pub mod linalg;
 pub mod ops;

@@ -37,13 +37,16 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 
 /// `y += alpha * x`.
 ///
+/// Dispatches to the tiered data-plane kernel
+/// ([`crate::dataplane::axpy`]); every tier is bit-identical to the scalar
+/// loop (mul-then-add, no FMA), so routing through dispatch cannot perturb
+/// golden trajectories.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::dataplane::axpy(alpha, x, y);
 }
 
 /// Cosine similarity between two vectors.

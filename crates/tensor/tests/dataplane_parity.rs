@@ -1,0 +1,273 @@
+//! Per-tier bit-identity parity suite for the data-plane kernels.
+//!
+//! The GEMM parity suite tolerates small numeric drift between tiers; this
+//! one does not. Data-plane kernels (scale scan, deterministic level
+//! quantization, wire bit-pack/unpack, AXPY, fused dequantize-accumulate)
+//! are contracted to produce the *same bits* on every tier, which is what
+//! lets the aggregator's fold run vectorized under the committed
+//! scalar-recorded golden fixtures. Each property draws lengths straddling
+//! the 8-lane vector width (tails included), splices non-finite specials
+//! into the float inputs, and compares every available tier against the
+//! scalar reference via `to_bits`.
+
+use fedca_tensor::dataplane::{
+    all_finite_on, axpy_on, axpy_quantized_on, dequantize_levels_on, dequantize_packed_on,
+    max_abs_on, pack_levels_on, packed_len, quantize_levels_on, unpack_levels_on,
+};
+use fedca_tensor::gemm::{available_kernels, Kernel};
+use proptest::prelude::*;
+
+const SPECIALS: [f32; 5] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-41];
+
+/// Splices special values into `x` at pseudo-positions drawn by the test.
+fn splice(x: &mut [f32], specials: &[(usize, usize)]) {
+    for &(pos, kind) in specials {
+        if !x.is_empty() {
+            x[pos % x.len()] = SPECIALS[kind % SPECIALS.len()];
+        }
+    }
+}
+
+fn bits_of(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn derived(bits: u8) -> (u8, u32) {
+    let num_levels = ((1u16 << (bits - 1)) - 1).max(1) as u8;
+    let width = (bits + 1).min(8) as u32;
+    (num_levels, width)
+}
+
+proptest! {
+    #[test]
+    fn max_abs_matches_scalar_bitwise(
+        (mut x, specials) in (
+            prop::collection::vec(-8.0f32..8.0, 0..129),
+            prop::collection::vec((0usize..129, 0usize..8), 0..4),
+        )
+    ) {
+        splice(&mut x, &specials);
+        let want = max_abs_on(Kernel::Scalar, &x);
+        for k in available_kernels() {
+            let got = max_abs_on(k, &x);
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "max_abs kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn quantize_levels_matches_scalar_bitwise(
+        (mut x, specials, bits) in (
+            prop::collection::vec(-4.0f32..4.0, 1..100),
+            prop::collection::vec((0usize..100, 0usize..8), 0..3),
+            1u8..9,
+        )
+    ) {
+        splice(&mut x, &specials);
+        let (num_levels, _) = derived(bits);
+        // The quantizers derive scale from the data; a zero-scale vector
+        // takes the all-zero-levels early return and never reaches the
+        // kernel, so mirror that precondition here.
+        let scale = max_abs_on(Kernel::Scalar, &x);
+        prop_assume!(scale != 0.0);
+        let mut want = vec![0i8; x.len()];
+        quantize_levels_on(Kernel::Scalar, &x, scale, num_levels, &mut want);
+        for k in available_kernels() {
+            let mut got = vec![0i8; x.len()];
+            quantize_levels_on(k, &x, scale, num_levels, &mut got);
+            prop_assert_eq!(&got, &want, "quantize_levels kernel {} bits {}", k.name(), bits);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_match_scalar_bitwise(
+        (raw, bits) in (
+            prop::collection::vec(0usize..256, 0..120),
+            1u8..9,
+        )
+    ) {
+        let (num_levels, width) = derived(bits);
+        // Legal encoder levels only: out-of-range levels overflow their
+        // offset-binary field (documented precondition).
+        let span = 2 * num_levels as i32 + 1;
+        let levels: Vec<i8> = raw
+            .iter()
+            .map(|&b| ((b as i32 % span) - num_levels as i32) as i8)
+            .collect();
+        let mut want = vec![0u8; packed_len(levels.len(), width)];
+        pack_levels_on(Kernel::Scalar, &levels, num_levels, width, &mut want);
+        for k in available_kernels() {
+            let mut got = vec![0u8; want.len()];
+            pack_levels_on(k, &levels, num_levels, width, &mut got);
+            prop_assert_eq!(&got, &want, "pack_levels kernel {} bits {}", k.name(), bits);
+        }
+        // Unpack parity over the (valid) packed stream...
+        let mut back = vec![0i8; levels.len()];
+        unpack_levels_on(Kernel::Scalar, &want, num_levels, width, &mut back);
+        prop_assert_eq!(&back, &levels, "scalar round trip bits {}", bits);
+        for k in available_kernels() {
+            let mut got = vec![0i8; levels.len()];
+            unpack_levels_on(k, &want, num_levels, width, &mut got);
+            prop_assert_eq!(&got, &back, "unpack_levels kernel {} bits {}", k.name(), bits);
+        }
+    }
+
+    #[test]
+    fn unpack_of_arbitrary_bytes_matches_scalar(
+        (packed, n, bits) in (
+            prop::collection::vec(0usize..256, 0..128),
+            0usize..100,
+            1u8..9,
+        )
+    ) {
+        // Malformed wire bytes must decode deterministically and
+        // identically on every tier (the truncating `as i8` cast).
+        let packed: Vec<u8> = packed.iter().map(|&b| b as u8).collect();
+        let (num_levels, width) = derived(bits);
+        prop_assume!(packed.len() >= packed_len(n, width));
+        let mut want = vec![0i8; n];
+        unpack_levels_on(Kernel::Scalar, &packed, num_levels, width, &mut want);
+        for k in available_kernels() {
+            let mut got = vec![0i8; n];
+            unpack_levels_on(k, &packed, num_levels, width, &mut got);
+            prop_assert_eq!(&got, &want, "unpack arbitrary kernel {} bits {}", k.name(), bits);
+        }
+    }
+
+    #[test]
+    fn dequantize_levels_matches_scalar_bitwise(
+        (raw, bits, scale) in (
+            prop::collection::vec(0usize..256, 0..100),
+            1u8..9,
+            -3.0f32..3.0,
+        )
+    ) {
+        let (num_levels, _) = derived(bits);
+        let span = 2 * num_levels as i32 + 1;
+        let levels: Vec<i8> = raw
+            .iter()
+            .map(|&b| ((b as i32 % span) - num_levels as i32) as i8)
+            .collect();
+        let mut want = vec![0.0f32; levels.len()];
+        dequantize_levels_on(Kernel::Scalar, &levels, scale, num_levels, &mut want);
+        for k in available_kernels() {
+            let mut got = vec![0.0f32; levels.len()];
+            dequantize_levels_on(k, &levels, scale, num_levels, &mut got);
+            prop_assert_eq!(bits_of(&got), bits_of(&want), "dequantize kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise(
+        (mut x, mut y, specials, alpha) in (
+            prop::collection::vec(-8.0f32..8.0, 0..129),
+            prop::collection::vec(-8.0f32..8.0, 0..129),
+            prop::collection::vec((0usize..129, 0usize..8), 0..4),
+            -2.0f32..2.0,
+        )
+    ) {
+        let n = x.len().min(y.len());
+        x.truncate(n);
+        y.truncate(n);
+        splice(&mut x, &specials);
+        let mut want = y.clone();
+        axpy_on(Kernel::Scalar, alpha, &x, &mut want);
+        for k in available_kernels() {
+            let mut got = y.clone();
+            axpy_on(k, alpha, &x, &mut got);
+            prop_assert_eq!(bits_of(&got), bits_of(&want), "axpy kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn fused_axpy_quantized_matches_scalar_and_unfused(
+        (packed, y0, bits, scale, alpha) in (
+            prop::collection::vec(0usize..256, 0..128),
+            prop::collection::vec(-8.0f32..8.0, 0..100),
+            1u8..9,
+            -3.0f32..3.0,
+            -2.0f32..2.0,
+        )
+    ) {
+        let packed: Vec<u8> = packed.iter().map(|&b| b as u8).collect();
+        let (num_levels, width) = derived(bits);
+        let n = y0.len();
+        prop_assume!(packed.len() >= packed_len(n, width));
+        // Scalar fused is the reference...
+        let mut want = y0.clone();
+        axpy_quantized_on(Kernel::Scalar, alpha, scale, num_levels, width, &packed, &mut want);
+        // ...and must itself equal unpack → dequantize → axpy.
+        let mut levels = vec![0i8; n];
+        unpack_levels_on(Kernel::Scalar, &packed, num_levels, width, &mut levels);
+        let mut dense = vec![0.0f32; n];
+        dequantize_levels_on(Kernel::Scalar, &levels, scale, num_levels, &mut dense);
+        let mut unfused = y0.clone();
+        axpy_on(Kernel::Scalar, alpha, &dense, &mut unfused);
+        prop_assert_eq!(bits_of(&want), bits_of(&unfused), "fused != unfused (scalar)");
+        for k in available_kernels() {
+            let mut got = y0.clone();
+            axpy_quantized_on(k, alpha, scale, num_levels, width, &packed, &mut got);
+            prop_assert_eq!(bits_of(&got), bits_of(&want), "axpy_quantized kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn dequantize_packed_matches_scalar_bitwise(
+        (packed, n, bits, scale) in (
+            prop::collection::vec(0usize..256, 0..128),
+            0usize..100,
+            1u8..9,
+            -3.0f32..3.0,
+        )
+    ) {
+        let packed: Vec<u8> = packed.iter().map(|&b| b as u8).collect();
+        let (num_levels, width) = derived(bits);
+        prop_assume!(packed.len() >= packed_len(n, width));
+        let mut want = vec![0.0f32; n];
+        dequantize_packed_on(Kernel::Scalar, &packed, scale, num_levels, width, &mut want);
+        // Equals the two-step unpack + dequantize...
+        let mut levels = vec![0i8; n];
+        unpack_levels_on(Kernel::Scalar, &packed, num_levels, width, &mut levels);
+        let mut two_step = vec![0.0f32; n];
+        dequantize_levels_on(Kernel::Scalar, &levels, scale, num_levels, &mut two_step);
+        prop_assert_eq!(bits_of(&want), bits_of(&two_step), "packed != two-step (scalar)");
+        for k in available_kernels() {
+            let mut got = vec![0.0f32; n];
+            dequantize_packed_on(k, &packed, scale, num_levels, width, &mut got);
+            prop_assert_eq!(bits_of(&got), bits_of(&want), "dequantize_packed kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn all_finite_matches_scalar(
+        (mut x, specials) in (
+            prop::collection::vec(-8.0f32..8.0, 0..129),
+            prop::collection::vec((0usize..129, 0usize..8), 0..3),
+        )
+    ) {
+        splice(&mut x, &specials);
+        let want = all_finite_on(Kernel::Scalar, &x);
+        for k in available_kernels() {
+            prop_assert_eq!(all_finite_on(k, &x), want, "all_finite kernel {}", k.name());
+        }
+    }
+}
+
+/// Exact-ties regression: the values where round-half-to-even and
+/// round-half-away-from-zero disagree. A proptest range rarely lands on
+/// exact halves, so pin them explicitly for every tier.
+#[test]
+fn quantize_ties_round_away_from_zero_on_every_tier() {
+    // scale = 8, num_levels = 4 ⇒ t = x / 2, so x = ±1, ±3, ±5, ±7 land
+    // exactly on half-integer t where the rounding modes differ.
+    let x: Vec<f32> = vec![1.0, -1.0, 3.0, -3.0, 5.0, -5.0, 7.0, -7.0, 8.0, -8.0, 0.5];
+    let scale = 8.0f32;
+    let num_levels = 4u8;
+    let mut want = vec![0i8; x.len()];
+    quantize_levels_on(Kernel::Scalar, &x, scale, num_levels, &mut want);
+    assert_eq!(want, vec![1, -1, 2, -2, 3, -3, 4, -4, 4, -4, 0]);
+    for k in available_kernels() {
+        let mut got = vec![0i8; x.len()];
+        quantize_levels_on(k, &x, scale, num_levels, &mut got);
+        assert_eq!(got, want, "ties diverge on kernel {}", k.name());
+    }
+}

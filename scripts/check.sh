@@ -32,6 +32,9 @@ scripts/perf_check.sh
 echo "== simd check"
 scripts/simd_check.sh
 
+echo "== dataplane check"
+scripts/dataplane_check.sh
+
 echo "== population check"
 scripts/population_check.sh
 

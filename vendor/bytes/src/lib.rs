@@ -167,6 +167,14 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.data)
     }
+
+    /// Appends `n` zero bytes and returns the newly appended region, so
+    /// fixed-size encodings can be written in place instead of byte by byte.
+    pub fn put_zeroed(&mut self, n: usize) -> &mut [u8] {
+        let start = self.data.len();
+        self.data.resize(start + n, 0);
+        &mut self.data[start..]
+    }
 }
 
 impl AsRef<[u8]> for BytesMut {
