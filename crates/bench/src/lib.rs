@@ -202,9 +202,18 @@ pub fn shards_override() -> Option<usize> {
 /// Switches a federation to `n` shard processes (0 = stay in-process).
 /// The children re-enter this same binary, which must gate its `main` on
 /// [`fedca_core::shard::maybe_run_child`] — every `src/bin/` binary does.
+/// `FEDCA_TRANSPORT_FAULTS=<seed>` arms the seeded byte-level chaos
+/// schedule on every coordinator↔shard link (trajectory-neutral by the
+/// §13 supervision invariant).
 pub fn apply_shards(fl: &mut FlConfig, n: usize) {
     fl.shard.n_shards = n;
     fl.shard.child_args = Vec::new();
+    if let Ok(v) = std::env::var("FEDCA_TRANSPORT_FAULTS") {
+        let seed = v
+            .parse()
+            .expect("FEDCA_TRANSPORT_FAULTS must be a u64 seed");
+        fl.shard.transport_faults = fedca_core::config::TransportFaultConfig::chaos(seed);
+    }
 }
 
 /// Resizes a federation to `n` virtual clients: the cohort is clamped to

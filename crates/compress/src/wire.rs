@@ -592,22 +592,36 @@ impl<'a> MessageReader<'a> {
 // shard processes and the coordinator), something must delimit them and say
 // what they are. A frame is that envelope:
 //
-//   magic u16 LE | kind u8 | meta_len u32 LE | payload_len u32 LE | meta | payload
+//   magic u16 LE | kind u8 | seq u64 LE | crc u32 LE
+//     | meta_len u32 LE | payload_len u32 LE | meta | payload
 //
 // `meta` is a small structured header (the shard protocol puts JSON there);
 // `payload` is bulk binary data — a `wire::encode` update or raw f32 LE
-// parameters. Control frames carry no payload by definition, and the decoder
-// enforces it. Lengths are validated against a caller-supplied cap *before*
-// any allocation, so a corrupt or hostile length prefix yields a typed
-// `Oversize` error instead of an OOM.
+// parameters. `seq` is a per-connection, per-direction sequence number: the
+// supervised transport uses it for acking, resend, and exactly-once dedup;
+// for `Ack` frames it carries the acked sequence number and for `Ping`/`Pong`
+// a nonce. `crc` is a CRC-32 (IEEE) over kind + seq + meta + payload, so a
+// bit-corrupted frame surfaces as a typed `ChecksumMismatch` instead of a
+// silent bad decode. Control-like frames (everything except `Update`) carry
+// no payload by definition, and the decoder enforces it. Lengths are
+// validated against a caller-supplied cap *before* any allocation, so a
+// corrupt or hostile length prefix yields a typed `Oversize` error instead
+// of an OOM.
 // ---------------------------------------------------------------------------
 
 /// Frame magic ("FS" — frame/shard), distinct from the update magic so a
 /// misdirected buffer fails loudly at the first two bytes.
 pub const FRAME_MAGIC: u16 = 0x5346;
 
-/// Fixed frame header size: magic, kind, meta length, payload length.
-pub const FRAME_HEADER_LEN: usize = 2 + 1 + 4 + 4;
+/// Fixed frame header size: magic, kind, sequence number, checksum, meta
+/// length, payload length.
+pub const FRAME_HEADER_LEN: usize = 2 + 1 + 8 + 4 + 4 + 4;
+
+// Byte offsets of the header fields (after the 2-byte magic and kind byte).
+const SEQ_OFF: usize = 3;
+const CRC_OFF: usize = 11;
+const META_LEN_OFF: usize = 15;
+const PAYLOAD_LEN_OFF: usize = 19;
 
 /// What a frame carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -616,6 +630,12 @@ pub enum FrameKind {
     Control,
     /// Metadata plus a bulk binary payload.
     Update,
+    /// Delivery acknowledgement; `seq` carries the acked sequence number.
+    Ack,
+    /// Liveness probe; `seq` carries a nonce the peer must echo.
+    Ping,
+    /// Liveness reply; `seq` echoes the probe's nonce.
+    Pong,
 }
 
 impl FrameKind {
@@ -623,6 +643,9 @@ impl FrameKind {
         match self {
             FrameKind::Control => 0,
             FrameKind::Update => 1,
+            FrameKind::Ack => 2,
+            FrameKind::Ping => 3,
+            FrameKind::Pong => 4,
         }
     }
 
@@ -630,9 +653,51 @@ impl FrameKind {
         match b {
             0 => Some(FrameKind::Control),
             1 => Some(FrameKind::Update),
+            2 => Some(FrameKind::Ack),
+            3 => Some(FrameKind::Ping),
+            4 => Some(FrameKind::Pong),
             _ => None,
         }
     }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at compile
+/// time so the checksum costs ~1 table lookup per byte with no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC-32 (IEEE) over a frame's covered bytes: kind, seq (LE), meta, payload.
+fn frame_crc(kind: u8, seq: u64, meta: &[u8], payload: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    crc = crc32_update(crc, &[kind]);
+    crc = crc32_update(crc, &seq.to_le_bytes());
+    crc = crc32_update(crc, meta);
+    crc = crc32_update(crc, payload);
+    !crc
 }
 
 /// One framed message.
@@ -640,9 +705,12 @@ impl FrameKind {
 pub struct Frame {
     /// Envelope kind.
     pub kind: FrameKind,
+    /// Per-connection, per-direction sequence number. For [`FrameKind::Ack`]
+    /// this is the acked sequence; for Ping/Pong it is the probe nonce.
+    pub seq: u64,
     /// Structured header bytes (the shard protocol stores JSON here).
     pub meta: Bytes,
-    /// Bulk binary payload; empty for [`FrameKind::Control`].
+    /// Bulk binary payload; empty for everything except [`FrameKind::Update`].
     pub payload: Bytes,
 }
 
@@ -664,6 +732,15 @@ pub enum FrameError {
     },
     /// Structurally invalid (e.g. a control frame with a payload).
     Malformed(&'static str),
+    /// The frame body did not match its header checksum: the bytes were
+    /// corrupted in transit. The full body was consumed from the stream, so
+    /// the reader stays frame-synchronized and can keep reading.
+    ChecksumMismatch {
+        /// Checksum the header claimed.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        actual: u32,
+    },
     /// Transport error from the underlying reader/writer.
     Io(std::io::Error),
 }
@@ -677,6 +754,16 @@ impl PartialEq for FrameError {
             (UnknownKind(a), UnknownKind(b)) => a == b,
             (Oversize { len: a, max: ma }, Oversize { len: b, max: mb }) => a == b && ma == mb,
             (Malformed(a), Malformed(b)) => a == b,
+            (
+                ChecksumMismatch {
+                    expected: ea,
+                    actual: aa,
+                },
+                ChecksumMismatch {
+                    expected: eb,
+                    actual: ab,
+                },
+            ) => ea == eb && aa == ab,
             (Io(a), Io(b)) => a.kind() == b.kind(),
             _ => false,
         }
@@ -693,6 +780,10 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame length {len} exceeds cap {max}")
             }
             FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: header {expected:#010x}, body {actual:#010x}"
+            ),
             FrameError::Io(e) => write!(f, "frame transport error: {e}"),
         }
     }
@@ -706,16 +797,23 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Encodes a frame to bytes.
+/// Encodes a frame to bytes, stamping the body checksum into the header.
 pub fn encode_frame(frame: &Frame) -> Bytes {
     debug_assert!(
-        frame.kind != FrameKind::Control || frame.payload.is_empty(),
-        "control frames carry no payload"
+        frame.kind == FrameKind::Update || frame.payload.is_empty(),
+        "only update frames carry a payload"
     );
     let mut buf =
         BytesMut::with_capacity(FRAME_HEADER_LEN + frame.meta.len() + frame.payload.len());
     buf.put_u16_le(FRAME_MAGIC);
     buf.put_u8(frame.kind.to_u8());
+    buf.put_u64_le(frame.seq);
+    buf.put_u32_le(frame_crc(
+        frame.kind.to_u8(),
+        frame.seq,
+        frame.meta.as_ref(),
+        frame.payload.as_ref(),
+    ));
     buf.put_u32_le(frame.meta.len() as u32);
     buf.put_u32_le(frame.payload.len() as u32);
     buf.put_slice(frame.meta.as_ref());
@@ -723,20 +821,35 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
     buf.freeze()
 }
 
-/// Validates a frame header, returning `(kind, meta_len, payload_len)`.
-/// Length validation against `max_len` happens here, before any body bytes
-/// are read or allocated.
+/// Parsed fixed-size frame header.
+struct FrameHeader {
+    kind: FrameKind,
+    seq: u64,
+    crc: u32,
+    meta_len: usize,
+    payload_len: usize,
+}
+
+/// Validates a frame header. Length validation against `max_len` happens
+/// here, before any body bytes are read or allocated. The checksum is *not*
+/// verified here — it covers the body, which hasn't been read yet.
 fn check_header(
-    magic: u16,
-    kind: u8,
-    meta_len: u32,
-    payload_len: u32,
+    header: &[u8; FRAME_HEADER_LEN],
     max_len: usize,
-) -> Result<(FrameKind, usize, usize), FrameError> {
+) -> Result<FrameHeader, FrameError> {
+    let magic = u16::from_le_bytes([header[0], header[1]]);
     if magic != FRAME_MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
-    let kind = FrameKind::from_u8(kind).ok_or(FrameError::UnknownKind(kind))?;
+    let kind = FrameKind::from_u8(header[2]).ok_or(FrameError::UnknownKind(header[2]))?;
+    let seq = u64::from_le_bytes(header[SEQ_OFF..SEQ_OFF + 8].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[CRC_OFF..CRC_OFF + 4].try_into().unwrap());
+    let meta_len = u32::from_le_bytes(header[META_LEN_OFF..META_LEN_OFF + 4].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(
+        header[PAYLOAD_LEN_OFF..PAYLOAD_LEN_OFF + 4]
+            .try_into()
+            .unwrap(),
+    );
     let total = meta_len as u64 + payload_len as u64;
     if total > max_len as u64 {
         return Err(FrameError::Oversize {
@@ -744,10 +857,27 @@ fn check_header(
             max: max_len as u64,
         });
     }
-    if kind == FrameKind::Control && payload_len != 0 {
+    if kind != FrameKind::Update && payload_len != 0 {
         return Err(FrameError::Malformed("control frame with payload"));
     }
-    Ok((kind, meta_len as usize, payload_len as usize))
+    Ok(FrameHeader {
+        kind,
+        seq,
+        crc,
+        meta_len: meta_len as usize,
+        payload_len: payload_len as usize,
+    })
+}
+
+fn verify_crc(h: &FrameHeader, meta: &[u8], payload: &[u8]) -> Result<(), FrameError> {
+    let actual = frame_crc(h.kind.to_u8(), h.seq, meta, payload);
+    if actual != h.crc {
+        return Err(FrameError::ChecksumMismatch {
+            expected: h.crc,
+            actual,
+        });
+    }
+    Ok(())
 }
 
 /// Decodes one frame from the front of `buf`, returning the frame and the
@@ -756,22 +886,21 @@ pub fn decode_frame(buf: &[u8], max_len: usize) -> Result<(Frame, usize), FrameE
     if buf.len() < FRAME_HEADER_LEN {
         return Err(FrameError::Truncated);
     }
-    let magic = u16::from_le_bytes([buf[0], buf[1]]);
-    let kind = buf[2];
-    let meta_len = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
-    let payload_len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
-    let (kind, meta_len, payload_len) = check_header(magic, kind, meta_len, payload_len, max_len)?;
-    let total = FRAME_HEADER_LEN + meta_len + payload_len;
+    let header: [u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().unwrap();
+    let h = check_header(&header, max_len)?;
+    let total = FRAME_HEADER_LEN + h.meta_len + h.payload_len;
     if buf.len() < total {
         return Err(FrameError::Truncated);
     }
-    let meta = Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + meta_len]);
-    let payload = Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN + meta_len..total]);
+    let meta = &buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + h.meta_len];
+    let payload = &buf[FRAME_HEADER_LEN + h.meta_len..total];
+    verify_crc(&h, meta, payload)?;
     Ok((
         Frame {
-            kind,
-            meta,
-            payload,
+            kind: h.kind,
+            seq: h.seq,
+            meta: Bytes::copy_from_slice(meta),
+            payload: Bytes::copy_from_slice(payload),
         },
         total,
     ))
@@ -800,27 +929,27 @@ fn read_exact_or_eof(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<bool,
 /// Reads one frame from a byte stream. Returns `Ok(None)` on a clean EOF at
 /// a frame boundary; EOF inside a frame is [`FrameError::Truncated`]. The
 /// header's lengths are validated against `max_len` before the body is
-/// allocated or read.
+/// allocated or read. On [`FrameError::ChecksumMismatch`] the frame's full
+/// body has already been consumed, so the stream stays synchronized and the
+/// caller may keep reading subsequent frames.
 pub fn read_frame(r: &mut impl std::io::Read, max_len: usize) -> Result<Option<Frame>, FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     if !read_exact_or_eof(r, &mut header)? {
         return Ok(None);
     }
-    let magic = u16::from_le_bytes([header[0], header[1]]);
-    let kind = header[2];
-    let meta_len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
-    let payload_len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
-    let (kind, meta_len, payload_len) = check_header(magic, kind, meta_len, payload_len, max_len)?;
-    let mut meta = vec![0u8; meta_len];
-    if !read_exact_or_eof(r, &mut meta)? && meta_len > 0 {
+    let h = check_header(&header, max_len)?;
+    let mut meta = vec![0u8; h.meta_len];
+    if !read_exact_or_eof(r, &mut meta)? && h.meta_len > 0 {
         return Err(FrameError::Truncated);
     }
-    let mut payload = vec![0u8; payload_len];
-    if !read_exact_or_eof(r, &mut payload)? && payload_len > 0 {
+    let mut payload = vec![0u8; h.payload_len];
+    if !read_exact_or_eof(r, &mut payload)? && h.payload_len > 0 {
         return Err(FrameError::Truncated);
     }
+    verify_crc(&h, &meta, &payload)?;
     Ok(Some(Frame {
-        kind,
+        kind: h.kind,
+        seq: h.seq,
         meta: Bytes::from(meta),
         payload: Bytes::from(payload),
     }))
@@ -964,6 +1093,7 @@ mod tests {
     fn frame_round_trip_buffer_and_stream() {
         let frame = Frame {
             kind: FrameKind::Update,
+            seq: 0xDEAD_BEEF_0042,
             meta: Bytes::from_static(b"{\"x\":1}"),
             payload: Bytes::from_static(&[1, 2, 3, 4, 5]),
         };
@@ -981,29 +1111,50 @@ mod tests {
     }
 
     #[test]
+    fn frame_ack_ping_pong_round_trip() {
+        for kind in [FrameKind::Ack, FrameKind::Ping, FrameKind::Pong] {
+            let frame = Frame {
+                kind,
+                seq: 913,
+                meta: Bytes::default(),
+                payload: Bytes::default(),
+            };
+            let bytes = encode_frame(&frame);
+            let (back, used) = decode_frame(bytes.as_ref(), 1 << 20).expect("decodes");
+            assert_eq!(back, frame, "{kind:?}");
+            assert_eq!(used, FRAME_HEADER_LEN, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn frame_control_must_be_payloadless() {
-        let mut bytes = encode_frame(&Frame {
-            kind: FrameKind::Update,
-            meta: Bytes::from_static(b"m"),
-            payload: Bytes::from_static(b"p"),
-        })
-        .to_vec();
-        bytes[2] = 0; // flip kind to Control, keep payload_len = 1
-        assert_eq!(
-            decode_frame(&bytes, 1 << 20),
-            Err(FrameError::Malformed("control frame with payload"))
-        );
+        for kind in [0u8, 2, 3, 4] {
+            let mut bytes = encode_frame(&Frame {
+                kind: FrameKind::Update,
+                seq: 1,
+                meta: Bytes::from_static(b"m"),
+                payload: Bytes::from_static(b"p"),
+            })
+            .to_vec();
+            bytes[2] = kind; // flip kind to a payloadless one, keep payload_len = 1
+            assert_eq!(
+                decode_frame(&bytes, 1 << 20),
+                Err(FrameError::Malformed("control frame with payload")),
+                "kind={kind}"
+            );
+        }
     }
 
     #[test]
     fn frame_oversize_prefix_is_typed_before_allocation() {
         let mut bytes = encode_frame(&Frame {
             kind: FrameKind::Update,
+            seq: 7,
             meta: Bytes::from_static(b"m"),
             payload: Bytes::default(),
         })
         .to_vec();
-        bytes[7..11].copy_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+        bytes[19..23].copy_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
         match decode_frame(&bytes, 1024) {
             Err(FrameError::Oversize { len, max: 1024 }) => {
                 assert_eq!(len, 1 + u32::MAX as u64)
@@ -1021,6 +1172,7 @@ mod tests {
     fn frame_truncation_and_bad_magic() {
         let bytes = encode_frame(&Frame {
             kind: FrameKind::Control,
+            seq: 3,
             meta: Bytes::from_static(b"hello"),
             payload: Bytes::default(),
         });
@@ -1043,6 +1195,79 @@ mod tests {
             decode_frame(&unk, 1 << 20),
             Err(FrameError::UnknownKind(99))
         );
+    }
+
+    #[test]
+    fn frame_checksum_mismatch_is_typed_and_keeps_the_stream_synced() {
+        let first = Frame {
+            kind: FrameKind::Update,
+            seq: 11,
+            meta: Bytes::from_static(b"{\"a\":1}"),
+            payload: Bytes::from_static(&[9, 8, 7]),
+        };
+        let second = Frame {
+            kind: FrameKind::Control,
+            seq: 12,
+            meta: Bytes::from_static(b"{\"b\":2}"),
+            payload: Bytes::default(),
+        };
+        let mut stream = encode_frame(&first).to_vec();
+        let first_len = stream.len();
+        stream.extend_from_slice(encode_frame(&second).as_ref());
+
+        // Corrupt one payload byte of the first frame: typed mismatch with
+        // the header's CRC as `expected`.
+        stream[first_len - 1] ^= 0x40;
+        let err = decode_frame(&stream, 1 << 20).expect_err("corrupt");
+        match err {
+            FrameError::ChecksumMismatch { expected, actual } => assert_ne!(expected, actual),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+
+        // A stream reader consumes the corrupted frame's full body, so the
+        // next read lands on the second frame's boundary.
+        let mut cursor = std::io::Cursor::new(stream);
+        assert!(matches!(
+            read_frame(&mut cursor, 1 << 20),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        let next = read_frame(&mut cursor, 1 << 20)
+            .expect("reads past the corrupt frame")
+            .expect("second frame present");
+        assert_eq!(next, second);
+    }
+
+    #[test]
+    fn frame_checksum_covers_kind_and_seq() {
+        let frame = Frame {
+            kind: FrameKind::Control,
+            seq: 21,
+            meta: Bytes::from_static(b"x"),
+            payload: Bytes::default(),
+        };
+        let good = encode_frame(&frame);
+        // Flip a seq byte: framing still parses, checksum catches it.
+        let mut bad_seq = good.to_vec();
+        bad_seq[5] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bad_seq, 1 << 20),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // Flip kind to another known payloadless kind: lengths stay valid,
+        // checksum catches the change.
+        let mut bad_kind = good.to_vec();
+        bad_kind[2] = 3; // Control -> Ping
+        assert!(matches!(
+            decode_frame(&bad_kind, 1 << 20),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // Flip a CRC byte itself.
+        let mut bad_crc = good.to_vec();
+        bad_crc[12] ^= 0x10;
+        assert!(matches!(
+            decode_frame(&bad_crc, 1 << 20),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
     }
 
     /// One message exercising every payload kind, including the edge cases

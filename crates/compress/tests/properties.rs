@@ -290,16 +290,18 @@ use fedca_compress::wire::{
 };
 use std::io::Cursor;
 
-fn arb_frame(meta: Vec<u8>, payload: Vec<u8>, control: bool) -> Frame {
+fn arb_frame(seq: u64, meta: Vec<u8>, payload: Vec<u8>, control: bool) -> Frame {
     if control {
         Frame {
             kind: FrameKind::Control,
+            seq,
             meta: Bytes::from(meta),
             payload: Bytes::default(),
         }
     } else {
         Frame {
             kind: FrameKind::Update,
+            seq,
             meta: Bytes::from(meta),
             payload: Bytes::from(payload),
         }
@@ -311,11 +313,12 @@ proptest! {
     /// the stream reader agrees byte for byte with the buffer decoder.
     #[test]
     fn frame_round_trip_is_exact(
+        seq in 0u64..u64::MAX,
         meta in prop::collection::vec(0u8..255, 0..64),
         payload in prop::collection::vec(0u8..255, 0..128),
         control_pick in 0usize..2,
     ) {
-        let frame = arb_frame(meta, payload, control_pick == 1);
+        let frame = arb_frame(seq, meta, payload, control_pick == 1);
         let bytes = encode_frame(&frame);
         prop_assert_eq!(
             bytes.len(),
@@ -338,7 +341,7 @@ proptest! {
         meta in prop::collection::vec(0u8..255, 0..32),
         payload in prop::collection::vec(0u8..255, 1..64),
     ) {
-        let frame = arb_frame(meta, payload, false);
+        let frame = arb_frame(42, meta, payload, false);
         let bytes = encode_frame(&frame);
         for cut in 0..bytes.len() {
             let buf = &bytes.as_ref()[..cut];
@@ -359,31 +362,74 @@ proptest! {
         }
     }
 
-    /// Single-byte corruption anywhere in a frame either still decodes
-    /// (same byte count consumed) or fails with a typed error.
+    /// Single-byte corruption anywhere in a frame is ALWAYS detected: the
+    /// checksum covers kind + seq + body, the magic and length fields have
+    /// their own typed rejections, and nothing panics. No flip may ever
+    /// decode silently.
     #[test]
     fn corrupted_frame_bytes_never_panic(
+        seq in 0u64..u64::MAX,
         meta in prop::collection::vec(0u8..255, 0..32),
         payload in prop::collection::vec(0u8..255, 0..64),
         pos_pick in 0usize..10_000,
         flip in 1usize..256,
     ) {
-        let frame = arb_frame(meta, payload, false);
+        let frame = arb_frame(seq, meta, payload, false);
         let good = encode_frame(&frame);
         let mut bytes = good.as_ref().to_vec();
         let pos = pos_pick % bytes.len();
         bytes[pos] ^= flip as u8;
         match decode_frame(&bytes, 1 << 20) {
-            Ok((_, consumed)) => prop_assert!(consumed <= bytes.len()),
+            Ok(_) => prop_assert!(false, "single-byte flip at {pos} decoded silently"),
             Err(
                 FrameError::Truncated
                 | FrameError::BadMagic(_)
                 | FrameError::UnknownKind(_)
                 | FrameError::Oversize { .. }
-                | FrameError::Malformed(_),
+                | FrameError::Malformed(_)
+                | FrameError::ChecksumMismatch { .. },
             ) => {}
             Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
         }
+    }
+
+    /// Corruption confined to the regions the transport fault shim targets
+    /// (seq bytes, checksum bytes, body bytes) always surfaces as the typed
+    /// `ChecksumMismatch` — framing never desynchronizes, and a stream
+    /// reader picks up the NEXT frame cleanly after the mismatch.
+    #[test]
+    fn shim_region_corruption_is_checksum_mismatch_and_stream_stays_synced(
+        seq in 0u64..u64::MAX,
+        meta in prop::collection::vec(0u8..255, 0..32),
+        payload in prop::collection::vec(0u8..255, 0..64),
+        pos_pick in 0usize..10_000,
+        flip in 1usize..256,
+    ) {
+        let frame = arb_frame(seq, meta, payload, false);
+        let follower = arb_frame(seq.wrapping_add(1), vec![1, 2], Vec::new(), true);
+        let good = encode_frame(&frame);
+        let mut bytes = good.as_ref().to_vec();
+        // Eligible positions: seq [3, 11), crc [11, 15), body [23, len).
+        let mut eligible: Vec<usize> = (3..15).collect();
+        eligible.extend(FRAME_HEADER_LEN..bytes.len());
+        let pos = eligible[pos_pick % eligible.len()];
+        bytes[pos] ^= flip as u8;
+        match decode_frame(&bytes, 1 << 20) {
+            Err(FrameError::ChecksumMismatch { expected, actual }) => {
+                prop_assert!(expected != actual)
+            }
+            other => prop_assert!(false, "flip at {pos}: expected ChecksumMismatch, got {other:?}"),
+        }
+        // The corrupt frame's body is fully consumed; the follower decodes.
+        bytes.extend_from_slice(encode_frame(&follower).as_ref());
+        let mut cursor = Cursor::new(bytes);
+        let first_read_mismatched = matches!(
+            read_frame(&mut cursor, 1 << 20),
+            Err(FrameError::ChecksumMismatch { .. })
+        );
+        prop_assert!(first_read_mismatched);
+        let next = read_frame(&mut cursor, 1 << 20).expect("synced").expect("follower");
+        prop_assert_eq!(&next, &follower);
     }
 
     /// An adversarial length prefix is rejected against the caller's cap
@@ -401,6 +447,8 @@ proptest! {
         let mut header = Vec::with_capacity(FRAME_HEADER_LEN);
         header.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
         header.push(1); // Update
+        header.extend_from_slice(&0u64.to_le_bytes()); // seq
+        header.extend_from_slice(&0u32.to_le_bytes()); // crc (never reached)
         header.extend_from_slice(&meta_len.to_le_bytes());
         header.extend_from_slice(&payload_len.to_le_bytes());
         header.extend_from_slice(&[0xAB; 4]); // a few phantom body bytes
@@ -430,8 +478,8 @@ proptest! {
         meta_b in prop::collection::vec(0u8..255, 1..32),
         payload in prop::collection::vec(0u8..255, 0..48),
     ) {
-        let a = arb_frame(meta_a, payload, false);
-        let b = arb_frame(meta_b, Vec::new(), true);
+        let a = arb_frame(5, meta_a, payload, false);
+        let b = arb_frame(6, meta_b, Vec::new(), true);
         // Deliver B, then A twice: out of order and duplicated.
         let mut stream = Vec::new();
         write_frame(&mut stream, &b).expect("write");
@@ -448,27 +496,33 @@ proptest! {
     }
 }
 
-/// Control frames carrying a payload are structurally invalid on the wire:
-/// a forged header must decode to `Malformed`, not a usable frame.
+/// Payloadless kinds (Control, Ack, Ping, Pong) carrying a payload are
+/// structurally invalid on the wire: a forged header must decode to
+/// `Malformed`, not a usable frame.
 #[test]
 fn control_frames_with_payloads_are_malformed() {
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-    bytes.push(0); // Control
-    bytes.extend_from_slice(&0u32.to_le_bytes()); // meta_len
-    bytes.extend_from_slice(&3u32.to_le_bytes()); // payload_len != 0
-    bytes.extend_from_slice(&[1, 2, 3]);
-    assert!(matches!(
-        decode_frame(&bytes, 1 << 20),
-        Err(FrameError::Malformed(_))
-    ));
+    for kind in [0u8, 2, 3, 4] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        bytes.push(kind);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // crc (never reached)
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // meta_len
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // payload_len != 0
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(
+            matches!(decode_frame(&bytes, 1 << 20), Err(FrameError::Malformed(_))),
+            "kind={kind}"
+        );
+    }
 }
 
 /// Unknown kind bytes and bad magic are each their own typed error, with
-/// the offending value echoed back for diagnostics.
+/// the offending value echoed back for diagnostics. Known-but-wrong kinds
+/// are caught too (structurally or by checksum), never silently accepted.
 #[test]
 fn bad_magic_and_unknown_kind_are_typed() {
-    let frame = arb_frame(vec![9, 9], vec![7], false);
+    let frame = arb_frame(17, vec![9, 9], vec![7], false);
     let good = encode_frame(&frame);
     let mut bad_magic = good.as_ref().to_vec();
     bad_magic[0] ^= 0xFF;
@@ -477,12 +531,22 @@ fn bad_magic_and_unknown_kind_are_typed() {
         decode_frame(&bad_magic, 1 << 20).unwrap_err(),
         FrameError::BadMagic(claimed)
     );
-    for kind in 2u8..=255 {
+    for kind in 5u8..=255 {
         let mut bad_kind = good.as_ref().to_vec();
         bad_kind[2] = kind;
         assert_eq!(
             decode_frame(&bad_kind, 1 << 20).unwrap_err(),
             FrameError::UnknownKind(kind)
+        );
+    }
+    // Known payloadless kinds with the Update frame's payload: structural.
+    for kind in [0u8, 2, 3, 4] {
+        let mut bad_kind = good.as_ref().to_vec();
+        bad_kind[2] = kind;
+        assert_eq!(
+            decode_frame(&bad_kind, 1 << 20).unwrap_err(),
+            FrameError::Malformed("control frame with payload"),
+            "kind={kind}"
         );
     }
 }

@@ -3,7 +3,7 @@
 use fedca_compress::Compression;
 use serde::{Deserialize, Serialize};
 
-pub use fedca_sim::faults::FaultConfig;
+pub use fedca_sim::faults::{FaultConfig, TransportFaultConfig};
 
 pub use crate::checkpoint::CheckpointConfig;
 pub use crate::trace::TraceConfig;
@@ -143,6 +143,36 @@ pub struct ShardConfig {
     /// `shard::maybe_run_child()` instead.
     #[serde(default)]
     pub child_args: Vec<String>,
+    /// Deterministic byte-level transport fault injection (frame drop /
+    /// duplicate / reorder / delay / corruption) applied between the
+    /// coordinator, its shard children, and the socket. Inert by default;
+    /// any eventually-delivered schedule is recovered bit-identically by
+    /// the supervision layer (acks, resends, checksums, heartbeats).
+    #[serde(default)]
+    pub transport_faults: TransportFaultConfig,
+    /// Coordinator → shard heartbeat period, in milliseconds. 0 → 500 ms.
+    #[serde(default)]
+    pub heartbeat_period_ms: f64,
+    /// Consecutive missed heartbeat periods before a shard is declared
+    /// unreachable and quarantined. 0 → 4.
+    #[serde(default)]
+    pub heartbeat_missed_limit: u32,
+    /// Resend attempts per unacknowledged frame before the shard is
+    /// quarantined. 0 → 8.
+    #[serde(default)]
+    pub retry_budget: u32,
+    /// Initial ack-driven resend backoff, in milliseconds; doubles per
+    /// attempt. 0 → 40 ms.
+    #[serde(default)]
+    pub resend_initial_ms: f64,
+    /// Cap on the exponential resend backoff, in milliseconds. 0 → 1000 ms.
+    #[serde(default)]
+    pub resend_max_ms: f64,
+    /// Bound on the post-spawn `Hello` handshake wait, in seconds; a shard
+    /// that never says hello fails typed instead of riding the generic
+    /// coordinator deadline. 0 → 10 s.
+    #[serde(default)]
+    pub handshake_timeout_secs: f64,
 }
 
 impl ShardConfig {
@@ -174,6 +204,64 @@ impl ShardConfig {
             1024
         };
         mib << 20
+    }
+
+    /// Effective heartbeat period.
+    pub fn heartbeat_period(&self) -> std::time::Duration {
+        let ms = if self.heartbeat_period_ms > 0.0 {
+            self.heartbeat_period_ms
+        } else {
+            500.0
+        };
+        std::time::Duration::from_secs_f64(ms / 1000.0)
+    }
+
+    /// Effective missed-heartbeat limit.
+    pub fn heartbeat_missed(&self) -> u32 {
+        if self.heartbeat_missed_limit > 0 {
+            self.heartbeat_missed_limit
+        } else {
+            4
+        }
+    }
+
+    /// Effective per-frame resend budget.
+    pub fn retries(&self) -> u32 {
+        if self.retry_budget > 0 {
+            self.retry_budget
+        } else {
+            8
+        }
+    }
+
+    /// Effective initial resend backoff.
+    pub fn resend_initial(&self) -> std::time::Duration {
+        let ms = if self.resend_initial_ms > 0.0 {
+            self.resend_initial_ms
+        } else {
+            40.0
+        };
+        std::time::Duration::from_secs_f64(ms / 1000.0)
+    }
+
+    /// Effective resend backoff cap.
+    pub fn resend_max(&self) -> std::time::Duration {
+        let ms = if self.resend_max_ms > 0.0 {
+            self.resend_max_ms
+        } else {
+            1000.0
+        };
+        std::time::Duration::from_secs_f64(ms / 1000.0)
+    }
+
+    /// Effective handshake deadline.
+    pub fn handshake_timeout(&self) -> std::time::Duration {
+        let secs = if self.handshake_timeout_secs > 0.0 {
+            self.handshake_timeout_secs
+        } else {
+            10.0
+        };
+        std::time::Duration::from_secs_f64(secs)
     }
 }
 
@@ -305,6 +393,22 @@ mod tests {
         assert_eq!(c.shard.io_timeout(), std::time::Duration::from_secs(30));
         assert_eq!(c.shard.spawn_timeout(), std::time::Duration::from_secs(10));
         assert_eq!(c.shard.max_frame_len(), 1024 << 20);
+        assert!(c.shard.transport_faults.is_inert());
+        assert_eq!(
+            c.shard.heartbeat_period(),
+            std::time::Duration::from_millis(500)
+        );
+        assert_eq!(c.shard.heartbeat_missed(), 4);
+        assert_eq!(c.shard.retries(), 8);
+        assert_eq!(
+            c.shard.resend_initial(),
+            std::time::Duration::from_millis(40)
+        );
+        assert_eq!(c.shard.resend_max(), std::time::Duration::from_secs(1));
+        assert_eq!(
+            c.shard.handshake_timeout(),
+            std::time::Duration::from_secs(10)
+        );
         // Older configs without a "shard" key parse to the same default.
         let back: FlConfig = serde_json::from_str("{\"n_clients\":4,\"clients_per_round\":2,\"local_iters\":1,\"batch_size\":1,\"lr\":0.1,\"weight_decay\":0.0,\"aggregation_fraction\":0.9,\"dirichlet_alpha\":0.1,\"seed\":1,\"heterogeneity\":false,\"dynamicity\":false}").unwrap();
         assert_eq!(back.shard, ShardConfig::default());

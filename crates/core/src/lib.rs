@@ -49,6 +49,7 @@ pub mod runner;
 pub mod server;
 pub mod shard;
 pub mod trace;
+pub mod transport;
 pub mod workload;
 
 pub use algorithms::{FedCaOptions, Scheme};

@@ -97,6 +97,21 @@ pub struct RoundRecord {
     /// close (weighted accumulate into the global model).
     #[serde(default)]
     pub aggregate_host_us: f64,
+    /// Frames the shard transport resent after an ack timeout this round.
+    /// Operational (depends on host timing and the injected fault
+    /// schedule) — excluded from bit-identity comparisons.
+    #[serde(default)]
+    pub n_retries: usize,
+    /// Heartbeat periods that elapsed with no valid frame from a shard.
+    #[serde(default)]
+    pub n_heartbeat_missed: usize,
+    /// Shards quarantined this round (retry budget or heartbeat limit
+    /// exhausted; their child process was killed).
+    #[serde(default)]
+    pub n_quarantined: usize,
+    /// Ordinals re-executed locally after their shard was quarantined.
+    #[serde(default)]
+    pub n_reassigned: usize,
 }
 
 impl RoundRecord {
@@ -266,6 +281,10 @@ mod tests {
             hydrate_host_us: 0.0,
             decode_host_us: 0.0,
             aggregate_host_us: 0.0,
+            n_retries: 0,
+            n_heartbeat_missed: 0,
+            n_quarantined: 0,
+            n_reassigned: 0,
         }
     }
 

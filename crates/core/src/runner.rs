@@ -577,6 +577,26 @@ impl Trainer {
         self.tracer
             .end_span_offstream(aggregate_span, agg.completion);
         self.clock = agg.completion;
+        // Transport supervision accounting (sharded backend only). The
+        // buffered notes are offstream events: they reach sinks for
+        // observability but never consume canonical sequence numbers, so a
+        // fault schedule cannot shift golden traces.
+        let (n_retries, n_heartbeat_missed, n_quarantined, n_reassigned) = match &mut self.backend {
+            Backend::Sharded(pool) => {
+                let stats = pool.take_transport_round_stats();
+                for ev in stats.notes {
+                    self.tracer
+                        .emit_offstream(agg.completion, SERVER_ORD, 0.0, ev);
+                }
+                (
+                    stats.link.retries as usize,
+                    stats.link.heartbeat_missed as usize,
+                    stats.quarantined as usize,
+                    stats.reassigned as usize,
+                )
+            }
+            Backend::Local(_) => (0, 0, 0, 0),
+        };
         self.tracer.merge_client_events(trace_batches);
         self.tracer.emit(
             agg.completion,
@@ -680,6 +700,10 @@ impl Trainer {
             hydrate_host_us,
             decode_host_us: agg.decode_host_us,
             aggregate_host_us: agg.aggregate_host_us,
+            n_retries,
+            n_heartbeat_missed,
+            n_quarantined,
+            n_reassigned,
         });
         self.records.last().expect("just pushed")
     }

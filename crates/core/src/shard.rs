@@ -16,46 +16,61 @@
 //! [`WorkItem`] ships `{ordinal, client id, participations, plan,
 //! snapshot}` and the child rebuilds the client as `factory.build(id)` +
 //! `apply_snapshot` — bit-identical to the root re-hydrating an evicted
-//! client. Because of that, a crashed shard loses nothing: the coordinator
-//! synthesizes `Failed` events for its outstanding ordinals (the same path
-//! a worker panic takes) and lazily respawns the process for the next
-//! round that routes work to it.
+//! client. Because of that, a lost shard loses nothing. The failure paths
+//! are split by what was observed:
 //!
-//! Transport is the length-framed [`fedca_compress::wire`] frame layer
-//! over Unix domain sockets: JSON metadata (all non-finite-capable floats
-//! cross as IEEE bit patterns, because the vendored serde maps non-finite
-//! floats to `null`) plus an optional binary payload holding the client's
-//! encoded wire update or the broadcast global parameters. Every
-//! coordinator wait is bounded: socket reads happen on reader threads that
-//! pump into an mpsc channel, and the coordinator only ever blocks in
-//! `recv_timeout`.
+//! * **Crash** (EOF, SIGKILL, protocol violation): the coordinator
+//!   synthesizes `Failed` events for the outstanding ordinals — the same
+//!   path a worker panic takes — and lazily respawns the process for the
+//!   next round that routes work to it.
+//! * **Unreachable** (supervision gave up: retry budget or heartbeat limit
+//!   exhausted on the [`Link`]): the shard is *quarantined* for the round
+//!   and its unresolved ordinals are re-executed on a root-local
+//!   [`RoundExecutor`] from the same `WorkItem`s — bit-identical to the
+//!   shard having run them, so a flaky transport degrades performance but
+//!   never the trajectory.
+//!
+//! Transport is the supervised [`Link`](crate::transport::Link) over Unix
+//! domain sockets: every application frame carries a per-message sequence
+//! number and payload checksum ([`fedca_compress::wire`]), is acknowledged
+//! by the receiver, resent on ack timeout with deterministic capped
+//! exponential backoff, deduplicated by sequence, and delivered strictly
+//! in order — exactly-once under any duplicate/reorder schedule. The root
+//! side heartbeats each child with Ping/Pong control frames and missed-beat
+//! accounting. Frame metadata is JSON (all non-finite-capable floats cross
+//! as IEEE bit patterns, because the vendored serde maps non-finite floats
+//! to `null`) plus an optional binary payload holding the client's encoded
+//! wire update or the broadcast global parameters. Every coordinator wait
+//! is bounded: link threads pump events into an mpsc channel, and the
+//! coordinator only ever blocks in `recv_timeout`.
 
 use crate::algorithms::Scheme;
 use crate::checkpoint::ClientSnapshot;
-use crate::client::{ClientRoundReport, RoundPlan};
+use crate::client::{ClientOptions, ClientRoundReport, RoundPlan};
 use crate::config::FlConfig;
 use crate::eager::LayerOutcome;
-use crate::executor::{ClientDone, ClientWork, RoundCtx, RoundExecutor};
+use crate::executor::{ClientCompletion, ClientDone, ClientWork, RoundCtx, RoundExecutor};
 use crate::params::{ModelLayout, UpdateVec};
 use crate::population::{apply_snapshot, snapshot_client, ClientFactory};
 use crate::server::StreamingAggregator;
 use crate::trace::{ClientTraceBuf, PendingEvent, TraceEvent};
-use crate::workload::WorkloadSpec;
+use crate::transport::{Link, LinkConfig, LinkError, LinkEvent, LinkRoundStats};
+use crate::workload::{Workload, WorkloadSpec};
 use bytes::{BufMut, Bytes, BytesMut};
-use fedca_compress::wire::{self, Frame, FrameError, FrameKind, Payload, UpdateMessage};
+use fedca_compress::wire::{self, Frame, FrameError, Payload, UpdateMessage};
 use fedca_data::PartitionSpec;
 use fedca_sim::device::DynamicsConfig;
+use fedca_sim::faults::{Direction, TransportFaultPlan};
 use fedca_sim::SimTime;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{BufReader, BufWriter, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Environment variable carrying the coordinator's socket path. Its
@@ -74,6 +89,9 @@ pub enum ShardError {
     Disconnected,
     /// A shard process could not be spawned or did not connect.
     Spawn(String),
+    /// A shard connected but the `Init`/`Hello` handshake did not complete
+    /// within [`handshake_timeout`](crate::config::ShardConfig::handshake_timeout).
+    Handshake(String),
     /// Socket-level I/O failure.
     Io(std::io::Error),
     /// Frame-layer failure.
@@ -88,6 +106,7 @@ impl std::fmt::Display for ShardError {
             ShardError::Timeout => write!(f, "timed out waiting for a shard event"),
             ShardError::Disconnected => write!(f, "shard pool is shut down"),
             ShardError::Spawn(why) => write!(f, "failed to start shard process: {why}"),
+            ShardError::Handshake(why) => write!(f, "shard handshake failed: {why}"),
             ShardError::Io(e) => write!(f, "shard socket i/o error: {e}"),
             ShardError::Frame(e) => write!(f, "shard frame error: {e}"),
             ShardError::Protocol(why) => write!(f, "shard protocol violation: {why}"),
@@ -106,6 +125,16 @@ impl From<std::io::Error> for ShardError {
 impl From<FrameError> for ShardError {
     fn from(e: FrameError) -> Self {
         ShardError::Frame(e)
+    }
+}
+
+impl From<LinkError> for ShardError {
+    fn from(e: LinkError) -> Self {
+        match e {
+            LinkError::Io(e) => ShardError::Io(e),
+            LinkError::Serialize(why) => ShardError::Protocol(format!("serialize: {why}")),
+            LinkError::Dead(why) => ShardError::Protocol(format!("link dead: {why}")),
+        }
     }
 }
 
@@ -301,42 +330,12 @@ pub enum FromShard {
 // Transport helpers
 // ---------------------------------------------------------------------------
 
-fn send_msg<T: Serialize>(
-    w: &mut BufWriter<UnixStream>,
-    msg: &T,
-    payload: Option<Bytes>,
-) -> Result<(), ShardError> {
-    let meta =
-        serde_json::to_string(msg).map_err(|e| ShardError::Protocol(format!("serialize: {e}")))?;
-    let payload = payload.unwrap_or_default();
-    let frame = Frame {
-        kind: if payload.is_empty() {
-            FrameKind::Control
-        } else {
-            FrameKind::Update
-        },
-        meta: Bytes::from(meta.into_bytes()),
-        payload,
-    };
-    wire::write_frame(w, &frame)?;
-    w.flush()?;
-    Ok(())
-}
-
-/// Reads one message; `Ok(None)` on clean EOF at a frame boundary.
-fn recv_msg<T: serde::Deserialize>(
-    r: &mut impl Read,
-    max_len: usize,
-) -> Result<Option<(T, Bytes)>, ShardError> {
-    let frame = match wire::read_frame(r, max_len)? {
-        Some(f) => f,
-        None => return Ok(None),
-    };
+/// Parses a link-delivered frame's JSON metadata into a protocol message.
+fn parse_meta<T: serde::Deserialize>(frame: &Frame) -> Result<T, ShardError> {
     let meta = std::str::from_utf8(frame.meta.as_ref())
         .map_err(|_| ShardError::Protocol("frame metadata is not utf-8".into()))?;
-    let msg = serde_json::from_str::<T>(meta)
-        .map_err(|e| ShardError::Protocol(format!("bad frame metadata: {e}")))?;
-    Ok(Some((msg, frame.payload)))
+    serde_json::from_str::<T>(meta)
+        .map_err(|e| ShardError::Protocol(format!("bad frame metadata: {e}")))
 }
 
 /// Encodes a finite dense update as a wire payload (all layers dense).
@@ -461,52 +460,24 @@ pub fn report_from_done(
 }
 
 // ---------------------------------------------------------------------------
-// Shard child
+// Shared execution world
 // ---------------------------------------------------------------------------
 
-/// If this process was launched as a shard child (the [`ENV_SOCKET`]
-/// variable is set), runs the shard server to completion and returns
-/// `true` — the caller should then return from `main` immediately.
-/// Exits the process with status 70 on a protocol or I/O error.
-pub fn maybe_run_child() -> bool {
-    let path = match std::env::var(ENV_SOCKET) {
-        Ok(p) if !p.is_empty() => p,
-        _ => return false,
-    };
-    if let Err(e) = run_child(&path) {
-        let id = std::env::var(ENV_SHARD_ID).unwrap_or_else(|_| "?".into());
-        eprintln!("fedca shard child {id}: fatal: {e}");
-        std::process::exit(70);
-    }
-    true
+/// Everything needed to rebuild and run clients from [`WorkItem`]s. Built
+/// once per shard child — and lazily on the root for quarantine-driven
+/// local re-execution, which must be bit-identical to the shard path.
+struct ShardWorld {
+    factory: ClientFactory,
+    workload: Workload,
+    layout: Arc<ModelLayout>,
+    opts: ClientOptions,
 }
 
-fn run_child(path: &str) -> Result<(), ShardError> {
-    let stream = UnixStream::connect(path)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-
-    // The Init frame arrives before we know the configured cap; accept up
-    // to 1 GiB for the handshake, then switch to the configured limit.
-    let (init, _) = recv_msg::<ToShard>(&mut reader, 1 << 30)?
-        .ok_or_else(|| ShardError::Protocol("coordinator closed before Init".into()))?;
-    let (shard_id, n_workers, fl, scheme, spec) = match init {
-        ToShard::Init {
-            shard_id,
-            n_workers,
-            fl,
-            scheme,
-            workload,
-            ..
-        } => (shard_id, n_workers, fl, scheme, workload),
-        other => {
-            return Err(ShardError::Protocol(format!(
-                "expected Init, got {other:?}"
-            )))
-        }
-    };
-    let max_frame = fl.shard.max_frame_len();
-
+fn build_world(
+    fl: &FlConfig,
+    scheme: &Scheme,
+    spec: &WorkloadSpec,
+) -> Result<ShardWorld, ShardError> {
     let workload = spec
         .build()
         .ok_or_else(|| ShardError::Protocol(format!("unknown workload spec {:?}", spec)))?;
@@ -532,51 +503,199 @@ fn run_child(path: &str) -> Result<(), ShardError> {
         max_samples: scheme.max_samples_per_layer(),
         partition,
     };
+    Ok(ShardWorld {
+        factory,
+        workload,
+        layout,
+        opts,
+    })
+}
+
+/// Converts one completed client into the wire `DoneMsg` + payload. Used
+/// verbatim by the shard child and by the root's quarantine re-execution
+/// path, so both produce bit-identical messages for the same completion.
+fn done_msg_from_completion(round: usize, done: &mut ClientCompletion) -> (DoneMsg, Option<Bytes>) {
+    let trace: Vec<WireEvent> = std::mem::take(&mut done.report.trace)
+        .into_events()
+        .into_iter()
+        .map(WireEvent::from_pending)
+        .collect();
+    let r = &done.report;
+    let poisoned = !r.weight.is_finite() || r.update.as_slice().iter().any(|v| !v.is_finite());
+    let has_update = !poisoned && r.upload_done.is_finite();
+    // Forward the client's own encoded wire bytes (final message plus
+    // eager sidecar) so the root can decode — and for quantized payloads,
+    // fused-fold — them exactly as the in-process path would. Fall back to
+    // a dense encoding for reports that carry no wire form.
+    let payload = has_update.then(|| {
+        r.wire_update
+            .clone()
+            .unwrap_or_else(|| encode_update(round, r.client_id, &r.update))
+    });
+    let msg = DoneMsg {
+        round,
+        ord: done.ord,
+        client_id: r.client_id,
+        weight_bits: r.weight.to_bits(),
+        iters_done: r.iters_done,
+        early_stopped: r.early_stopped,
+        download_done_bits: r.download_done.to_bits(),
+        compute_done_bits: r.compute_done.to_bits(),
+        upload_done_bits: r.upload_done.to_bits(),
+        eager_outcomes: r.eager_outcomes.clone(),
+        bytes_uploaded_bits: r.bytes_uploaded.to_bits(),
+        wire_bytes_uploaded_bits: r.wire_bytes_uploaded.to_bits(),
+        wire_bytes_dense_bits: r.wire_bytes_dense.to_bits(),
+        train_loss_bits: r.train_loss.to_bits(),
+        dropped: r.dropped,
+        crashed: r.crashed,
+        poisoned,
+        has_update,
+        model_reused: done.model_reused,
+        allocs_avoided: done.allocs_avoided,
+        host_us_bits: done.host_us.to_bits(),
+        trace,
+        snapshot: snapshot_client(&done.client),
+    };
+    (msg, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Shard child
+// ---------------------------------------------------------------------------
+
+/// If this process was launched as a shard child (the [`ENV_SOCKET`]
+/// variable is set), runs the shard server to completion and returns
+/// `true` — the caller should then return from `main` immediately.
+/// Exits the process with status 70 on a protocol or I/O error.
+pub fn maybe_run_child() -> bool {
+    let path = match std::env::var(ENV_SOCKET) {
+        Ok(p) if !p.is_empty() => p,
+        _ => return false,
+    };
+    if let Err(e) = run_child(&path) {
+        let id = std::env::var(ENV_SHARD_ID).unwrap_or_else(|_| "?".into());
+        eprintln!("fedca shard child {id}: fatal: {e}");
+        std::process::exit(70);
+    }
+    true
+}
+
+/// Receives the next in-order application message from the child's link.
+/// `Ok(None)` on clean EOF (the coordinator closed the connection).
+fn recv_link(rx: &Receiver<LinkEvent>) -> Result<Option<(ToShard, Bytes)>, ShardError> {
+    match rx.recv() {
+        Err(_) => Err(ShardError::Disconnected),
+        Ok(LinkEvent::Frame(frame)) => {
+            let msg = parse_meta::<ToShard>(&frame)?;
+            Ok(Some((msg, frame.payload)))
+        }
+        Ok(LinkEvent::Down(reason)) => {
+            if reason == "connection closed" {
+                Ok(None)
+            } else {
+                Err(ShardError::Protocol(format!("link down: {reason}")))
+            }
+        }
+        // Unreachable in practice: the child link has an unlimited retry
+        // budget and never initiates heartbeats.
+        Ok(LinkEvent::PeerDead(reason)) => {
+            Err(ShardError::Protocol(format!("link dead: {reason}")))
+        }
+    }
+}
+
+fn run_child(path: &str) -> Result<(), ShardError> {
+    let stream = UnixStream::connect(path)?;
+    let shard_hint: usize = std::env::var(ENV_SHARD_ID)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let round = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = channel::<LinkEvent>();
+    let sink = {
+        // `Sender` is Send but not Sync; the link calls the sink from two
+        // threads, so serialize through a mutex.
+        let tx = Mutex::new(tx);
+        move |ev: LinkEvent| {
+            let _ = tx.lock().send(ev);
+        }
+    };
+    let link = Link::new(
+        stream,
+        LinkConfig::child_handshake(shard_hint, round.clone()),
+        sink,
+    )?;
+
+    let (init, _) = recv_link(&rx)?
+        .ok_or_else(|| ShardError::Protocol("coordinator closed before Init".into()))?;
+    let (shard_id, n_workers, fl, scheme, spec) = match init {
+        ToShard::Init {
+            shard_id,
+            n_workers,
+            fl,
+            scheme,
+            workload,
+            ..
+        } => (shard_id, n_workers, fl, scheme, workload),
+        other => {
+            return Err(ShardError::Protocol(format!(
+                "expected Init, got {other:?}"
+            )))
+        }
+    };
+    link.configure(
+        TransportFaultPlan::new(fl.shard.transport_faults.clone()),
+        fl.shard.max_frame_len(),
+        fl.shard.resend_initial(),
+        fl.shard.resend_max(),
+    );
+    // Hello goes out *before* the world build so the coordinator's
+    // handshake timeout bounds transport latency only, never model or
+    // dataset construction time.
+    link.send(&FromShard::Hello { shard_id }, None)?;
+
+    let world = build_world(&fl, &scheme, &spec)?;
     let executor = RoundExecutor::new(n_workers);
 
-    send_msg(&mut writer, &FromShard::Hello { shard_id }, None)?;
-
     loop {
-        match recv_msg::<ToShard>(&mut reader, max_frame)? {
+        match recv_link(&rx)? {
             None | Some((ToShard::Shutdown, _)) => return Ok(()),
             Some((ToShard::Init { .. }, _)) => {
                 return Err(ShardError::Protocol("duplicate Init".into()))
             }
             Some((
                 ToShard::RoundStart {
-                    round,
+                    round: r,
                     start_bits,
                     deadline_bits,
                     items,
                 },
                 global_payload,
-            )) => run_child_round(
-                &mut writer,
-                &executor,
-                &factory,
-                &workload,
-                &fl,
-                &opts,
-                &layout,
-                round,
-                f64::from_bits(start_bits),
-                f64::from_bits(deadline_bits),
-                items,
-                &global_payload,
-            )?,
+            )) => {
+                round.store(r as u64, Ordering::Relaxed);
+                run_child_round(
+                    &link,
+                    &executor,
+                    &world,
+                    &fl,
+                    r,
+                    f64::from_bits(start_bits),
+                    f64::from_bits(deadline_bits),
+                    items,
+                    &global_payload,
+                )?;
+            }
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_child_round(
-    writer: &mut BufWriter<UnixStream>,
+    link: &Link,
     executor: &RoundExecutor,
-    factory: &ClientFactory,
-    workload: &crate::workload::Workload,
+    world: &ShardWorld,
     fl: &FlConfig,
-    opts: &crate::client::ClientOptions,
-    layout: &Arc<ModelLayout>,
     round: usize,
     start: SimTime,
     deadline: SimTime,
@@ -585,8 +704,7 @@ fn run_child_round(
 ) -> Result<(), ShardError> {
     let n = items.len();
     if n == 0 {
-        send_msg(
-            writer,
+        link.send(
             &FromShard::RoundDone {
                 round,
                 n_resolved: 0,
@@ -598,6 +716,7 @@ fn run_child_round(
         return Ok(());
     }
 
+    let layout = &world.layout;
     if global_payload.len() != 4 * layout.total_params() {
         return Err(ShardError::Protocol(format!(
             "global payload is {} bytes, expected {}",
@@ -612,9 +731,9 @@ fn run_child_round(
 
     let ctx = Arc::new(RoundCtx {
         layout: layout.clone(),
-        workload: workload.clone(),
+        workload: world.workload.clone(),
         fl: fl.clone(),
-        opts: opts.clone(),
+        opts: world.opts.clone(),
         global,
     });
 
@@ -627,7 +746,7 @@ fn run_child_round(
     let mut local_ord = HashMap::with_capacity(n);
     for (li, item) in items.iter().enumerate() {
         local_ord.insert(item.ord, li);
-        let mut client = factory.build(item.client_id);
+        let mut client = world.factory.build(item.client_id);
         if let Some(snap) = &item.snapshot {
             apply_snapshot(&mut client, snap);
         }
@@ -642,6 +761,15 @@ fn run_child_round(
             .map_err(|e| ShardError::Protocol(format!("executor rejected work: {e}")))?;
     }
 
+    // The executor resolves clients in host completion order, which is
+    // nondeterministic under a multi-worker pool. The wire order must not
+    // be: the root's deterministic kill plans count consumed events per
+    // shard, so completions are buffered and emitted in ascending ordinal
+    // order. The trajectory itself never depends on arrival order (the
+    // root folds at the cut in ordinal order), so this only pins the one
+    // thing that does — chaos-test kill points.
+    let mut remaining: BTreeMap<usize, ()> = items.iter().map(|i| (i.ord, ())).collect();
+    let mut unsent: BTreeMap<usize, (FromShard, Option<Bytes>)> = BTreeMap::new();
     for _ in 0..n {
         match executor
             .recv()
@@ -651,51 +779,8 @@ fn run_child_round(
                 let li = *local_ord
                     .get(&done.ord)
                     .ok_or_else(|| ShardError::Protocol("executor returned unknown ord".into()))?;
-                let trace: Vec<WireEvent> = std::mem::take(&mut done.report.trace)
-                    .into_events()
-                    .into_iter()
-                    .map(WireEvent::from_pending)
-                    .collect();
-                let r = &done.report;
-                let poisoned =
-                    !r.weight.is_finite() || r.update.as_slice().iter().any(|v| !v.is_finite());
-                let has_update = !poisoned && r.upload_done.is_finite();
-                // Forward the client's own encoded wire bytes (final message
-                // plus eager sidecar) so the root can decode — and for
-                // quantized payloads, fused-fold — them exactly as the
-                // in-process path would. Fall back to a dense encoding for
-                // reports that carry no wire form.
-                let payload = has_update.then(|| {
-                    r.wire_update
-                        .clone()
-                        .unwrap_or_else(|| encode_update(round, r.client_id, &r.update))
-                });
-                let msg = DoneMsg {
-                    round,
-                    ord: done.ord,
-                    client_id: r.client_id,
-                    weight_bits: r.weight.to_bits(),
-                    iters_done: r.iters_done,
-                    early_stopped: r.early_stopped,
-                    download_done_bits: r.download_done.to_bits(),
-                    compute_done_bits: r.compute_done.to_bits(),
-                    upload_done_bits: r.upload_done.to_bits(),
-                    eager_outcomes: r.eager_outcomes.clone(),
-                    bytes_uploaded_bits: r.bytes_uploaded.to_bits(),
-                    wire_bytes_uploaded_bits: r.wire_bytes_uploaded.to_bits(),
-                    wire_bytes_dense_bits: r.wire_bytes_dense.to_bits(),
-                    train_loss_bits: r.train_loss.to_bits(),
-                    dropped: r.dropped,
-                    crashed: r.crashed,
-                    poisoned,
-                    has_update,
-                    model_reused: done.model_reused,
-                    allocs_avoided: done.allocs_avoided,
-                    host_us_bits: done.host_us.to_bits(),
-                    trace,
-                    snapshot: snapshot_client(&done.client),
-                };
-                send_msg(writer, &FromShard::Done(msg), payload)?;
+                let (msg, payload) = done_msg_from_completion(round, &mut done);
+                unsent.insert(msg.ord, (FromShard::Done(msg), payload));
                 agg.ingest(li, done.report);
             }
             ClientDone::Failed(fail) => {
@@ -703,17 +788,26 @@ fn run_child_round(
                     .get(&fail.ord)
                     .ok_or_else(|| ShardError::Protocol("executor failed unknown ord".into()))?;
                 agg.mark_failed(li);
-                send_msg(
-                    writer,
-                    &FromShard::Failed {
-                        round,
-                        ord: fail.ord,
-                        client_id: fail.client_id,
-                        panic_msg: fail.panic_msg,
-                    },
-                    None,
-                )?;
+                unsent.insert(
+                    fail.ord,
+                    (
+                        FromShard::Failed {
+                            round,
+                            ord: fail.ord,
+                            client_id: fail.client_id,
+                            panic_msg: fail.panic_msg,
+                        },
+                        None,
+                    ),
+                );
             }
+        }
+        while let Some((&first, ())) = remaining.iter().next() {
+            let Some((msg, payload)) = unsent.remove(&first) else {
+                break;
+            };
+            remaining.remove(&first);
+            link.send(&msg, payload)?;
         }
     }
 
@@ -723,8 +817,7 @@ fn run_child_round(
     } else {
         agg.provisional_completion()
     };
-    send_msg(
-        writer,
+    link.send(
         &FromShard::RoundDone {
             round,
             n_resolved: n,
@@ -750,7 +843,16 @@ enum PoolEvent {
         msg: FromShard,
         payload: Bytes,
     },
+    /// The connection ended: EOF, SIGKILL, or a fatal frame error. Crash
+    /// semantics — outstanding ordinals resolve as synthesized failures.
     Down {
+        shard: usize,
+        incarnation: u64,
+        reason: String,
+    },
+    /// Supervision gave up (retry budget or heartbeat limit). Quarantine
+    /// semantics — outstanding ordinals are re-executed locally.
+    Unreachable {
         shard: usize,
         incarnation: u64,
         reason: String,
@@ -760,7 +862,7 @@ enum PoolEvent {
 /// One resolved client from the pool, normalized for the round loop.
 #[derive(Debug)]
 pub enum ShardEvent {
-    /// A client completed on a shard.
+    /// A client completed on a shard (or locally after a quarantine).
     Done {
         /// Global round ordinal.
         ord: usize,
@@ -783,17 +885,18 @@ pub enum ShardEvent {
 
 struct ShardConn {
     child: Option<Child>,
-    writer: Option<BufWriter<UnixStream>>,
-    reader: Option<JoinHandle<()>>,
-    /// Bumped on every (re)spawn; events from stale incarnations are
-    /// discarded.
+    link: Option<Link>,
+    /// Bumped at the start of every (re)spawn attempt; events from stale
+    /// incarnations are discarded.
     incarnation: u64,
     alive: bool,
     /// Set when the shard is torn down mid-round: queued events from the
     /// dead incarnation must not resolve ordinals twice.
     discard: bool,
-    /// Unresolved `ord → client_id` for the current round.
-    outstanding: BTreeMap<usize, usize>,
+    /// Unresolved work for the current round, by ordinal. The full
+    /// [`WorkItem`] is retained so a quarantined shard's work can be
+    /// re-executed locally, bit-identically.
+    outstanding: BTreeMap<usize, WorkItem>,
     /// Events (Done or Failed) consumed from this shard this round —
     /// the deterministic kill plan counts these.
     done_this_round: usize,
@@ -808,10 +911,25 @@ struct KillPoint {
 
 static POOL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Operational transport counters drained once per round by the trainer.
+/// Everything here is host-timing- and fault-schedule-dependent — never
+/// part of bit-identity (the trace notes are offstream events).
+#[derive(Debug, Default)]
+pub struct TransportRoundStats {
+    /// Aggregated per-link counters (root side of every connection).
+    pub link: LinkRoundStats,
+    /// Shards quarantined this round.
+    pub quarantined: u64,
+    /// Ordinals reassigned to local re-execution this round.
+    pub reassigned: u64,
+    /// Buffered supervision trace events (all non-canonical).
+    pub notes: Vec<TraceEvent>,
+}
+
 /// The root-side coordinator: spawns shard processes, routes work by the
 /// configured assignment, and streams back normalized [`ShardEvent`]s.
 /// Every wait is bounded; there is no unbounded socket read anywhere on
-/// this side (reader threads pump frames into an mpsc channel, and the
+/// this side (link threads pump events into an mpsc channel, and the
 /// coordinator only blocks in `recv_timeout`).
 pub struct ShardPool {
     fl: FlConfig,
@@ -824,15 +942,36 @@ pub struct ShardPool {
     rx: Receiver<PoolEvent>,
     /// Synthesized/holdover events served before touching the channel.
     pending: VecDeque<ShardEvent>,
+    /// Pool events deferred during a handshake wait, replayed before the
+    /// channel is polled again.
+    held_events: VecDeque<PoolEvent>,
     kill_plan: Vec<KillPoint>,
     round: usize,
+    /// Mirrors `round` for the links' fault-draw coordinate.
+    round_atomic: Arc<AtomicU64>,
+    /// The current round's broadcast parameters, retained for quarantine
+    /// re-execution (lossless: f32 round-trips the wire encoding).
+    round_global: Vec<f32>,
+    /// Lazily built execution world for quarantine re-execution.
+    local_world: Option<ShardWorld>,
+    /// Lazily built local executor for quarantine re-execution.
+    local_exec: Option<RoundExecutor>,
+    /// Counters absorbed from torn-down links, drained per round.
+    stats_accum: LinkRoundStats,
+    /// Supervision trace notes, drained per round.
+    notes_accum: Vec<TraceEvent>,
+    n_quarantined_round: u64,
+    n_reassigned_round: u64,
     down: bool,
     spawn_counter: u64,
 }
 
 impl ShardPool {
     /// Spawns `fl.shard.n_shards` child processes and completes the
-    /// `Init`/`Hello` handshake with each.
+    /// `Init`/`Hello` handshake with each. A shard whose handshake times
+    /// out (e.g. under total transport loss) is tolerated here — it stays
+    /// dead and is quarantined at first dispatch; any other spawn failure
+    /// is fatal.
     pub fn new(
         fl: &FlConfig,
         scheme: &Scheme,
@@ -856,8 +995,7 @@ impl ShardPool {
             conns: (0..n_shards)
                 .map(|_| ShardConn {
                     child: None,
-                    writer: None,
-                    reader: None,
+                    link: None,
                     incarnation: 0,
                     alive: false,
                     discard: false,
@@ -868,13 +1006,28 @@ impl ShardPool {
             tx,
             rx,
             pending: VecDeque::new(),
+            held_events: VecDeque::new(),
             kill_plan: Vec::new(),
             round: 0,
+            round_atomic: Arc::new(AtomicU64::new(0)),
+            round_global: Vec::new(),
+            local_world: None,
+            local_exec: None,
+            stats_accum: LinkRoundStats::default(),
+            notes_accum: Vec::new(),
+            n_quarantined_round: 0,
+            n_reassigned_round: 0,
             down: false,
             spawn_counter: 0,
         };
         for s in 0..n_shards {
-            pool.spawn_shard(s)?;
+            match pool.spawn_shard(s) {
+                Ok(()) => {}
+                Err(ShardError::Handshake(why)) => {
+                    eprintln!("fedca shard {s}: handshake failed at pool startup: {why}");
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(pool)
     }
@@ -890,6 +1043,10 @@ impl ShardPool {
     }
 
     fn spawn_shard(&mut self, s: usize) -> Result<(), ShardError> {
+        // Bump first so a failed attempt can never alias a previous
+        // incarnation's events.
+        self.conns[s].incarnation += 1;
+        let incarnation = self.conns[s].incarnation;
         self.spawn_counter += 1;
         let sock = self
             .dir
@@ -944,64 +1101,314 @@ impl ShardPool {
         let _ = std::fs::remove_file(&sock);
         stream.set_nonblocking(false)?;
 
-        let incarnation = self.conns[s].incarnation + 1;
-        let read_stream = stream.try_clone()?;
-        let tx = self.tx.clone();
-        let max_len = self.fl.shard.max_frame_len();
-        let reader = std::thread::Builder::new()
-            .name(format!("fedca-shard-rx-{s}"))
-            .spawn(move || reader_loop(read_stream, s, incarnation, max_len, tx))
-            .map_err(|e| ShardError::Spawn(format!("reader thread: {e}")))?;
-
-        let mut writer = BufWriter::new(stream);
-        send_msg(
-            &mut writer,
-            &ToShard::Init {
-                shard_id: s,
-                n_shards: self.conns.len(),
-                n_workers: self.n_workers,
-                fl: self.fl.clone(),
-                scheme: self.scheme.clone(),
-                workload: self.spec.clone(),
+        let sink = {
+            // `Sender` is Send but not Sync; the link calls the sink from
+            // two threads, so serialize through a mutex.
+            let tx = Mutex::new(self.tx.clone());
+            move |ev: LinkEvent| {
+                let ev = match ev {
+                    LinkEvent::Frame(frame) => match parse_meta::<FromShard>(&frame) {
+                        Ok(msg) => PoolEvent::Msg {
+                            shard: s,
+                            incarnation,
+                            msg,
+                            payload: frame.payload,
+                        },
+                        Err(e) => PoolEvent::Down {
+                            shard: s,
+                            incarnation,
+                            reason: e.to_string(),
+                        },
+                    },
+                    LinkEvent::Down(reason) => PoolEvent::Down {
+                        shard: s,
+                        incarnation,
+                        reason,
+                    },
+                    LinkEvent::PeerDead(reason) => PoolEvent::Unreachable {
+                        shard: s,
+                        incarnation,
+                        reason,
+                    },
+                };
+                let _ = tx.lock().send(ev);
+            }
+        };
+        let link = Link::new(
+            stream,
+            LinkConfig {
+                shard: s,
+                direction: Direction::ToShard,
+                plan: TransportFaultPlan::new(self.fl.shard.transport_faults.clone()),
+                round: self.round_atomic.clone(),
+                max_frame_len: self.fl.shard.max_frame_len(),
+                retry_budget: self.fl.shard.retries(),
+                resend_initial: self.fl.shard.resend_initial(),
+                resend_max: self.fl.shard.resend_max(),
+                heartbeat: Some((
+                    self.fl.shard.heartbeat_period(),
+                    self.fl.shard.heartbeat_missed(),
+                )),
+                tick: Duration::from_millis(5),
             },
-            None,
+            sink,
         )?;
 
         self.conns[s] = ShardConn {
             child: Some(child),
-            writer: Some(writer),
-            reader: Some(reader),
+            link: Some(link),
             incarnation,
             alive: true,
             discard: false,
             outstanding: BTreeMap::new(),
             done_this_round: 0,
         };
+
+        let init = ToShard::Init {
+            shard_id: s,
+            n_shards: self.conns.len(),
+            n_workers: self.n_workers,
+            fl: self.fl.clone(),
+            scheme: self.scheme.clone(),
+            workload: self.spec.clone(),
+        };
+        let sent = self.conns[s]
+            .link
+            .as_ref()
+            .expect("just installed")
+            .send(&init, None);
+        if let Err(e) = sent {
+            self.teardown_conn(s);
+            return Err(ShardError::Handshake(format!("Init send failed: {e}")));
+        }
+        if let Err(e) = self.wait_for_hello(s, incarnation) {
+            self.teardown_conn(s);
+            return Err(e);
+        }
         Ok(())
+    }
+
+    /// Bounded wait for this incarnation's `Hello`. Events for other
+    /// shards or incarnations are deferred to `held_events`, never lost.
+    fn wait_for_hello(&mut self, s: usize, incarnation: u64) -> Result<(), ShardError> {
+        let deadline = Instant::now() + self.fl.shard.handshake_timeout();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ShardError::Handshake(format!(
+                    "shard {s} did not say Hello within the handshake timeout"
+                )));
+            }
+            let ev = match self.rx.recv_timeout(deadline - now) {
+                Ok(ev) => ev,
+                Err(_) => continue, // the loop re-checks the deadline
+            };
+            let (ev_shard, ev_inc) = match &ev {
+                PoolEvent::Msg {
+                    shard, incarnation, ..
+                }
+                | PoolEvent::Down {
+                    shard, incarnation, ..
+                }
+                | PoolEvent::Unreachable {
+                    shard, incarnation, ..
+                } => (*shard, *incarnation),
+            };
+            if ev_shard != s || ev_inc != incarnation {
+                self.held_events.push_back(ev);
+                continue;
+            }
+            match ev {
+                PoolEvent::Msg {
+                    msg: FromShard::Hello { shard_id },
+                    ..
+                } => {
+                    return if shard_id == s {
+                        Ok(())
+                    } else {
+                        Err(ShardError::Handshake(format!(
+                            "shard {s} said Hello as shard {shard_id}"
+                        )))
+                    };
+                }
+                PoolEvent::Msg { msg, .. } => {
+                    return Err(ShardError::Handshake(format!(
+                        "shard {s} sent {msg:?} before Hello"
+                    )));
+                }
+                PoolEvent::Down { reason, .. } => {
+                    return Err(ShardError::Handshake(format!(
+                        "shard {s} went down during handshake: {reason}"
+                    )));
+                }
+                PoolEvent::Unreachable { reason, .. } => {
+                    return Err(ShardError::Handshake(format!(
+                        "shard {s} unreachable during handshake: {reason}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Kills the child process and closes the link, absorbing its final
+    /// counters and notes. Leaves `outstanding` untouched — the caller
+    /// decides whether those ordinals fail or are re-executed.
+    fn teardown_conn(&mut self, s: usize) {
+        let link = {
+            let c = &mut self.conns[s];
+            c.alive = false;
+            c.discard = true;
+            if let Some(mut child) = c.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            c.link.take()
+        };
+        if let Some(mut link) = link {
+            self.stats_accum.absorb(&link.take_round_stats());
+            self.notes_accum.extend(link.take_notes());
+            link.close();
+        }
     }
 
     /// Tears a shard down and synthesizes `Failed` events for every
     /// outstanding ordinal — identical in shape to the worker-panic path.
+    /// Crash semantics: the process itself died or misbehaved.
     fn fail_shard(&mut self, s: usize, reason: &str) {
-        let c = &mut self.conns[s];
-        c.alive = false;
-        c.discard = true;
-        if let Some(mut child) = c.child.take() {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-        c.writer = None;
-        if let Some(h) = c.reader.take() {
-            let _ = h.join();
-        }
-        let outstanding = std::mem::take(&mut c.outstanding);
-        for (ord, client_id) in outstanding {
+        self.teardown_conn(s);
+        let outstanding = std::mem::take(&mut self.conns[s].outstanding);
+        for (ord, item) in outstanding {
             self.pending.push_back(ShardEvent::Failed {
                 ord,
-                client_id,
+                client_id: item.client_id,
                 panic_msg: format!("shard {s} failed: {reason}"),
             });
         }
+    }
+
+    /// Quarantines an unreachable shard for the round: kills it, then
+    /// re-executes its unresolved ordinals on the root's local executor —
+    /// bit-identical to the shard having completed them, so transport
+    /// supervision can never alter the trajectory.
+    fn quarantine_shard(&mut self, s: usize, reason: &str) {
+        self.teardown_conn(s);
+        let outstanding = std::mem::take(&mut self.conns[s].outstanding);
+        self.n_quarantined_round += 1;
+        self.notes_accum.push(TraceEvent::ShardQuarantined {
+            round: self.round,
+            shard: s,
+            reason: reason.to_string(),
+        });
+        let items: Vec<WorkItem> = outstanding.into_values().collect();
+        self.reexec_local(self.round, s, items);
+    }
+
+    /// Runs reassigned work items on a lazily built local world/executor,
+    /// pushing the results into `pending` in the same normalized shape the
+    /// shard path produces. Falls back to synthesized `Failed` events only
+    /// when local execution is impossible (unknown workload spec or a dead
+    /// local executor).
+    fn reexec_local(&mut self, round: usize, shard: usize, items: Vec<WorkItem>) {
+        if items.is_empty() {
+            return;
+        }
+        for item in &items {
+            self.n_reassigned_round += 1;
+            self.notes_accum.push(TraceEvent::OrdinalReassigned {
+                round,
+                shard,
+                ord: item.ord,
+                client: item.client_id,
+            });
+        }
+        if self.local_world.is_none() {
+            match build_world(&self.fl, &self.scheme, &self.spec) {
+                Ok(w) => self.local_world = Some(w),
+                Err(e) => {
+                    for item in items {
+                        self.pending.push_back(ShardEvent::Failed {
+                            ord: item.ord,
+                            client_id: item.client_id,
+                            panic_msg: format!("local re-execution impossible: {e}"),
+                        });
+                    }
+                    return;
+                }
+            }
+        }
+        if self.local_exec.is_none() {
+            self.local_exec = Some(RoundExecutor::new(self.n_workers));
+        }
+        // Take both out so `pending` can be pushed while they are in use.
+        let world = self.local_world.take().expect("local world just built");
+        let executor = self.local_exec.take().expect("local executor just built");
+
+        let ctx = Arc::new(RoundCtx {
+            layout: world.layout.clone(),
+            workload: world.workload.clone(),
+            fl: self.fl.clone(),
+            opts: world.opts.clone(),
+            global: self.round_global.clone(),
+        });
+        let mut unresolved: BTreeMap<usize, usize> =
+            items.iter().map(|i| (i.ord, i.client_id)).collect();
+        let mut submitted = 0usize;
+        for item in &items {
+            let mut client = world.factory.build(item.client_id);
+            if let Some(snap) = &item.snapshot {
+                apply_snapshot(&mut client, snap);
+            }
+            client.participations = item.participations;
+            match executor.submit(ClientWork {
+                ord: item.ord,
+                client,
+                plan: item.plan.clone(),
+                ctx: ctx.clone(),
+            }) {
+                Ok(()) => submitted += 1,
+                Err(e) => {
+                    unresolved.remove(&item.ord);
+                    self.pending.push_back(ShardEvent::Failed {
+                        ord: item.ord,
+                        client_id: item.client_id,
+                        panic_msg: format!("local executor rejected work: {e}"),
+                    });
+                }
+            }
+        }
+        for _ in 0..submitted {
+            match executor.recv() {
+                Ok(ClientDone::Completed(mut done)) => {
+                    unresolved.remove(&done.ord);
+                    let (msg, payload) = done_msg_from_completion(round, &mut done);
+                    self.pending.push_back(ShardEvent::Done {
+                        ord: msg.ord,
+                        msg: Box::new(msg),
+                        payload: payload.unwrap_or_default(),
+                    });
+                }
+                Ok(ClientDone::Failed(fail)) => {
+                    unresolved.remove(&fail.ord);
+                    self.pending.push_back(ShardEvent::Failed {
+                        ord: fail.ord,
+                        client_id: fail.client_id,
+                        panic_msg: fail.panic_msg,
+                    });
+                }
+                Err(e) => {
+                    for (ord, client_id) in std::mem::take(&mut unresolved) {
+                        self.pending.push_back(ShardEvent::Failed {
+                            ord,
+                            client_id,
+                            panic_msg: format!("local executor died: {e}"),
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        self.local_world = Some(world);
+        self.local_exec = Some(executor);
     }
 
     /// Kills a shard immediately (chaos tests). Outstanding work resolves
@@ -1034,8 +1441,9 @@ impl ShardPool {
 
     /// Dispatches one round: routes each item to its shard, broadcasting
     /// the global parameters, respawning dead shards lazily. Dispatch
-    /// failures degrade to synthesized per-ordinal failures, never an Err
-    /// (the round loop's failure path handles them uniformly).
+    /// failures degrade — a failed respawn/handshake quarantines the shard
+    /// and re-executes its items locally; a broken send fails the shard —
+    /// never an Err (the round loop's failure path handles them uniformly).
     pub fn begin_round(
         &mut self,
         round: usize,
@@ -1048,6 +1456,8 @@ impl ShardPool {
             return Err(ShardError::Disconnected);
         }
         self.round = round;
+        self.round_atomic.store(round as u64, Ordering::Relaxed);
+        self.round_global = global.to_vec();
         let n = self.conns.len();
         let assignment = self.fl.shard.assignment.clone();
         let mut by_shard: Vec<Vec<WorkItem>> = (0..n).map(|_| Vec::new()).collect();
@@ -1069,17 +1479,20 @@ impl ShardPool {
             let kill_now = self.take_kill(round, s, 0);
             if !self.conns[s].alive && !kill_now {
                 if let Err(e) = self.spawn_shard(s) {
-                    for item in &items {
-                        self.pending.push_back(ShardEvent::Failed {
-                            ord: item.ord,
-                            client_id: item.client_id,
-                            panic_msg: format!("shard {s} respawn failed: {e}"),
-                        });
-                    }
+                    // A shard that cannot be (re)connected is quarantined:
+                    // its items run locally, bit-identically, so transient
+                    // spawn/handshake trouble never alters the trajectory.
+                    self.n_quarantined_round += 1;
+                    self.notes_accum.push(TraceEvent::ShardQuarantined {
+                        round,
+                        shard: s,
+                        reason: format!("respawn failed: {e}"),
+                    });
+                    self.reexec_local(round, s, items);
                     continue;
                 }
             }
-            self.conns[s].outstanding = items.iter().map(|i| (i.ord, i.client_id)).collect();
+            self.conns[s].outstanding = items.iter().map(|i| (i.ord, i.clone())).collect();
             if kill_now {
                 self.fail_shard(s, "killed by kill plan");
                 continue;
@@ -1090,15 +1503,20 @@ impl ShardPool {
                 deadline_bits: deadline.to_bits(),
                 items,
             };
-            let sent = {
-                let w = self.conns[s]
-                    .writer
-                    .as_mut()
-                    .expect("alive shard has a writer");
-                send_msg(w, &msg, Some(global_bytes.clone()))
-            };
-            if let Err(e) = sent {
-                self.fail_shard(s, &format!("dispatch failed: {e}"));
+            let sent = self.conns[s]
+                .link
+                .as_ref()
+                .expect("alive shard has a link")
+                .send(&msg, Some(global_bytes.clone()));
+            match sent {
+                Ok(()) => {}
+                // The link already declared the peer dead: quarantine (the
+                // process may be fine; only the transport gave up).
+                Err(LinkError::Dead(reason)) => {
+                    self.quarantine_shard(s, &format!("dispatch on a dead link: {reason}"))
+                }
+                // A broken socket means the process is gone: crash path.
+                Err(e) => self.fail_shard(s, &format!("dispatch failed: {e}")),
             }
         }
         Ok(())
@@ -1116,16 +1534,18 @@ impl ShardPool {
             if let Some(ev) = self.pending.pop_front() {
                 return Ok(ev);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(ShardError::Timeout);
-            }
-            let ev = match self.rx.recv_timeout(deadline - now) {
-                Ok(ev) => ev,
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    // Disconnected is unreachable (we hold a Sender clone);
-                    // fold it into Timeout defensively.
+            let ev = if let Some(ev) = self.held_events.pop_front() {
+                ev
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
                     return Err(ShardError::Timeout);
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(ev) => ev,
+                    // Disconnected is unreachable (we hold a Sender
+                    // clone); fold it into Timeout defensively.
+                    Err(_) => return Err(ShardError::Timeout),
                 }
             };
             match ev {
@@ -1139,6 +1559,17 @@ impl ShardPool {
                         continue;
                     }
                     self.fail_shard(shard, &format!("shard process died: {reason}"));
+                }
+                PoolEvent::Unreachable {
+                    shard,
+                    incarnation,
+                    reason,
+                } => {
+                    let c = &self.conns[shard];
+                    if incarnation != c.incarnation || c.discard || !c.alive {
+                        continue;
+                    }
+                    self.quarantine_shard(shard, &reason);
                 }
                 PoolEvent::Msg {
                     shard,
@@ -1163,10 +1594,10 @@ impl ShardPool {
                                 continue;
                             }
                             if self.conns[shard].outstanding.remove(&d.ord).is_none() {
-                                self.fail_shard(
-                                    shard,
-                                    &format!("duplicate or unknown ordinal {}", d.ord),
-                                );
+                                // The link layer already delivers exactly
+                                // once; a duplicate here is a stale ghost
+                                // (or injected by a test) — drop it.
+                                self.stats_accum.dup_frames += 1;
                                 continue;
                             }
                             self.conns[shard].done_this_round += 1;
@@ -1195,10 +1626,7 @@ impl ShardPool {
                                 continue;
                             }
                             if self.conns[shard].outstanding.remove(&ord).is_none() {
-                                self.fail_shard(
-                                    shard,
-                                    &format!("duplicate or unknown ordinal {ord}"),
-                                );
+                                self.stats_accum.dup_frames += 1;
                                 continue;
                             }
                             self.conns[shard].done_this_round += 1;
@@ -1256,17 +1684,60 @@ impl ShardPool {
         !stalled.is_empty()
     }
 
+    /// Drains the round's transport supervision counters and trace notes:
+    /// live links' counters plus everything absorbed from links torn down
+    /// mid-round. Counters restart from zero.
+    pub fn take_transport_round_stats(&mut self) -> TransportRoundStats {
+        let mut link = std::mem::take(&mut self.stats_accum);
+        let mut notes = std::mem::take(&mut self.notes_accum);
+        for c in &self.conns {
+            if let Some(l) = &c.link {
+                link.absorb(&l.take_round_stats());
+                notes.extend(l.take_notes());
+            }
+        }
+        TransportRoundStats {
+            link,
+            quarantined: std::mem::take(&mut self.n_quarantined_round),
+            reassigned: std::mem::take(&mut self.n_reassigned_round),
+            notes,
+        }
+    }
+
+    /// Feeds a raw protocol message into the coordinator's event queue as
+    /// if a link had delivered it. Test seam for ingest-dedup properties.
+    #[doc(hidden)]
+    pub fn inject_msg_for_test(
+        &self,
+        shard: usize,
+        incarnation: u64,
+        msg: FromShard,
+        payload: Bytes,
+    ) {
+        let _ = self.tx.send(PoolEvent::Msg {
+            shard,
+            incarnation,
+            msg,
+            payload,
+        });
+    }
+
+    /// Current incarnation of a shard connection. Test seam.
+    #[doc(hidden)]
+    pub fn incarnation_for_test(&self, shard: usize) -> u64 {
+        self.conns[shard].incarnation
+    }
+
     fn shutdown(&mut self) {
         if self.down {
             return;
         }
         self.down = true;
         for s in 0..self.conns.len() {
-            let c = &mut self.conns[s];
-            if let Some(mut w) = c.writer.take() {
-                let _ = send_msg(&mut w, &ToShard::Shutdown, None);
+            if let Some(link) = &self.conns[s].link {
+                let _ = link.send(&ToShard::Shutdown, None);
             }
-            if let Some(mut child) = c.child.take() {
+            if let Some(mut child) = self.conns[s].child.take() {
                 let deadline = Instant::now() + Duration::from_secs(5);
                 loop {
                     match child.try_wait() {
@@ -1282,10 +1753,12 @@ impl ShardPool {
                     }
                 }
             }
-            if let Some(h) = c.reader.take() {
-                let _ = h.join();
+            if let Some(mut link) = self.conns[s].link.take() {
+                self.stats_accum.absorb(&link.take_round_stats());
+                self.notes_accum.extend(link.take_notes());
+                link.close();
             }
-            c.alive = false;
+            self.conns[s].alive = false;
         }
         let _ = std::fs::remove_dir_all(&self.dir);
     }
@@ -1294,49 +1767,6 @@ impl ShardPool {
 impl Drop for ShardPool {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-fn reader_loop(
-    stream: UnixStream,
-    shard: usize,
-    incarnation: u64,
-    max_len: usize,
-    tx: Sender<PoolEvent>,
-) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        match recv_msg::<FromShard>(&mut reader, max_len) {
-            Ok(Some((msg, payload))) => {
-                if tx
-                    .send(PoolEvent::Msg {
-                        shard,
-                        incarnation,
-                        msg,
-                        payload,
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Ok(None) => {
-                let _ = tx.send(PoolEvent::Down {
-                    shard,
-                    incarnation,
-                    reason: "connection closed".into(),
-                });
-                return;
-            }
-            Err(e) => {
-                let _ = tx.send(PoolEvent::Down {
-                    shard,
-                    incarnation,
-                    reason: e.to_string(),
-                });
-                return;
-            }
-        }
     }
 }
 

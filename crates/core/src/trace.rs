@@ -277,6 +277,65 @@ pub enum TraceEvent {
         /// Why it was rejected.
         reason: String,
     },
+    /// The transport fault shim injected a byte-level fault into a frame
+    /// (drop, duplicate, reorder, delay, or corruption). Excluded from the
+    /// canonical stream: supervision recovers every injected fault, so the
+    /// trajectory is unchanged and the injection count is operational.
+    TransportFaultInjected {
+        /// Round index at injection time.
+        round: usize,
+        /// Shard whose link was hit.
+        shard: usize,
+        /// Direction name (`to_shard` / `from_shard`).
+        direction: String,
+        /// Fault class name (`drop`, `duplicate`, `reorder`, `delay`,
+        /// `corrupt`).
+        kind: String,
+    },
+    /// An unacknowledged frame was resent with exponential backoff.
+    /// Excluded from the canonical stream (retry counts depend on host
+    /// timing, not the trajectory).
+    FrameRetried {
+        /// Shard whose link resent.
+        shard: usize,
+        /// Application sequence number of the resent frame.
+        seq: u64,
+        /// Resend attempt number (1 = first resend).
+        attempt: u32,
+    },
+    /// A heartbeat period elapsed with no valid frame heard from a shard.
+    /// Excluded from the canonical stream (liveness is host-timing).
+    HeartbeatMissed {
+        /// Shard that went quiet.
+        shard: usize,
+        /// Consecutive missed periods so far.
+        misses: u32,
+    },
+    /// A shard exhausted its retry budget or missed-heartbeat limit and was
+    /// quarantined for the round; its child process was killed. Excluded
+    /// from the canonical stream (quarantine is a recovery action, not a
+    /// trajectory event — the reassigned work produces identical results).
+    ShardQuarantined {
+        /// Round index.
+        round: usize,
+        /// Quarantined shard.
+        shard: usize,
+        /// Why it was quarantined.
+        reason: String,
+    },
+    /// An unresolved ordinal from a quarantined shard was re-executed on
+    /// the coordinator's local executor. Excluded from the canonical
+    /// stream (the re-execution is bit-identical to the shard's).
+    OrdinalReassigned {
+        /// Round index.
+        round: usize,
+        /// Quarantined shard the ordinal was taken from.
+        shard: usize,
+        /// Selection ordinal that moved.
+        ord: usize,
+        /// Client id at that ordinal.
+        client: usize,
+    },
 }
 
 impl TraceEvent {
@@ -300,6 +359,11 @@ impl TraceEvent {
             TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
             TraceEvent::CheckpointRecovered { .. } => "checkpoint_recovered",
             TraceEvent::CheckpointCorruptSkipped { .. } => "checkpoint_corrupt_skipped",
+            TraceEvent::TransportFaultInjected { .. } => "transport_fault_injected",
+            TraceEvent::FrameRetried { .. } => "frame_retried",
+            TraceEvent::HeartbeatMissed { .. } => "heartbeat_missed",
+            TraceEvent::ShardQuarantined { .. } => "shard_quarantined",
+            TraceEvent::OrdinalReassigned { .. } => "ordinal_reassigned",
         }
     }
 
@@ -307,7 +371,11 @@ impl TraceEvent {
     /// stream. `RunStart` names the pool size and is excluded; checkpoint
     /// events name host paths and depend on the durability schedule, not
     /// the trajectory, so a resumed run's canonical suffix stays
-    /// byte-identical to the uninterrupted run's.
+    /// byte-identical to the uninterrupted run's. Transport-supervision
+    /// events (fault injections, retries, heartbeat misses, quarantines,
+    /// reassignments) depend on host timing and the injected fault
+    /// schedule, never on the trajectory, so a faulted run's canonical
+    /// stream stays byte-identical to the fault-free run's.
     pub fn is_canonical(&self) -> bool {
         !matches!(
             self,
@@ -316,6 +384,11 @@ impl TraceEvent {
                 | TraceEvent::CheckpointWritten { .. }
                 | TraceEvent::CheckpointRecovered { .. }
                 | TraceEvent::CheckpointCorruptSkipped { .. }
+                | TraceEvent::TransportFaultInjected { .. }
+                | TraceEvent::FrameRetried { .. }
+                | TraceEvent::HeartbeatMissed { .. }
+                | TraceEvent::ShardQuarantined { .. }
+                | TraceEvent::OrdinalReassigned { .. }
         )
     }
 }
@@ -1146,12 +1219,74 @@ mod tests {
             TraceEvent::Span {
                 name: "evaluate".into(),
             },
+            TraceEvent::TransportFaultInjected {
+                round: 2,
+                shard: 1,
+                direction: "to_shard".into(),
+                kind: "corrupt".into(),
+            },
+            TraceEvent::FrameRetried {
+                shard: 1,
+                seq: 42,
+                attempt: 3,
+            },
+            TraceEvent::HeartbeatMissed {
+                shard: 0,
+                misses: 2,
+            },
+            TraceEvent::ShardQuarantined {
+                round: 2,
+                shard: 1,
+                reason: "retry budget exhausted".into(),
+            },
+            TraceEvent::OrdinalReassigned {
+                round: 2,
+                shard: 1,
+                ord: 5,
+                client: 17,
+            },
         ];
         for v in variants {
             let json = serde_json::to_string(&v).unwrap();
             let back: TraceEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(back, v, "round trip failed for {json}");
             assert!(!v.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn transport_supervision_events_are_offstream_only() {
+        // Variable fault/retry counts must never shift canonical seqs.
+        let events = [
+            TraceEvent::TransportFaultInjected {
+                round: 0,
+                shard: 0,
+                direction: "from_shard".into(),
+                kind: "drop".into(),
+            },
+            TraceEvent::FrameRetried {
+                shard: 0,
+                seq: 1,
+                attempt: 1,
+            },
+            TraceEvent::HeartbeatMissed {
+                shard: 0,
+                misses: 1,
+            },
+            TraceEvent::ShardQuarantined {
+                round: 0,
+                shard: 0,
+                reason: "test".into(),
+            },
+            TraceEvent::OrdinalReassigned {
+                round: 0,
+                shard: 0,
+                ord: 0,
+                client: 0,
+            },
+        ];
+        for e in events {
+            assert!(!e.is_canonical(), "{} must be non-canonical", e.kind());
         }
     }
 

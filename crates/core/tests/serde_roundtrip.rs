@@ -72,6 +72,10 @@ proptest! {
             hydrate_host_us: base.2 * 2.0,
             decode_host_us: base.2 * 1.5,
             aggregate_host_us: base.2 * 0.25,
+            n_retries: base.7 % 7,
+            n_heartbeat_missed: base.6,
+            n_quarantined: base.5,
+            n_reassigned: base.4 + base.5,
         };
         let json = serde_json::to_string(&record).expect("serialize");
         let back: RoundRecord = serde_json::from_str(&json).expect("deserialize");
@@ -202,8 +206,12 @@ fn round_record_tolerates_pre_fault_documents() {
         hydrate_host_us: 37.5,
         decode_host_us: 18.25,
         aggregate_host_us: 4.5,
+        n_retries: 3,
+        n_heartbeat_missed: 1,
+        n_quarantined: 1,
+        n_reassigned: 2,
     };
-    const DEFAULTED: [&str; 13] = [
+    const DEFAULTED: [&str; 17] = [
         "n_dropped",
         "n_crashed",
         "n_deadline_missed",
@@ -217,6 +225,10 @@ fn round_record_tolerates_pre_fault_documents() {
         "aggregate_host_us",
         "wire_bytes_uploaded",
         "wire_bytes_dense",
+        "n_retries",
+        "n_heartbeat_missed",
+        "n_quarantined",
+        "n_reassigned",
     ];
     let serde::Value::Object(pairs) = serde_json::to_value(&record).expect("to_value") else {
         panic!("RoundRecord must serialize to an object");
@@ -240,6 +252,10 @@ fn round_record_tolerates_pre_fault_documents() {
     assert_eq!(back.aggregate_host_us, 0.0);
     assert_eq!(back.wire_bytes_uploaded, 0.0);
     assert_eq!(back.wire_bytes_dense, 0.0);
+    assert_eq!(back.n_retries, 0);
+    assert_eq!(back.n_heartbeat_missed, 0);
+    assert_eq!(back.n_quarantined, 0);
+    assert_eq!(back.n_reassigned, 0);
     assert_eq!(back.compression_ratio(), 1.0);
     assert_eq!(back.iters_done, record.iters_done);
     assert_eq!(back.accuracy, record.accuracy);
@@ -407,7 +423,7 @@ fn checkpoint_envelope_tolerates_missing_defaulted_fields() {
 // ---------------------------------------------------------------------------
 
 use fedca_core::client::RoundPlan;
-use fedca_core::config::{FlConfig, ShardAssignment, ShardConfig};
+use fedca_core::config::{FlConfig, ShardAssignment, ShardConfig, TransportFaultConfig};
 use fedca_core::eager::LayerOutcome;
 use fedca_core::shard::{DoneMsg, FromShard, ToShard, WireEvent, WorkItem};
 use fedca_sim::faults::ClientFaults;
@@ -606,6 +622,17 @@ proptest! {
             spawn_timeout_secs: io * 0.5,
             max_frame_mib: n_shards * 64,
             child_args: vec!["shard_child_entry".into(), "--exact".into()],
+            transport_faults: if mixed == 1 {
+                TransportFaultConfig::chaos(seed)
+            } else {
+                TransportFaultConfig::none()
+            },
+            heartbeat_period_ms: io * 10.0,
+            heartbeat_missed_limit: n_shards as u32,
+            retry_budget: (n_shards as u32) * 2,
+            resend_initial_ms: io,
+            resend_max_ms: io * 25.0,
+            handshake_timeout_secs: io * 0.25,
         };
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: ShardConfig = serde_json::from_str(&json).expect("deserialize");

@@ -5,11 +5,13 @@
 //! outstanding ordinals as synthesized failures — then respawns lazily on
 //! the next round that routes it work.
 
+use bytes::Bytes;
 use fedca_core::client::RoundPlan;
 use fedca_core::config::FlConfig;
-use fedca_core::shard::{ShardError, ShardEvent, ShardPool, WorkItem};
+use fedca_core::shard::{DoneMsg, FromShard, ShardError, ShardEvent, ShardPool, WorkItem};
 use fedca_core::{Scheme, Workload};
 use fedca_sim::faults::ClientFaults;
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -171,6 +173,93 @@ fn killed_shard_fails_outstanding_work_then_respawns_lazily() {
         }
     }
     assert_eq!(ords, (0..N).collect::<BTreeSet<_>>());
+}
+
+/// Exactly-once ingest property: duplicated, reordered, and
+/// stale-incarnation `Done`/`Failed` frames injected straight into the
+/// coordinator's event queue resolve each ordinal exactly once, never
+/// double-fold, and never wedge the pool. The supervised link normally
+/// filters all of these by sequence number; the coordinator's
+/// ordinal-keyed dedup must stay correct even if a ghost leaks through
+/// (or a test injects one). Randomized injection schedules are drawn from
+/// a fixed-seed [`proptest::TestRng`] directly — each case drives real
+/// shard processes, so the shim's fixed 256-case `proptest!` loop would
+/// be prohibitive.
+#[test]
+fn injected_duplicate_and_stale_frames_never_double_resolve_an_ordinal() {
+    let (mut pool, global) = make_pool(1);
+    const N: usize = 3;
+
+    // Round 0: run clean and capture the real wire messages to replay.
+    pool.begin_round(0, 0.0, 1e9, &global, make_items(0, N))
+        .expect("dispatch on a healthy pool");
+    let mut captured: Vec<(DoneMsg, Bytes)> = Vec::new();
+    for _ in 0..N {
+        match pool
+            .recv_timeout(Duration::from_secs(60))
+            .expect("round 0 must resolve")
+        {
+            ShardEvent::Done { msg, payload, .. } => captured.push((*msg, payload)),
+            ShardEvent::Failed { panic_msg, .. } => panic!("clean round failed: {panic_msg}"),
+        }
+    }
+    assert_eq!(captured.len(), N);
+
+    let mut rng = proptest::TestRng::new(0xD0D0_CAFE);
+    for case in 0..3usize {
+        let round = case + 1;
+        pool.begin_round(round, 0.0, 1e9, &global, make_items(round, N))
+            .expect("dispatch");
+        let inc = pool.incarnation_for_test(0);
+        // Storm the queue with ghosts in a randomized order, racing the
+        // shard's real events: current-incarnation duplicates (round
+        // rewritten so only the ordinal dedup can reject the extras),
+        // stale-incarnation copies (must be discarded wholesale), and
+        // duplicate Failed frames for already-raced ordinals.
+        for _ in 0..8 {
+            let pick = (0usize..N).sample(&mut rng);
+            let (msg, payload) = &captured[pick];
+            let mut msg = msg.clone();
+            msg.round = round;
+            let stale = (0usize..4).sample(&mut rng) == 0;
+            let use_inc = if stale { inc.wrapping_sub(1) } else { inc };
+            if (0usize..4).sample(&mut rng) == 0 {
+                pool.inject_msg_for_test(
+                    0,
+                    use_inc,
+                    FromShard::Failed {
+                        round,
+                        ord: msg.ord,
+                        client_id: msg.client_id,
+                        panic_msg: "ghost failure".into(),
+                    },
+                    Bytes::default(),
+                );
+            } else {
+                pool.inject_msg_for_test(0, use_inc, FromShard::Done(msg), payload.clone());
+            }
+        }
+        // Exactly N resolutions, one per ordinal, whichever copy won.
+        let mut resolved = BTreeSet::new();
+        for _ in 0..N {
+            match pool
+                .recv_timeout(Duration::from_secs(60))
+                .expect("each ordinal must resolve exactly once")
+            {
+                ShardEvent::Done { ord, .. } | ShardEvent::Failed { ord, .. } => {
+                    assert!(resolved.insert(ord), "ordinal {ord} resolved twice");
+                }
+            }
+        }
+        assert_eq!(resolved, (0..N).collect::<BTreeSet<_>>());
+        // Fully drained: no ghost may produce an extra event, and nothing
+        // is outstanding (the timeout is idleness, not a stall).
+        assert!(matches!(
+            pool.recv_timeout(Duration::from_millis(30)),
+            Err(ShardError::Timeout)
+        ));
+        assert!(!pool.kill_stalled(), "drained pool has nothing to kill");
+    }
 }
 
 #[test]

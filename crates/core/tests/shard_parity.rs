@@ -65,6 +65,10 @@ fn scrubbed(records: &[RoundRecord]) -> Vec<RoundRecord> {
             r.hydrate_host_us = 0.0;
             r.decode_host_us = 0.0;
             r.aggregate_host_us = 0.0;
+            r.n_retries = 0;
+            r.n_heartbeat_missed = 0;
+            r.n_quarantined = 0;
+            r.n_reassigned = 0;
             r
         })
         .collect()

@@ -1,0 +1,237 @@
+//! Transport-chaos suite: byte-level fault injection on the
+//! coordinator↔shard links must be invisible to the trajectory.
+//!
+//! The supervised link gives the shard protocol exactly-once, in-order
+//! delivery (sequence numbers, acks, deterministic capped-backoff resends,
+//! payload checksums) plus heartbeat liveness, so any transport fault
+//! schedule under which every message is eventually delivered — or its
+//! shard quarantined and re-executed locally — produces round records,
+//! final parameters, and a canonical trace bit-identical to the fault-free
+//! run, for every topology in the parity matrix. Every case runs inside a
+//! watchdog so a supervision bug that wedges the coordinator fails fast
+//! instead of hanging the suite. Sweep width follows `FEDCA_CHAOS_SEEDS`
+//! (default 8; `scripts/transport_check.sh` runs the 32-seed acceptance
+//! sweep in release mode).
+
+use fedca_core::config::{FaultConfig, FlConfig, TransportFaultConfig};
+use fedca_core::metrics::RoundRecord;
+use fedca_core::trace::TraceConfig;
+use fedca_core::{Scheme, Trainer, Workload};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+use std::thread;
+use std::time::Duration;
+
+// Re-exec entry point: the coordinator spawns this very test binary as
+// its shard child processes (see `shard::test_child_args`).
+fedca_core::shard_child_entry!();
+
+const SEED: u64 = 47;
+const ROUNDS: usize = 4;
+
+/// Hard wall-clock budget for one guarded run. Transport chaos stretches
+/// rounds by delays and resends, but never past a few seconds; the budget
+/// is generous so loaded CI machines never flake, while a true hang
+/// (a lost frame nobody resends, an unbounded wait) still fails fast.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn chaos_seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("FEDCA_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    (0..n).collect()
+}
+
+/// Runs `f` on its own thread and panics if it does not finish within the
+/// watchdog budget — the no-hang assertion every case rides on.
+fn run_guarded<T, F>(label: &str, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::Builder::new()
+        .name(format!("transport-{label}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdog subject");
+    let out = rx
+        .recv_timeout(WATCHDOG)
+        .unwrap_or_else(|e| panic!("transport case `{label}` hung or died: {e:?}"));
+    handle
+        .join()
+        .expect("transport case panicked after reporting");
+    out
+}
+
+/// Client-side chaos stays ON: transport supervision must be invisible
+/// even while clients crash, panic, and lose results in virtual time.
+fn base_fl() -> FlConfig {
+    FlConfig {
+        n_clients: 12,
+        clients_per_round: 6,
+        local_iters: 4,
+        batch_size: 8,
+        seed: SEED,
+        faults: FaultConfig::chaos(SEED),
+        trace: TraceConfig::enabled(),
+        ..FlConfig::scaled()
+    }
+}
+
+/// Shards the config and arms the transport fault schedule, with resend
+/// knobs tightened so chaos rounds stay fast.
+fn with_transport(mut fl: FlConfig, shards: usize, faults: TransportFaultConfig) -> FlConfig {
+    fl.shard.n_shards = shards;
+    fl.shard.child_args = fedca_core::shard::test_child_args();
+    fl.shard.transport_faults = faults;
+    fl.shard.resend_initial_ms = 5.0;
+    fl.shard.resend_max_ms = 100.0;
+    fl
+}
+
+fn run_study(fl: FlConfig, n_workers: usize) -> Trainer {
+    let mut t = Trainer::new_with_workers(
+        fl,
+        Scheme::fedca_default(),
+        Workload::tiny_mlp(SEED),
+        n_workers,
+    );
+    t.eval_every = 2;
+    t.run(ROUNDS);
+    t
+}
+
+/// Zeroes the operational (host-side and transport-supervision) fields
+/// that legitimately differ between runs; everything else must be
+/// bit-identical.
+fn scrubbed(records: &[RoundRecord]) -> Vec<RoundRecord> {
+    records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.host_ms = 0.0;
+            r.allocs_avoided = 0;
+            r.n_hydrated = 0;
+            r.n_evicted = 0;
+            r.hydrate_host_us = 0.0;
+            r.decode_host_us = 0.0;
+            r.aggregate_host_us = 0.0;
+            r.n_retries = 0;
+            r.n_heartbeat_missed = 0;
+            r.n_quarantined = 0;
+            r.n_reassigned = 0;
+            r
+        })
+        .collect()
+}
+
+type Fingerprint = (Vec<RoundRecord>, Vec<f32>, String);
+
+fn fingerprint(t: &Trainer) -> Fingerprint {
+    (
+        scrubbed(t.records()),
+        t.global_params().to_vec(),
+        t.tracer().canonical_jsonl(),
+    )
+}
+
+/// The fault-free in-process reference trajectory, computed once.
+fn reference() -> &'static Fingerprint {
+    static REF: OnceLock<Fingerprint> = OnceLock::new();
+    REF.get_or_init(|| fingerprint(&run_study(base_fl(), 2)))
+}
+
+fn assert_matches_reference(got: &Fingerprint, label: &str) {
+    let (ref_records, ref_params, ref_trace) = reference();
+    assert_eq!(&got.0, ref_records, "round records diverged [{label}]");
+    assert_eq!(&got.1, ref_params, "final parameters diverged [{label}]");
+    assert_eq!(&got.2, ref_trace, "canonical trace diverged [{label}]");
+}
+
+/// Per-seed sweep: chaotic drops, duplicates, reorders, delays, and byte
+/// corruption on every link, rotated across the topology matrix. Every
+/// message is eventually delivered (per-frame loss < 1, fresh fault draws
+/// per resend), so each run must be bit-identical to the fault-free
+/// in-process reference — while the retry counters prove the schedule
+/// actually fired.
+#[test]
+fn chaotic_transport_is_bit_identical_for_every_seed_and_topology() {
+    // Force the reference before the sweep so its cost is not billed to
+    // the first guarded case.
+    let _ = reference();
+    for seed in chaos_seeds() {
+        let shards = [1usize, 2, 4][(seed % 3) as usize];
+        let workers = [1usize, 4][(seed % 2) as usize];
+        let label = format!("seed {seed}: {shards} shards x {workers} workers");
+        let (fp, retries) = run_guarded(&label, move || {
+            let fl = with_transport(base_fl(), shards, TransportFaultConfig::chaos(seed));
+            let t = run_study(fl, workers);
+            let retries: usize = t.records().iter().map(|r| r.n_retries).sum();
+            (fingerprint(&t), retries)
+        });
+        assert_matches_reference(&fp, &label);
+        assert!(
+            retries > 0,
+            "chaos schedule injected no retries — faults inert? [{label}]"
+        );
+    }
+}
+
+/// The full PR-8 topology matrix under one fixed chaotic schedule: {1, 2,
+/// 4} shards × {1, 4} workers, each bit-identical to the reference.
+#[test]
+fn one_chaotic_schedule_holds_across_the_full_topology_matrix() {
+    let _ = reference();
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 4] {
+            let label = format!("matrix: {shards} shards x {workers} workers");
+            let fp = run_guarded(&label, move || {
+                let fl = with_transport(base_fl(), shards, TransportFaultConfig::chaos(3));
+                fingerprint(&run_study(fl, workers))
+            });
+            assert_matches_reference(&fp, &label);
+        }
+    }
+}
+
+/// Graceful degradation: with 100% frame loss no shard can ever complete
+/// its handshake, so every round quarantines the shards and re-executes
+/// all ordinals on the root's local executor — still bit-identical, still
+/// well inside the watchdog, with the quarantine accounting to prove the
+/// degraded path (not a lucky delivery) produced the result.
+#[test]
+fn a_permanently_unreachable_shard_quarantines_and_stays_bit_identical() {
+    let _ = reference();
+    let label = "total transport loss";
+    let (fp, quarantined, reassigned) = run_guarded(label, move || {
+        let mut fl = with_transport(
+            base_fl(),
+            2,
+            TransportFaultConfig {
+                drop_prob: 1.0,
+                ..TransportFaultConfig::none()
+            },
+        );
+        // Tight supervision bounds so total loss is detected in hundreds
+        // of milliseconds, not the defaults' multi-second budgets.
+        fl.shard.handshake_timeout_secs = 1.5;
+        fl.shard.retry_budget = 3;
+        fl.shard.resend_initial_ms = 5.0;
+        fl.shard.resend_max_ms = 40.0;
+        fl.shard.heartbeat_period_ms = 50.0;
+        fl.shard.heartbeat_missed_limit = 3;
+        let t = run_study(fl, 2);
+        let quarantined: usize = t.records().iter().map(|r| r.n_quarantined).sum();
+        let reassigned: usize = t.records().iter().map(|r| r.n_reassigned).sum();
+        (fingerprint(&t), quarantined, reassigned)
+    });
+    assert_matches_reference(&fp, label);
+    assert!(quarantined > 0, "total loss must quarantine shards");
+    assert!(
+        reassigned > 0,
+        "quarantined ordinals must be reassigned to local re-execution"
+    );
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Transport-supervision gate (mirrors shard_check.sh):
+#   1. runs the transport-chaos suite in release mode with a 32-seed
+#      sweep (override via FEDCA_CHAOS_SEEDS) — byte-level drop /
+#      duplicate / reorder / delay / corruption schedules on every
+#      coordinator<->shard link, rotated across the {1, 2, 4} shards x
+#      {1, 4} workers matrix, plus a 100% loss run that must quarantine
+#      the shards, re-execute their ordinals locally, and still be
+#      bit-identical to the fault-free in-process run;
+#   2. runs the `shard` probe on wrn with and without a chaotic
+#      transport schedule: the parameter fingerprints must match exactly
+#      (release-mode trajectory neutrality on a real workload), and the
+#      chaotic run must report injected retries (proving the schedule
+#      actually exercised the resend path).
+#
+# Usage: scripts/transport_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${FEDCA_CHAOS_SEEDS:-32}"
+FAULT_SEED="${FEDCA_TRANSPORT_FAULT_SEED:-7}"
+
+echo "== transport-chaos suite (release, $SEEDS seeds)"
+FEDCA_CHAOS_SEEDS="$SEEDS" cargo test --release -q -p fedca-core --test shard_transport
+
+echo "== shard probe with vs without transport chaos (release, wrn)"
+cargo build --release -q -p fedca-bench --bin shard
+
+FAIL=0
+CLEAN="$(./target/release/shard --shards 2 --workers 1 --rounds 4 --workload wrn 2>/dev/null)"
+CHAOS="$(./target/release/shard --shards 2 --workers 1 --rounds 4 --workload wrn \
+  --transport-faults "$FAULT_SEED" 2>/dev/null)"
+
+FP_CLEAN="$(jq -r '.params_fingerprint' <<<"$CLEAN")"
+FP_CHAOS="$(jq -r '.params_fingerprint' <<<"$CHAOS")"
+RETRIES="$(jq -r '.n_retries' <<<"$CHAOS")"
+QUARANTINED="$(jq -r '.n_quarantined' <<<"$CHAOS")"
+REASSIGNED="$(jq -r '.n_reassigned' <<<"$CHAOS")"
+
+if [ "$FP_CLEAN" != "$FP_CHAOS" ]; then
+  echo "transport_check: fingerprint diverged under chaos seed $FAULT_SEED: clean $FP_CLEAN vs chaotic $FP_CHAOS" >&2
+  FAIL=1
+else
+  echo "transport_check: chaos-invariant fingerprint $FP_CLEAN (seed $FAULT_SEED) — ok"
+fi
+
+if [ "$RETRIES" -eq 0 ]; then
+  echo "transport_check: chaotic run reported zero retries — fault schedule inert?" >&2
+  FAIL=1
+else
+  echo "transport_check: $RETRIES retries, $QUARANTINED quarantined, $REASSIGNED reassigned under chaos — ok"
+fi
+
+exit "$FAIL"

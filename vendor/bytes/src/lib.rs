@@ -13,6 +13,8 @@ pub trait Buf {
     fn get_u16_le(&mut self) -> u16;
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
     /// Reads a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32;
     /// Skips `n` bytes.
@@ -27,6 +29,8 @@ pub trait BufMut {
     fn put_u16_le(&mut self, v: u16);
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32);
     /// Appends a byte slice.
@@ -124,6 +128,10 @@ impl Buf for Bytes {
         u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
     }
 
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
     fn get_f32_le(&mut self) -> f32 {
         f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
     }
@@ -196,6 +204,10 @@ impl BufMut for BytesMut {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_f32_le(&mut self, v: f32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
@@ -215,13 +227,15 @@ mod tests {
         w.put_u8(7);
         w.put_u16_le(0x1234);
         w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
         w.put_f32_le(1.5);
         w.put_slice(&[1, 2, 3]);
         let mut r = w.freeze();
-        assert_eq!(r.remaining(), 1 + 2 + 4 + 4 + 3);
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 4 + 3);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16_le(), 0x1234);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_f32_le(), 1.5);
         r.advance(2);
         assert_eq!(r.get_u8(), 3);
